@@ -1,0 +1,128 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "data/cifar_io.h"
+
+namespace oasis::bench {
+
+AttackData make_imagenet_data(bool full, index_t override_classes) {
+  data::SynthConfig cfg = data::synth_imagenet_config();
+  if (override_classes != 0) cfg.num_classes = override_classes;
+  cfg.train_per_class =
+      std::max<index_t>(full ? 24 : 12, (full ? 256 : 128) / cfg.num_classes);
+  cfg.test_per_class = 0;
+  AttackData data{data::generate(cfg).train, {0, {}}, cfg.num_classes,
+                  "ImageNet"};
+  cfg.seed ^= 0xA0A0A0;
+  cfg.train_per_class = std::max<index_t>(
+      full ? 32 : 16, (full ? 400 : 200) / cfg.num_classes);
+  data.aux = data::generate(cfg).train;
+  return data;
+}
+
+AttackData make_cifar_data(bool full) {
+  if (const char* dir = std::getenv("OASIS_CIFAR100_DIR")) {
+    // Victim data from the train split, attacker calibration from the test
+    // split (disjoint, as in the paper's setting).
+    auto real_data = data::try_load_cifar100(dir, full ? 2000 : 400,
+                                             full ? 500 : 300);
+    if (real_data.has_value()) {
+      return AttackData{std::move(real_data->train),
+                        std::move(real_data->test), 100, "CIFAR100(real)"};
+    }
+    OASIS_LOG_WARN << "OASIS_CIFAR100_DIR set but train.bin/test.bin not "
+                      "found; using the synthetic stand-in";
+  }
+  data::SynthConfig cfg = data::synth_cifar100_config();
+  cfg.train_per_class = full ? 4 : 2;  // 100 classes → 200/400 images
+  cfg.test_per_class = 0;
+  AttackData data{data::generate(cfg).train, {0, {}}, cfg.num_classes,
+                  "CIFAR100"};
+  cfg.seed ^= 0xB1B1B1;
+  cfg.train_per_class = full ? 5 : 3;
+  data.aux = data::generate(cfg).train;
+  return data;
+}
+
+std::vector<TransformRow> rtf_transform_rows() {
+  using augment::TransformKind;
+  return {
+      {"WO", {}},
+      {"MR", {TransformKind::kMajorRotation}},
+      {"mR", {TransformKind::kMinorRotation}},
+      {"SH", {TransformKind::kShear}},
+      {"HFlip", {TransformKind::kHorizontalFlip}},
+      {"VFlip", {TransformKind::kVerticalFlip}},
+  };
+}
+
+std::vector<TransformRow> cah_transform_rows() {
+  using augment::TransformKind;
+  return {
+      {"WO", {}},
+      {"SH", {TransformKind::kShear}},
+      {"MR", {TransformKind::kMajorRotation}},
+      {"MR+SH", {TransformKind::kMajorRotation, TransformKind::kShear}},
+  };
+}
+
+std::vector<real> run_and_print_rows(const AttackData& data,
+                                     core::AttackKind attack,
+                                     index_t batch_size, index_t neurons,
+                                     index_t num_batches,
+                                     const std::vector<TransformRow>& rows,
+                                     std::uint64_t seed,
+                                     metrics::ExperimentReport* report) {
+  std::cout << metrics::box_row_header("transform") << "\n";
+  std::vector<real> means;
+  for (const auto& row : rows) {
+    common::Stopwatch sw;
+    core::AttackExperimentConfig cfg;
+    cfg.attack = attack;
+    cfg.batch_size = batch_size;
+    cfg.neurons = neurons;
+    cfg.num_batches = num_batches;
+    cfg.transforms = row.transforms;
+    cfg.classes = data.classes;
+    cfg.seed = seed;
+    const auto result = core::run_attack_experiment(data.victim, data.aux,
+                                                    cfg);
+    const auto stats = metrics::box_stats(result.per_image_psnr);
+    std::cout << metrics::format_box_row(row.label, stats) << "   ("
+              << static_cast<int>(sw.seconds() * 1000) << " ms)\n";
+    if (report) report->add_box_row(row.label, stats);
+    means.push_back(stats.mean);
+  }
+  return means;
+}
+
+void flush_report(const metrics::ExperimentReport& report) {
+  const std::string base = ensure_output_dir() + "/" + report.experiment();
+  report.write_csv(base + ".csv");
+  report.write_json(base + ".json");
+  std::cout << "\n[report] " << base << ".csv / .json (" << report.rows()
+            << " rows)\n";
+}
+
+void print_banner(const std::string& figure, const std::string& description) {
+  std::cout << "\n=================================================="
+               "==============================\n"
+            << figure << " — " << description << "\n"
+            << "(PSNR in dB; >=130 dB means verbatim copy; mean column is "
+               "the paper's green triangle)\n"
+            << "===================================================="
+               "============================\n";
+}
+
+std::string ensure_output_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace oasis::bench

@@ -1,0 +1,73 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary runs with NO arguments at a "quick" scale whose rows
+// reproduce the paper's qualitative shape in seconds-to-minutes on one CPU
+// core, and accepts --full for a configuration closer to the paper's scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "augment/transforms.h"
+#include "common/cli.h"
+#include "core/experiment.h"
+#include "data/synthetic.h"
+#include "metrics/report.h"
+#include "metrics/stats.h"
+
+namespace oasis::bench {
+
+/// Victim-side local data and attacker-side aux calibration data, drawn from
+/// the same synthetic distribution with different seeds (the attacker never
+/// sees the victim's images).
+struct AttackData {
+  data::InMemoryDataset victim;
+  data::InMemoryDataset aux;
+  index_t classes = 0;
+  std::string name;  // "ImageNet" / "CIFAR100" (the substituted stand-ins)
+};
+
+/// The ImageNet (Imagenette) stand-in: 10 classes, 64×64 RGB.
+/// `override_classes` lets the Fig. 13 linear-model bench request a variant
+/// with more classes (unique-label batches of 64 need ≥64 classes).
+AttackData make_imagenet_data(bool full, index_t override_classes = 0);
+
+/// The CIFAR100 stand-in: 100 classes, 32×32 RGB. When the environment
+/// variable OASIS_CIFAR100_DIR points at a directory holding the real
+/// train.bin/test.bin (cifar-100-binary), the REAL dataset is used (victim =
+/// train split, attacker aux = test split) instead of the synthetic
+/// stand-in.
+AttackData make_cifar_data(bool full);
+
+/// One box of a PSNR box-plot figure.
+struct TransformRow {
+  std::string label;  // WO, MR, mR, SH, HFlip, VFlip, MR+SH
+  std::vector<augment::TransformKind> transforms;
+};
+
+/// The five single transforms plus the undefended baseline (Fig. 3 / 13).
+std::vector<TransformRow> rtf_transform_rows();
+
+/// The Fig. 4 rows: WO, SH, MR, MR+SH.
+std::vector<TransformRow> cah_transform_rows();
+
+/// Runs one attack configuration for every row and prints a box-stats table
+/// (one line per row, matching one box of the figure). Returns the rows'
+/// mean PSNRs in order. When `report` is non-null, every row is also
+/// appended to it (with whatever context the caller set).
+std::vector<real> run_and_print_rows(
+    const AttackData& data, core::AttackKind attack, index_t batch_size,
+    index_t neurons, index_t num_batches,
+    const std::vector<TransformRow>& rows, std::uint64_t seed,
+    metrics::ExperimentReport* report = nullptr);
+
+/// Writes `report` as both CSV and JSON under bench_out/ and prints where.
+void flush_report(const metrics::ExperimentReport& report);
+
+/// Prints the standard figure banner.
+void print_banner(const std::string& figure, const std::string& description);
+
+/// Ensures ./bench_out exists and returns its path.
+std::string ensure_output_dir();
+
+}  // namespace oasis::bench

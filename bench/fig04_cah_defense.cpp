@@ -1,0 +1,63 @@
+// Figure 4 — PSNR of images reconstructed by the CAH attack under OASIS for
+// {WO, SH, MR, MR+SH} × {ImageNet, CIFAR100} × batch {8, 64}.
+//
+// Paper shape: at B=64 major rotation alone keeps PSNR low; at B=8 single
+// transforms fail to protect several images (high whiskers/outliers) and the
+// MR+SH integration is required to keep every reconstruction unrecognizable.
+//
+// Optimal neuron counts from the Fig. 10 sweep: ImageNet 100 (B=8) / 700
+// (B=64); CIFAR100 300 (B=8) / 600 (B=64).
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace oasis;
+  using namespace oasis::bench;
+
+  common::CliParser cli("fig04_cah_defense",
+                        "Reproduces Figure 4 (CAH vs OASIS transforms)");
+  cli.add_bool("full", "paper-scale batches/datasets");
+  cli.add_flag("seed", "experiment seed", "404");
+  cli.parse(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("Figure 4",
+               "CAH attack: PSNR per transform, per dataset, per batch size");
+  common::Stopwatch total;
+  metrics::ExperimentReport report("fig04_cah_defense");
+
+  struct Setting {
+    index_t batch;
+    index_t neurons_imagenet;
+    index_t neurons_cifar;
+    index_t batches_quick;
+    index_t batches_full;
+  };
+  const Setting settings[] = {
+      {8, 100, 300, 8, 16},
+      {64, 700, 600, 2, 4},
+  };
+
+  for (const bool imagenet : {true, false}) {
+    const AttackData data =
+        imagenet ? make_imagenet_data(full) : make_cifar_data(full);
+    for (const auto& s : settings) {
+      const index_t n = imagenet ? s.neurons_imagenet : s.neurons_cifar;
+      const index_t batches = full ? s.batches_full : s.batches_quick;
+      std::cout << "\n--- dataset=" << data.name << "  B=" << s.batch
+                << "  attacked-neurons n=" << n
+                << "  (box over " << batches * s.batch << " images) ---\n";
+      report.set_context("dataset", data.name);
+      report.set_context("batch", static_cast<real>(s.batch));
+      report.set_context("neurons", static_cast<real>(n));
+      run_and_print_rows(data, core::AttackKind::kCah, s.batch, n, batches,
+                         cah_transform_rows(), seed + s.batch, &report);
+    }
+  }
+  flush_report(report);
+  std::cout << "\n[fig04] total " << total.seconds() << " s\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 9 — average PSNR of RTF reconstructions vs batch size and number of
+// attacked neurons, on both datasets (no defense). This is the preliminary
+// experiment that picks the optimal n per (dataset, batch) for Figure 3.
+//
+// Paper shape: PSNR decreases with batch size and increases with n; the
+// paper's optima are ImageNet {B8: n=900, B64: n=800} and CIFAR100
+// {B8: n=500, B64: n=600}.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace oasis;
+  using namespace oasis::bench;
+
+  common::CliParser cli("fig09_rtf_sweep",
+                        "Reproduces Figure 9 (RTF batch × neurons sweep)");
+  cli.add_bool("full", "paper-scale grid");
+  cli.add_flag("seed", "experiment seed", "909");
+  cli.parse(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("Figure 9", "RTF average PSNR vs (batch size, #neurons)");
+  common::Stopwatch total;
+  metrics::ExperimentReport report("fig09_rtf_sweep");
+
+  const std::vector<index_t> batches =
+      full ? std::vector<index_t>{8, 16, 32, 64}
+           : std::vector<index_t>{8, 32, 64};
+  const std::vector<index_t> neuron_grid =
+      full ? std::vector<index_t>{100, 200, 300, 400, 500, 600, 700, 800, 900}
+           : std::vector<index_t>{100, 300, 500, 700, 900};
+  const index_t rounds = full ? 4 : 2;
+
+  for (const bool imagenet : {true, false}) {
+    const AttackData data =
+        imagenet ? make_imagenet_data(full) : make_cifar_data(full);
+    std::cout << "\n--- dataset=" << data.name
+              << " (cells: mean PSNR dB over " << rounds
+              << " victim batches) ---\n"
+              << std::setw(8) << "B\\n";
+    for (const auto n : neuron_grid) std::cout << std::setw(9) << n;
+    std::cout << "\n";
+    for (const auto b : batches) {
+      std::cout << std::setw(8) << b;
+      for (const auto n : neuron_grid) {
+        core::AttackExperimentConfig cfg;
+        cfg.attack = core::AttackKind::kRtf;
+        cfg.batch_size = b;
+        cfg.neurons = n;
+        cfg.num_batches = rounds;
+        cfg.classes = data.classes;
+        cfg.seed = seed + b * 1000 + n;
+        const auto result =
+            core::run_attack_experiment(data.victim, data.aux, cfg);
+        std::cout << std::setw(9) << std::fixed << std::setprecision(1)
+                  << result.mean_psnr() << std::flush;
+        report.begin_row();
+        report.add("dataset", data.name);
+        report.add("batch", static_cast<real>(b));
+        report.add("neurons", static_cast<real>(n));
+        report.add("mean_psnr", result.mean_psnr());
+      }
+      std::cout << "\n";
+    }
+  }
+  flush_report(report);
+  std::cout << "\n[fig09] total " << total.seconds() << " s\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 10 — average PSNR of CAH reconstructions vs batch size and number
+// of attacked neurons (no defense); the preliminary sweep behind Figure 4's
+// neuron choices.
+//
+// Paper shape: PSNR falls with batch size; the best n is dataset- and
+// batch-dependent (ImageNet: 100 at B=8, 700 at B=64; CIFAR100: 300/600).
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace oasis;
+  using namespace oasis::bench;
+
+  common::CliParser cli("fig10_cah_sweep",
+                        "Reproduces Figure 10 (CAH batch × neurons sweep)");
+  cli.add_bool("full", "paper-scale grid");
+  cli.add_flag("seed", "experiment seed", "1010");
+  cli.parse(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_banner("Figure 10", "CAH average PSNR vs (batch size, #neurons)");
+  common::Stopwatch total;
+  metrics::ExperimentReport report("fig10_cah_sweep");
+
+  const std::vector<index_t> batches =
+      full ? std::vector<index_t>{8, 16, 32, 64}
+           : std::vector<index_t>{8, 32, 64};
+  const std::vector<index_t> neuron_grid =
+      full ? std::vector<index_t>{100, 200, 300, 400, 500, 600, 700, 800, 900}
+           : std::vector<index_t>{100, 300, 500, 700, 900};
+  const index_t rounds = full ? 4 : 2;
+
+  for (const bool imagenet : {true, false}) {
+    const AttackData data =
+        imagenet ? make_imagenet_data(full) : make_cifar_data(full);
+    std::cout << "\n--- dataset=" << data.name
+              << " (cells: mean PSNR dB over " << rounds
+              << " victim batches) ---\n"
+              << std::setw(8) << "B\\n";
+    for (const auto n : neuron_grid) std::cout << std::setw(9) << n;
+    std::cout << "\n";
+    for (const auto b : batches) {
+      std::cout << std::setw(8) << b;
+      for (const auto n : neuron_grid) {
+        core::AttackExperimentConfig cfg;
+        cfg.attack = core::AttackKind::kCah;
+        cfg.batch_size = b;
+        cfg.neurons = n;
+        cfg.num_batches = rounds;
+        cfg.classes = data.classes;
+        cfg.seed = seed + b * 1000 + n;
+        const auto result =
+            core::run_attack_experiment(data.victim, data.aux, cfg);
+        std::cout << std::setw(9) << std::fixed << std::setprecision(1)
+                  << result.mean_psnr() << std::flush;
+        report.begin_row();
+        report.add("dataset", data.name);
+        report.add("batch", static_cast<real>(b));
+        report.add("neurons", static_cast<real>(n));
+        report.add("mean_psnr", result.mean_psnr());
+      }
+      std::cout << "\n";
+    }
+  }
+  flush_report(report);
+  std::cout << "\n[fig10] total " << total.seconds() << " s\n";
+  return 0;
+}

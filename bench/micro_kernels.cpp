@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the numeric kernels the
+// experiments lean on: matmul variants, im2col, affine warps, PSNR, and the
+// attack implant/reconstruct paths. Not a paper figure — an engineering
+// baseline for regressions.
+#include <benchmark/benchmark.h>
+
+#include "attack/cah.h"
+#include "attack/rtf.h"
+#include "augment/affine.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metrics/psnr.h"
+#include "nn/loss.h"
+#include "nn/model_io.h"
+#include "nn/models.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace oasis;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  common::Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTn(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  common::Rng rng(2);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_tn(a, b));
+  }
+}
+BENCHMARK(BM_MatmulTn)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  common::Rng rng(3);
+  const tensor::Tensor img = tensor::Tensor::randn({16, 32, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::im2col(img, 3, 3, 1, 1));
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_WarpRotate(benchmark::State& state) {
+  common::Rng rng(4);
+  const tensor::Tensor img = tensor::Tensor::rand({3, 64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(augment::rotate(img, 0.5));
+  }
+}
+BENCHMARK(BM_WarpRotate);
+
+void BM_ExactRotate90(benchmark::State& state) {
+  common::Rng rng(5);
+  const tensor::Tensor img = tensor::Tensor::rand({3, 64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(augment::rotate90(img));
+  }
+}
+BENCHMARK(BM_ExactRotate90);
+
+void BM_Psnr(benchmark::State& state) {
+  common::Rng rng(6);
+  const tensor::Tensor a = tensor::Tensor::rand({3, 64, 64}, rng);
+  const tensor::Tensor b = tensor::Tensor::rand({3, 64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::psnr(a, b));
+  }
+}
+BENCHMARK(BM_Psnr);
+
+data::InMemoryDataset micro_aux() {
+  data::SynthConfig cfg;
+  cfg.num_classes = 10;
+  cfg.height = cfg.width = 32;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 0;
+  cfg.seed = 77;
+  return data::generate(cfg).train;
+}
+
+void BM_RtfImplant(benchmark::State& state) {
+  const auto aux = micro_aux();
+  const nn::ImageSpec spec{3, 32, 32};
+  attack::RtfAttack atk(spec, 256, aux);
+  common::Rng rng(7);
+  auto host = nn::make_attack_host(spec, 256, 10, rng);
+  for (auto _ : state) {
+    atk.implant(*host);
+  }
+}
+BENCHMARK(BM_RtfImplant);
+
+void BM_RtfReconstruct(benchmark::State& state) {
+  const auto aux = micro_aux();
+  const nn::ImageSpec spec{3, 32, 32};
+  const index_t n = 256;
+  attack::RtfAttack atk(spec, n, aux);
+  common::Rng rng(8);
+  auto host = nn::make_attack_host(spec, n, 10, rng);
+  atk.implant(*host);
+  // One real gradient computation to invert.
+  std::vector<index_t> idx{0, 1, 2, 3};
+  const data::Batch b = data::gather(aux, idx);
+  host->zero_grad();
+  nn::SoftmaxCrossEntropy loss_fn;
+  const auto logits = host->forward(b.images, true);
+  host->backward(loss_fn.compute(logits, b.labels).grad_logits);
+  const auto grads = nn::snapshot_gradients(*host);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atk.reconstruct(grads));
+  }
+}
+BENCHMARK(BM_RtfReconstruct);
+
+void BM_CahCalibration(benchmark::State& state) {
+  const auto aux = micro_aux();
+  const nn::ImageSpec spec{3, 32, 32};
+  for (auto _ : state) {
+    attack::CahAttack atk(spec, 64, 0.125, aux);
+    benchmark::DoNotOptimize(&atk);
+  }
+}
+BENCHMARK(BM_CahCalibration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

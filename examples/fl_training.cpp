@@ -1,0 +1,80 @@
+// Federated training with OASIS enabled end-to-end.
+//
+// Stands up an honest FedAvg federation of 8 clients over sharded synthetic
+// data, every client defending itself with OASIS (major rotation), trains
+// the global model for a number of rounds, and tracks global test accuracy —
+// demonstrating that the defense is a pure client-side preprocessing step
+// that leaves the protocol and convergence intact.
+//
+//   $ ./fl_training [--rounds 150] [--clients 8] [--transform MR]
+#include <iostream>
+#include <memory>
+
+#include "common/cli.h"
+#include "core/oasis.h"
+#include "data/synthetic.h"
+#include "fl/simulation.h"
+#include "metrics/accuracy.h"
+#include "nn/models.h"
+
+int main(int argc, char** argv) {
+  using namespace oasis;
+
+  common::CliParser cli("fl_training",
+                        "Honest FedAvg federation with OASIS-defended clients");
+  cli.add_flag("rounds", "federated rounds", "250");
+  cli.add_flag("clients", "number of clients N", "8");
+  cli.add_flag("per-round", "clients selected per round M (0=all)", "4");
+  cli.add_flag("transform", "OASIS transform (none|MR|mR|SH|HFlip|VFlip)",
+               "MR");
+  cli.parse(argc, argv);
+
+  const auto rounds = static_cast<index_t>(cli.get_int("rounds"));
+  const auto n_clients = static_cast<index_t>(cli.get_int("clients"));
+
+  // Dataset: a 10-class task sharded across clients.
+  data::SynthConfig cfg = data::synth_imagenet_config();
+  cfg.height = cfg.width = 24;
+  cfg.train_per_class = 24;
+  cfg.test_per_class = 8;
+  const data::SynthDataset dataset = data::generate(cfg);
+  const auto shards = dataset.train.shard(n_clients);
+
+  // Every client applies the same OASIS policy locally.
+  const auto kind = augment::parse_transform_kind(cli.get("transform"));
+  const fl::PreprocessorPtr defense = core::make_preprocessor(
+      kind == augment::TransformKind::kNone
+          ? std::vector<augment::TransformKind>{}
+          : std::vector<augment::TransformKind>{kind});
+  std::cout << "clients train with preprocessor: " << defense->name() << "\n";
+
+  const nn::ImageSpec spec{3, cfg.height, cfg.width};
+  common::Rng init_rng(7);
+  const fl::ModelFactory factory = [&spec, &init_rng, &cfg] {
+    return nn::make_mini_convnet(spec, cfg.num_classes, init_rng, 8);
+  };
+
+  auto server = std::make_unique<fl::Server>(factory(), /*learning_rate=*/0.15);
+  auto* server_ptr = server.get();
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  for (index_t i = 0; i < n_clients; ++i) {
+    clients.push_back(std::make_unique<fl::Client>(
+        i, shards[i], factory, /*batch_size=*/16, defense,
+        common::Rng(1000 + i)));
+  }
+  fl::Simulation sim(
+      std::move(server), std::move(clients),
+      fl::SimulationConfig{static_cast<index_t>(cli.get_int("per-round")),
+                           /*seed=*/3});
+
+  for (index_t r = 0; r < rounds; ++r) {
+    sim.run_round();
+    if ((r + 1) % 25 == 0 || r + 1 == rounds) {
+      const real acc =
+          metrics::accuracy(server_ptr->global_model(), dataset.test);
+      std::cout << "round " << (r + 1) << ": global test accuracy "
+                << acc * 100.0 << "%\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the OASIS pipeline in ~60 lines.
+//
+// Builds a tiny federation with a DISHONEST server running the RTF gradient
+// inversion attack, lets it attack an undefended client and an OASIS-defended
+// client, and prints the reconstruction quality it achieved against each.
+//
+//   $ ./quickstart
+//
+// Expected output: near-cap PSNR (verbatim reconstruction) without OASIS and
+// ~20 dB (unrecognizable) with OASIS major rotation.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/oasis.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace oasis;
+
+  // 1. Local data for the victim, public aux data for the attacker.
+  data::SynthConfig cfg = data::synth_imagenet_config();
+  cfg.train_per_class = 12;
+  cfg.test_per_class = 0;
+  const data::InMemoryDataset victim_data = data::generate(cfg).train;
+  cfg.seed ^= 0xFACE;
+  const data::InMemoryDataset aux_data = data::generate(cfg).train;
+
+  // 2. Configure the attack experiment: RTF with 256 attacked neurons
+  //    against batches of 8, over 2 FL rounds.
+  core::AttackExperimentConfig attack;
+  attack.attack = core::AttackKind::kRtf;
+  attack.batch_size = 8;
+  attack.neurons = 256;
+  attack.num_batches = 2;
+  attack.seed = 42;
+
+  // 3. Undefended baseline.
+  const auto undefended =
+      core::run_attack_experiment(victim_data, aux_data, attack);
+
+  // 4. Same attack against an OASIS-defended client (major rotation).
+  attack.transforms = {augment::TransformKind::kMajorRotation};
+  const auto defended =
+      core::run_attack_experiment(victim_data, aux_data, attack);
+
+  std::cout << "RTF reconstruction quality (mean best-match PSNR over "
+            << undefended.per_image_psnr.size() << " images):\n"
+            << "  without OASIS : " << undefended.mean_psnr()
+            << " dB  (>=130 dB means the server got verbatim copies)\n"
+            << "  with OASIS(MR): " << defended.mean_psnr()
+            << " dB  (the server only sees overlaps of rotations)\n";
+  return 0;
+}

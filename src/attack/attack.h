@@ -1,0 +1,60 @@
+// ActiveAttack — the dishonest-server attack interface.
+//
+// An active reconstruction attack has two halves (paper Section 3.1):
+//   1. implant(): maliciously modify the global model before dispatch —
+//      install a crafted FC layer of n "attacked neurons" right after the
+//      input (the strongest placement, which the paper defends against);
+//   2. reconstruct(): invert the batch-summed gradients uploaded by the
+//      victim into candidate images via Eq. 2 / Eq. 3.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/server.h"
+#include "nn/dense.h"
+#include "nn/models.h"
+#include "nn/sequential.h"
+
+namespace oasis::attack {
+
+class ActiveAttack {
+ public:
+  ActiveAttack() = default;
+  ActiveAttack(const ActiveAttack&) = delete;
+  ActiveAttack& operator=(const ActiveAttack&) = delete;
+  virtual ~ActiveAttack() = default;
+
+  /// Installs the malicious parameters into `model` (the global model about
+  /// to be dispatched) and records where its weight/bias gradients will sit
+  /// in the client's update.
+  virtual void implant(nn::Sequential& model) = 0;
+
+  /// Inverts one client update (tensors in model.parameters() order) into
+  /// candidate image reconstructions ([C,H,W] each, unclamped).
+  [[nodiscard]] virtual std::vector<tensor::Tensor> reconstruct(
+      const std::vector<tensor::Tensor>& gradients) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Adapter plugging this attack into a fl::MaliciousServer.
+  [[nodiscard]] fl::ModelManipulator manipulator() {
+    return [this](nn::Sequential& model) { this->implant(model); };
+  }
+};
+
+using AttackPtr = std::unique_ptr<ActiveAttack>;
+
+namespace detail {
+
+/// Locates the first Dense layer in `model` (the malicious slot of
+/// make_attack_host) and returns it; throws if the model has none.
+nn::Dense& find_first_dense(nn::Sequential& model);
+
+/// Index of the first Dense's weight tensor within model.parameters()
+/// (its bias follows at +1).
+index_t first_dense_param_index(nn::Sequential& model);
+
+}  // namespace detail
+}  // namespace oasis::attack

@@ -1,0 +1,63 @@
+// CAH — "Curious Abandon Honesty" (Boenisch et al., 2021): trap weights.
+#pragma once
+
+#include "attack/attack.h"
+#include "attack/calibration.h"
+
+namespace oasis::attack {
+
+/// Trap-weights attack.
+///
+/// Implant: each attacked neuron gets an independent random projection row
+/// r_i; the bias is set to −τ_i with τ_i the empirical (1 − ρ) quantile of
+/// r_i·x over attacker aux data, so the neuron fires with probability
+/// ρ ≈ 1/B and is, with high probability, activated by EXACTLY ONE sample of
+/// the victim's batch. (Boenisch et al. achieve the same activation-sparsity
+/// with half-negated data-scaled rows; quantile calibration is the
+/// distribution-free equivalent and uses only attacker-side data.) The rest
+/// of the network is left untouched — unlike RTF, CAH needs no control of
+/// the return path.
+///
+/// Reconstruct: neurons activated by a single sample satisfy Eq. 2 exactly:
+/// ΔW_i / Δb_i = x_t. Every neuron with non-negligible bias gradient yields
+/// a candidate; multi-sample neurons produce linear-combination images that
+/// simply score low in the best-match protocol.
+/// How the trap rows and thresholds are built.
+enum class CahWeightMode {
+  /// Gaussian rows with biases at the (1−ρ) empirical quantile of r·x over
+  /// aux data — the distribution-free calibration (default).
+  kQuantileCalibrated,
+  /// Boenisch et al.'s original construction: Gaussian rows with a random
+  /// half of each row's entries negated and rescaled by a factor γ (fit on
+  /// aux data) so that r·x lands above zero with probability ρ; biases are
+  /// zero, making the layer look maximally innocuous.
+  kTrapHalfNegative,
+};
+
+class CahAttack : public ActiveAttack {
+ public:
+  /// `target_rate` ρ is the desired per-neuron activation probability; the
+  /// attacker sets it to 1/B using the protocol-known batch size.
+  CahAttack(nn::ImageSpec spec, index_t neurons, real target_rate,
+            const data::InMemoryDataset& aux, std::uint64_t seed = 0xCA11,
+            CahWeightMode mode = CahWeightMode::kQuantileCalibrated);
+
+  void implant(nn::Sequential& model) override;
+  std::vector<tensor::Tensor> reconstruct(
+      const std::vector<tensor::Tensor>& gradients) const override;
+  [[nodiscard]] std::string name() const override { return "CAH"; }
+
+  [[nodiscard]] index_t neurons() const { return neurons_; }
+
+ private:
+  nn::ImageSpec spec_;
+  index_t neurons_;
+  real target_rate_;
+  CahWeightMode mode_;
+  tensor::Tensor rows_;          // [n, d] random projections
+  std::vector<real> thresholds_; // τ_i per neuron
+  index_t weight_param_index_ = 0;
+  bool implanted_ = false;
+};
+
+}  // namespace oasis::attack

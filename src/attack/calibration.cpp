@@ -1,0 +1,62 @@
+#include "attack/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace oasis::attack {
+
+std::vector<real> measure_dataset(const data::InMemoryDataset& aux,
+                                  const tensor::Tensor& w) {
+  OASIS_CHECK(!aux.empty());
+  OASIS_CHECK_MSG(w.size() == aux.image_dim(),
+                  "measurement dim " << w.size() << " vs image dim "
+                                     << aux.image_dim());
+  std::vector<real> values;
+  values.reserve(aux.size());
+  for (index_t i = 0; i < aux.size(); ++i) {
+    const auto img = aux.at(i).image.data();
+    real s = 0.0;
+    for (index_t j = 0; j < img.size(); ++j) s += w[j] * img[j];
+    values.push_back(s);
+  }
+  return values;
+}
+
+std::vector<real> mean_brightness(const data::InMemoryDataset& aux) {
+  const index_t d = aux.image_dim();
+  tensor::Tensor w = tensor::Tensor::full({d}, 1.0 / static_cast<real>(d));
+  return measure_dataset(aux, w);
+}
+
+real empirical_quantile(std::vector<real> sample, real q) {
+  OASIS_CHECK_MSG(!sample.empty(), "quantile of empty sample");
+  OASIS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile level " << q);
+  std::sort(sample.begin(), sample.end());
+  const real pos = q * static_cast<real>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const real frac = pos - std::floor(pos);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+std::vector<real> quantile_cutoffs(const std::vector<real>& sample,
+                                   index_t n) {
+  OASIS_CHECK(n >= 1);
+  std::vector<real> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<real> cutoffs;
+  cutoffs.reserve(n);
+  for (index_t i = 1; i <= n; ++i) {
+    const real q = static_cast<real>(i) / static_cast<real>(n + 1);
+    const real pos = q * static_cast<real>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const real frac = pos - std::floor(pos);
+    cutoffs.push_back(sorted[lo] * (1.0 - frac) + sorted[hi] * frac);
+  }
+  return cutoffs;
+}
+
+}  // namespace oasis::attack

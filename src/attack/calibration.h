@@ -1,0 +1,33 @@
+// Attacker-side calibration from auxiliary data.
+//
+// Both RTF and CAH need to place activation cutoffs so that attacked neurons
+// fire with a chosen probability under the victim's data distribution. The
+// attack papers assume the server holds a small sample of in-distribution
+// "auxiliary" data (public images); calibration reduces to empirical
+// quantiles of a linear measurement over that sample.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace oasis::attack {
+
+/// Evaluates the linear measurement w·flatten(x) for every image of `aux`.
+std::vector<real> measure_dataset(const data::InMemoryDataset& aux,
+                                  const tensor::Tensor& w);
+
+/// Mean-brightness measurement values (w = 1/d) — RTF's scalar statistic.
+std::vector<real> mean_brightness(const data::InMemoryDataset& aux);
+
+/// Empirical quantile at level q ∈ [0,1] (linear interpolation). The input
+/// is copied and sorted. Requires a non-empty sample.
+real empirical_quantile(std::vector<real> sample, real q);
+
+/// n cutoffs at levels 1/(n+1), ..., n/(n+1) of the sample — the RTF bin
+/// boundaries. Sorted ascending.
+std::vector<real> quantile_cutoffs(const std::vector<real>& sample,
+                                   index_t n);
+
+}  // namespace oasis::attack

@@ -1,0 +1,65 @@
+#include "attack/detection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "attack/attack.h"
+#include "nn/dense.h"
+
+namespace oasis::attack {
+
+DetectionReport inspect_first_dense(nn::Sequential& model, real tol) {
+  nn::Dense& dense = detail::find_first_dense(model);
+  const index_t n = dense.out_features();
+  const index_t d = dense.in_features();
+  const auto w = dense.weight().value.data();
+  const auto& bias = dense.bias().value;
+
+  DetectionReport report;
+  if (n == 0) return report;
+
+  // Row duplication against row 0.
+  std::vector<real> row_norms(n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    real s = 0.0;
+    for (index_t j = 0; j < d; ++j) s += w[i * d + j] * w[i * d + j];
+    row_norms[i] = std::sqrt(s);
+  }
+  index_t duplicated = 0;
+  const real ref_norm = std::max(row_norms[0], real{1e-30});
+  for (index_t i = 1; i < n; ++i) {
+    real diff = 0.0;
+    for (index_t j = 0; j < d; ++j) {
+      const real delta = w[i * d + j] - w[j];
+      diff += delta * delta;
+    }
+    if (std::sqrt(diff) <= tol * ref_norm) ++duplicated;
+  }
+  report.row_duplication =
+      n > 1 ? static_cast<real>(duplicated) / static_cast<real>(n - 1) : 0.0;
+
+  // Bias ladder: fraction of adjacent strictly-monotone steps (take the
+  // dominant direction).
+  if (n > 1) {
+    index_t increasing = 0, decreasing = 0;
+    for (index_t i = 1; i < n; ++i) {
+      if (bias[i] > bias[i - 1]) ++increasing;
+      if (bias[i] < bias[i - 1]) ++decreasing;
+    }
+    report.bias_monotonicity =
+        static_cast<real>(std::max(increasing, decreasing)) /
+        static_cast<real>(n - 1);
+  }
+
+  // Row-norm outlier ratio.
+  std::vector<real> sorted = row_norms;
+  std::sort(sorted.begin(), sorted.end());
+  const real median = sorted[sorted.size() / 2];
+  if (median > 0.0) {
+    report.row_norm_ratio = sorted.back() / median;
+  }
+  return report;
+}
+
+}  // namespace oasis::attack

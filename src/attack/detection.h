@@ -1,0 +1,38 @@
+// Client-side implant detection heuristics.
+//
+// The threat model notes the server's modification "should be minimal to
+// avoid detection". This module gives the client the obvious counterpart: a
+// statistical inspection of the dispatched model's first FC layer for the
+// structural signatures the known attacks leave behind. RTF's imprint module
+// (identical weight rows + a monotone bias ladder) is blatantly detectable;
+// CAH's trap weights are designed to look like ordinary random weights and
+// evade both tests — which is exactly why a principled defense like OASIS is
+// needed rather than model screening.
+#pragma once
+
+#include "nn/sequential.h"
+
+namespace oasis::attack {
+
+struct DetectionReport {
+  /// Fraction of first-layer rows that are (near-)identical to row 0 —
+  /// RTF's measurement-vector signature. 1.0 for an RTF implant, ~0 honest.
+  real row_duplication = 0.0;
+  /// Fraction of adjacent bias pairs that are strictly monotone in one
+  /// direction — RTF's quantile-ladder signature. Near 1.0 for RTF, ~0.5
+  /// for i.i.d. biases, 0 for all-zero (honest init).
+  real bias_monotonicity = 0.0;
+  /// Ratio of the largest to median row L2 norm — crude outlier probe.
+  real row_norm_ratio = 1.0;
+
+  /// Conservative verdict: trips on RTF-style implants.
+  [[nodiscard]] bool suspicious() const {
+    return row_duplication > 0.5 || bias_monotonicity > 0.95;
+  }
+};
+
+/// Inspects the first Dense layer of `model`. `tol` is the row-equality
+/// tolerance (relative to row norm).
+DetectionReport inspect_first_dense(nn::Sequential& model, real tol = 1e-9);
+
+}  // namespace oasis::attack

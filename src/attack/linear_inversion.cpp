@@ -1,0 +1,60 @@
+#include "attack/linear_inversion.h"
+
+#include <cmath>
+
+#include "nn/dense.h"
+
+namespace oasis::attack {
+
+LinearInversionAttack::LinearInversionAttack(nn::ImageSpec spec,
+                                             index_t classes)
+    : spec_(spec), classes_(classes) {
+  OASIS_CHECK(classes_ >= 2);
+}
+
+void LinearInversionAttack::implant(nn::Sequential& model) {
+  nn::Dense& layer = detail::find_first_dense(model);
+  OASIS_CHECK_MSG(layer.in_features() == spec_.pixels() &&
+                      layer.out_features() == classes_,
+                  "LinearInversion: model Dense is "
+                      << layer.in_features() << "x" << layer.out_features());
+  // Confident-negative linear model: σ(Wx+b) ≈ 0 for every class, so each
+  // class row's gradient is carried (almost) solely by the sample labeled
+  // with that class.
+  layer.weight().value.fill(0.0);
+  layer.bias().value.fill(-16.0);
+  weight_param_index_ = detail::first_dense_param_index(model);
+  implanted_ = true;
+}
+
+std::vector<tensor::Tensor> LinearInversionAttack::reconstruct(
+    const std::vector<tensor::Tensor>& gradients) const {
+  OASIS_CHECK_MSG(implanted_, "reconstruct() before implant()");
+  OASIS_CHECK_MSG(weight_param_index_ + 1 < gradients.size(),
+                  "gradient list too short");
+  const tensor::Tensor& gw = gradients[weight_param_index_];
+  const tensor::Tensor& gb = gradients[weight_param_index_ + 1];
+  const index_t d = spec_.pixels();
+  OASIS_CHECK_MSG(gw.rank() == 2 && gw.dim(0) == classes_ && gw.dim(1) == d &&
+                      gb.rank() == 1 && gb.dim(0) == classes_,
+                  "unexpected linear-model gradient shapes");
+
+  real max_abs = 0.0;
+  for (index_t c = 0; c < classes_; ++c)
+    max_abs = std::max(max_abs, std::abs(gb[c]));
+  const real eps = std::max(1e-14, 1e-9 * max_abs);
+
+  std::vector<tensor::Tensor> candidates;
+  const tensor::Shape image_shape{spec_.channels, spec_.height, spec_.width};
+  for (index_t c = 0; c < classes_; ++c) {
+    if (std::abs(gb[c]) <= eps) continue;
+    tensor::Tensor img(image_shape);
+    auto out = img.data();
+    auto wr = gw.data();
+    for (index_t j = 0; j < d; ++j) out[j] = wr[c * d + j] / gb[c];
+    candidates.push_back(std::move(img));
+  }
+  return candidates;
+}
+
+}  // namespace oasis::attack

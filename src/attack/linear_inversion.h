@@ -1,0 +1,35 @@
+// Gradient inversion on linear models (Geiping et al. 2020 / Fowl et al.
+// 2021; evaluated in the paper's Appendix D, Figure 13).
+#pragma once
+
+#include "attack/attack.h"
+
+namespace oasis::attack {
+
+/// Inversion of a single-layer softmax classifier.
+///
+/// With model logits z = Wx + b and the one-vs-all logistic loss the paper's
+/// Appendix D prescribes, each class row obeys ΔW_c = Σ_j δ_{j,c} x_j and
+/// Δb_c = Σ_j δ_{j,c} with δ_{j,c} = σ(z_{j,c}) − y_{j,c}. The implant sets
+/// W = 0 and b strongly negative so σ(z) ≈ 0: a sample then contributes
+/// δ ≈ −1 to its OWN class row and ≈ 0 elsewhere, and with unique labels per
+/// batch (the Appendix D assumption) ΔW_c / Δb_c reconstructs x_t to within
+/// floating-point error. Under OASIS the augmented copies share the label,
+/// so the row reconstructs their average — a linear combination.
+class LinearInversionAttack : public ActiveAttack {
+ public:
+  LinearInversionAttack(nn::ImageSpec spec, index_t classes);
+
+  void implant(nn::Sequential& model) override;
+  std::vector<tensor::Tensor> reconstruct(
+      const std::vector<tensor::Tensor>& gradients) const override;
+  [[nodiscard]] std::string name() const override { return "LinearInv"; }
+
+ private:
+  nn::ImageSpec spec_;
+  index_t classes_;
+  index_t weight_param_index_ = 0;
+  bool implanted_ = false;
+};
+
+}  // namespace oasis::attack

@@ -1,0 +1,122 @@
+#include "attack/rtf.h"
+
+#include <cmath>
+
+#include "nn/dense.h"
+
+namespace oasis::attack {
+namespace detail {
+
+nn::Dense& find_first_dense(nn::Sequential& model) {
+  for (index_t i = 0; i < model.size(); ++i) {
+    if (auto* dense = dynamic_cast<nn::Dense*>(&model.at(i))) return *dense;
+  }
+  throw Error("model has no Dense layer to implant into");
+}
+
+index_t first_dense_param_index(nn::Sequential& model) {
+  nn::Dense& target = find_first_dense(model);
+  const auto params = model.parameters();
+  for (index_t i = 0; i < params.size(); ++i) {
+    if (params[i] == &target.weight()) return i;
+  }
+  throw Error("malicious Dense not found in parameter list");
+}
+
+/// The Dense layer immediately following the malicious block's ReLU, if any.
+nn::Dense* find_second_dense(nn::Sequential& model) {
+  bool seen_first = false;
+  for (index_t i = 0; i < model.size(); ++i) {
+    if (auto* dense = dynamic_cast<nn::Dense*>(&model.at(i))) {
+      if (seen_first) return dense;
+      seen_first = true;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace detail
+
+RtfAttack::RtfAttack(nn::ImageSpec spec, index_t neurons,
+                     const data::InMemoryDataset& aux)
+    : spec_(spec), neurons_(neurons) {
+  OASIS_CHECK_MSG(neurons_ >= 2, "RTF needs at least 2 bins");
+  cutoffs_ = quantile_cutoffs(mean_brightness(aux), neurons_);
+}
+
+void RtfAttack::implant(nn::Sequential& model) {
+  nn::Dense& malicious = detail::find_first_dense(model);
+  OASIS_CHECK_MSG(malicious.in_features() == spec_.pixels() &&
+                      malicious.out_features() == neurons_,
+                  "RTF implant: host Dense is " << malicious.in_features()
+                                                << "x"
+                                                << malicious.out_features());
+  const index_t d = spec_.pixels();
+  const real h = 1.0 / static_cast<real>(d);  // mean-brightness measurement
+  auto w = malicious.weight().value.data();
+  for (index_t i = 0; i < neurons_; ++i) {
+    for (index_t j = 0; j < d; ++j) w[i * d + j] = h;
+    malicious.bias().value[i] = -cutoffs_[i];
+  }
+
+  // Make the following layer's columns identical so every attacked neuron
+  // receives the same per-sample loss gradient (the "uniform return path").
+  // Distinct per-output values keep Σ_c δ_c v_c from vanishing.
+  if (auto* next = detail::find_second_dense(model)) {
+    const index_t out = next->out_features();
+    const index_t in = next->in_features();
+    auto v = next->weight().value.data();
+    for (index_t o = 0; o < out; ++o) {
+      const real value = 0.05 * (static_cast<real>(o) + 1.0) /
+                         static_cast<real>(out);
+      for (index_t i = 0; i < in; ++i) v[o * in + i] = value;
+    }
+    next->bias().value.fill(0.0);
+  }
+
+  weight_param_index_ = detail::first_dense_param_index(model);
+  implanted_ = true;
+}
+
+std::vector<tensor::Tensor> RtfAttack::reconstruct(
+    const std::vector<tensor::Tensor>& gradients) const {
+  OASIS_CHECK_MSG(implanted_, "reconstruct() before implant()");
+  OASIS_CHECK_MSG(weight_param_index_ + 1 < gradients.size(),
+                  "gradient list too short");
+  const tensor::Tensor& gw = gradients[weight_param_index_];
+  const tensor::Tensor& gb = gradients[weight_param_index_ + 1];
+  const index_t d = spec_.pixels();
+  OASIS_CHECK_MSG(gw.rank() == 2 && gw.dim(0) == neurons_ && gw.dim(1) == d &&
+                      gb.rank() == 1 && gb.dim(0) == neurons_,
+                  "unexpected malicious-layer gradient shapes "
+                      << tensor::to_string(gw.shape()) << " / "
+                      << tensor::to_string(gb.shape()));
+
+  // Numerical floor for "this bin is empty": relative to the largest bias
+  // gradient so the scale of the loss does not matter.
+  real max_abs = 0.0;
+  for (index_t i = 0; i < neurons_; ++i)
+    max_abs = std::max(max_abs, std::abs(gb[i]));
+  const real eps = std::max(1e-14, 1e-9 * max_abs);
+
+  std::vector<tensor::Tensor> candidates;
+  const tensor::Shape image_shape{spec_.channels, spec_.height, spec_.width};
+  for (index_t i = 0; i < neurons_; ++i) {
+    const bool last = i + 1 == neurons_;
+    const real denom = last ? gb[i] : gb[i] - gb[i + 1];
+    if (std::abs(denom) <= eps) continue;
+    tensor::Tensor img(image_shape);
+    auto out = img.data();
+    auto wr = gw.data();
+    if (last) {
+      for (index_t j = 0; j < d; ++j) out[j] = wr[i * d + j] / denom;
+    } else {
+      for (index_t j = 0; j < d; ++j)
+        out[j] = (wr[i * d + j] - wr[(i + 1) * d + j]) / denom;
+    }
+    candidates.push_back(std::move(img));
+  }
+  return candidates;
+}
+
+}  // namespace oasis::attack

@@ -1,0 +1,48 @@
+// RTF — "Robbing the Fed" (Fowl et al., 2021): the imprint-module attack.
+#pragma once
+
+#include "attack/attack.h"
+#include "attack/calibration.h"
+
+namespace oasis::attack {
+
+/// Imprint-module attack.
+///
+/// Implant: every row of the malicious layer's weight matrix is the same
+/// measurement vector h (mean brightness, h = 1/d); bias i is −c_i where the
+/// cutoffs c_i are empirical quantiles of h·x over attacker-side aux data.
+/// Neuron i therefore computes ReLU(h·x − c_i) and fires for every sample
+/// brighter than its cutoff. The layer FOLLOWING the malicious block is also
+/// attacker-chosen with identical columns, which makes the loss gradient
+/// arriving at every attacked neuron the same per-sample value g_j — the
+/// property that turns adjacent-bin gradient differences into single-sample
+/// isolators.
+///
+/// Reconstruct: for adjacent neurons (i, i+1),
+///     (ΔW_i − ΔW_{i+1}) / (Δb_i − Δb_{i+1})
+/// equals Σ_{j in bin i} g_j·x_j / Σ g_j — exactly one sample's x_j whenever
+/// that sample is alone in brightness bin (c_i, c_{i+1}] (paper Eq. 2/3).
+class RtfAttack : public ActiveAttack {
+ public:
+  /// `aux` is the attacker's public calibration sample (never the victim's
+  /// data). `neurons` = n, the number of attacked neurons / bins.
+  RtfAttack(nn::ImageSpec spec, index_t neurons,
+            const data::InMemoryDataset& aux);
+
+  void implant(nn::Sequential& model) override;
+  std::vector<tensor::Tensor> reconstruct(
+      const std::vector<tensor::Tensor>& gradients) const override;
+  [[nodiscard]] std::string name() const override { return "RTF"; }
+
+  [[nodiscard]] index_t neurons() const { return neurons_; }
+  [[nodiscard]] const std::vector<real>& cutoffs() const { return cutoffs_; }
+
+ private:
+  nn::ImageSpec spec_;
+  index_t neurons_;
+  std::vector<real> cutoffs_;   // ascending bin boundaries
+  index_t weight_param_index_ = 0;  // set by implant()
+  bool implanted_ = false;
+};
+
+}  // namespace oasis::attack

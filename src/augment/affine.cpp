@@ -1,0 +1,142 @@
+#include "augment/affine.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "data/image.h"
+
+namespace oasis::augment {
+namespace {
+
+void check_square_for_quarter_turn(const tensor::Tensor& image) {
+  OASIS_CHECK_MSG(image.dim(1) == image.dim(2),
+                  "quarter-turn rotation requires square images, got "
+                      << tensor::to_string(image.shape()));
+}
+
+}  // namespace
+
+AffineMatrix rotation_matrix(real theta, index_t height, index_t width) {
+  // Inverse map for a counter-clockwise rotation by theta about the center
+  // (so rotate(img, π/2) agrees with the exact rotate90). In image row/col
+  // coordinates (y grows downward) ccw means sampling the source at R(θ).
+  const real cx = (static_cast<real>(width) - 1.0) / 2.0;
+  const real cy = (static_cast<real>(height) - 1.0) / 2.0;
+  const real c = std::cos(theta), s = std::sin(theta);
+  return AffineMatrix{c,  -s, cx - c * cx + s * cy,
+                      s,  c,  cy - s * cx - c * cy};
+}
+
+AffineMatrix shear_matrix(real mu, index_t height, index_t width) {
+  // Forward map: x' = x + mu*(y - cy), y' = y (about the vertical center so
+  // the content stays framed). Inverse: x = x' - mu*(y' - cy).
+  const real cy = (static_cast<real>(height) - 1.0) / 2.0;
+  (void)width;
+  return AffineMatrix{1.0, -mu, mu * cy, 0.0, 1.0, 0.0};
+}
+
+tensor::Tensor warp_affine(const tensor::Tensor& image,
+                           const AffineMatrix& m, real fill) {
+  data::check_image(image);
+  const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  tensor::Tensor out({c, h, w});
+  for (index_t y = 0; y < h; ++y) {
+    for (index_t x = 0; x < w; ++x) {
+      const real fx = static_cast<real>(x);
+      const real fy = static_cast<real>(y);
+      const real sx = m[0] * fx + m[1] * fy + m[2];
+      const real sy = m[3] * fx + m[4] * fy + m[5];
+      const real x0f = std::floor(sx), y0f = std::floor(sy);
+      const auto x0 = static_cast<std::ptrdiff_t>(x0f);
+      const auto y0 = static_cast<std::ptrdiff_t>(y0f);
+      const real ax = sx - x0f, ay = sy - y0f;
+      for (index_t ch = 0; ch < c; ++ch) {
+        auto sample = [&](std::ptrdiff_t yy, std::ptrdiff_t xx) -> real {
+          if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h) || xx < 0 ||
+              xx >= static_cast<std::ptrdiff_t>(w)) {
+            return fill;
+          }
+          return image.at3(ch, static_cast<index_t>(yy),
+                           static_cast<index_t>(xx));
+        };
+        const real v00 = sample(y0, x0);
+        const real v01 = sample(y0, x0 + 1);
+        const real v10 = sample(y0 + 1, x0);
+        const real v11 = sample(y0 + 1, x0 + 1);
+        out.at3(ch, y, x) = (1.0 - ay) * ((1.0 - ax) * v00 + ax * v01) +
+                               ay * ((1.0 - ax) * v10 + ax * v11);
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor rotate90(const tensor::Tensor& image) {
+  data::check_image(image);
+  check_square_for_quarter_turn(image);
+  const index_t c = image.dim(0), n = image.dim(1);
+  tensor::Tensor out({c, n, n});
+  // 90° counter-clockwise: out(i, j) = in(j, n-1-i).
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j)
+        out.at3(ch, i, j) = image.at3(ch, j, n - 1 - i);
+  return out;
+}
+
+tensor::Tensor rotate180(const tensor::Tensor& image) {
+  data::check_image(image);
+  const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  tensor::Tensor out({c, h, w});
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t i = 0; i < h; ++i)
+      for (index_t j = 0; j < w; ++j)
+        out.at3(ch, i, j) = image.at3(ch, h - 1 - i, w - 1 - j);
+  return out;
+}
+
+tensor::Tensor rotate270(const tensor::Tensor& image) {
+  data::check_image(image);
+  check_square_for_quarter_turn(image);
+  const index_t c = image.dim(0), n = image.dim(1);
+  tensor::Tensor out({c, n, n});
+  // 270° ccw == 90° cw: out(i, j) = in(n-1-j, i).
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j)
+        out.at3(ch, i, j) = image.at3(ch, n - 1 - j, i);
+  return out;
+}
+
+tensor::Tensor flip_horizontal(const tensor::Tensor& image) {
+  data::check_image(image);
+  const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  tensor::Tensor out({c, h, w});
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t i = 0; i < h; ++i)
+      for (index_t j = 0; j < w; ++j)
+        out.at3(ch, i, j) = image.at3(ch, i, w - 1 - j);
+  return out;
+}
+
+tensor::Tensor flip_vertical(const tensor::Tensor& image) {
+  data::check_image(image);
+  const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  tensor::Tensor out({c, h, w});
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t i = 0; i < h; ++i)
+      for (index_t j = 0; j < w; ++j)
+        out.at3(ch, i, j) = image.at3(ch, h - 1 - i, j);
+  return out;
+}
+
+tensor::Tensor rotate(const tensor::Tensor& image, real theta) {
+  return warp_affine(image, rotation_matrix(theta, image.dim(1),
+                                            image.dim(2)));
+}
+
+tensor::Tensor shear(const tensor::Tensor& image, real mu) {
+  return warp_affine(image, shear_matrix(mu, image.dim(1), image.dim(2)));
+}
+
+}  // namespace oasis::augment

@@ -1,0 +1,71 @@
+#include "augment/policy.h"
+
+#include "common/error.h"
+
+namespace oasis::augment {
+
+AugmentationPolicy::AugmentationPolicy(std::vector<TransformPtr> transforms)
+    : transforms_(std::move(transforms)) {
+  for (const auto& t : transforms_) OASIS_CHECK(t != nullptr);
+}
+
+index_t AugmentationPolicy::variants_per_image() const {
+  index_t n = 0;
+  for (const auto& t : transforms_) n += t->variant_count();
+  return n;
+}
+
+std::vector<tensor::Tensor> AugmentationPolicy::variants(
+    const tensor::Tensor& image, common::Rng& rng) const {
+  std::vector<tensor::Tensor> all;
+  for (const auto& t : transforms_) {
+    auto vs = t->apply(image, rng);
+    for (auto& v : vs) all.push_back(std::move(v));
+  }
+  return all;
+}
+
+data::Batch AugmentationPolicy::augment(const data::Batch& batch,
+                                        common::Rng& rng) const {
+  if (transforms_.empty()) return batch;
+  std::vector<tensor::Tensor> images = data::unstack_images(batch.images);
+  std::vector<tensor::Tensor> all = images;
+  std::vector<index_t> labels = batch.labels;
+  for (index_t i = 0; i < images.size(); ++i) {
+    for (auto& v : variants(images[i], rng)) {
+      all.push_back(std::move(v));
+      labels.push_back(batch.labels[i]);
+    }
+  }
+  return data::Batch{data::stack_images(all), std::move(labels)};
+}
+
+std::string AugmentationPolicy::label() const {
+  if (transforms_.empty()) return "WO";
+  std::string s;
+  for (const auto& t : transforms_) {
+    if (!s.empty()) s += "+";
+    s += t->label();
+  }
+  return s;
+}
+
+AugmentationPolicy make_policy(const std::vector<TransformKind>& kinds) {
+  std::vector<TransformPtr> transforms;
+  for (const auto k : kinds) {
+    if (k == TransformKind::kNone) continue;
+    transforms.push_back(make_transform(k));
+  }
+  if (transforms.size() > 1) {
+    // Multi-transform policies are INTEGRATED (Section 4): cross-composed
+    // variant sets, not a mere union — e.g. MR+SH yields the rotations, a
+    // shear, and the sheared rotations (7 variants per image).
+    std::vector<TransformPtr> parts = std::move(transforms);
+    transforms.clear();
+    transforms.push_back(
+        std::make_unique<Compose>(std::move(parts), ComposeMode::kCross));
+  }
+  return AugmentationPolicy(std::move(transforms));
+}
+
+}  // namespace oasis::augment

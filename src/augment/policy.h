@@ -1,0 +1,51 @@
+// AugmentationPolicy — builds the defended batch D' of Eq. 4.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "augment/transforms.h"
+#include "data/dataset.h"
+
+namespace oasis::augment {
+
+/// A policy is a set of transforms; augmenting a batch D yields
+/// D' = D ∪ ⋃_t X'_t with every variant labeled like its original.
+///
+/// The returned batch keeps the B originals FIRST, followed by the variants
+/// in original-major order — evaluation code relies on this to score
+/// reconstructions against the pre-augmentation images only, exactly as the
+/// paper's PSNR protocol does.
+class AugmentationPolicy {
+ public:
+  /// Empty policy == no augmentation (augment() returns the batch unchanged).
+  AugmentationPolicy() = default;
+  explicit AugmentationPolicy(std::vector<TransformPtr> transforms);
+
+  [[nodiscard]] bool empty() const { return transforms_.empty(); }
+
+  /// Number of variants added per image (3 for MR, 1 for others, summed for
+  /// compositions).
+  [[nodiscard]] index_t variants_per_image() const;
+
+  /// Builds D' from D.
+  [[nodiscard]] data::Batch augment(const data::Batch& batch,
+                                    common::Rng& rng) const;
+
+  /// Variants of a single image (the X'_t set).
+  [[nodiscard]] std::vector<tensor::Tensor> variants(
+      const tensor::Tensor& image, common::Rng& rng) const;
+
+  /// Figure-legend style name: "WO" when empty, else "MR", "MR+SH", ...
+  [[nodiscard]] std::string label() const;
+
+ private:
+  std::vector<TransformPtr> transforms_;
+};
+
+/// Builds a policy from transform kinds; kNone entries are skipped, so
+/// make_policy({kNone}) is the undefended baseline.
+AugmentationPolicy make_policy(const std::vector<TransformKind>& kinds);
+
+}  // namespace oasis::augment

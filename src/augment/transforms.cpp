@@ -1,0 +1,137 @@
+#include "augment/transforms.h"
+
+#include "augment/affine.h"
+#include "common/error.h"
+
+namespace oasis::augment {
+namespace {
+
+constexpr real kDegToRad = 3.14159265358979323846 / 180.0;
+
+}  // namespace
+
+tensor::Tensor mean_matched(tensor::Tensor variant,
+                            const tensor::Tensor& original) {
+  const real offset = original.mean() - variant.mean();
+  for (auto& v : variant.data()) v += offset;
+  return variant;
+}
+
+std::vector<tensor::Tensor> MajorRotation::apply(const tensor::Tensor& image,
+                                                 common::Rng& /*rng*/) const {
+  return {rotate90(image), rotate180(image), rotate270(image)};
+}
+
+MinorRotation::MinorRotation(real min_deg, real max_deg, bool mean_match)
+    : min_deg_(min_deg), max_deg_(max_deg), mean_match_(mean_match) {
+  OASIS_CHECK_MSG(min_deg > 0.0 && max_deg < 90.0 && min_deg <= max_deg,
+                  "minor rotation must lie in (0°, 90°)");
+}
+
+std::vector<tensor::Tensor> MinorRotation::apply(const tensor::Tensor& image,
+                                                 common::Rng& rng) const {
+  const real deg = rng.uniform(min_deg_, max_deg_);
+  tensor::Tensor variant = rotate(image, deg * kDegToRad);
+  if (mean_match_) variant = mean_matched(std::move(variant), image);
+  return {std::move(variant)};
+}
+
+Shear::Shear(real min_mu, real max_mu, bool mean_match)
+    : min_mu_(min_mu), max_mu_(max_mu), mean_match_(mean_match) {
+  OASIS_CHECK_MSG(min_mu > 0.0 && min_mu <= max_mu, "bad shear range");
+}
+
+std::vector<tensor::Tensor> Shear::apply(const tensor::Tensor& image,
+                                         common::Rng& rng) const {
+  const real mu = rng.uniform(min_mu_, max_mu_) *
+                  (rng.bernoulli(0.5) ? 1.0 : -1.0);
+  tensor::Tensor variant = shear(image, mu);
+  if (mean_match_) variant = mean_matched(std::move(variant), image);
+  return {std::move(variant)};
+}
+
+std::vector<tensor::Tensor> HorizontalFlip::apply(const tensor::Tensor& image,
+                                                  common::Rng& /*rng*/) const {
+  return {flip_horizontal(image)};
+}
+
+std::vector<tensor::Tensor> VerticalFlip::apply(const tensor::Tensor& image,
+                                                common::Rng& /*rng*/) const {
+  return {flip_vertical(image)};
+}
+
+Compose::Compose(std::vector<TransformPtr> parts, ComposeMode mode)
+    : parts_(std::move(parts)), mode_(mode) {
+  OASIS_CHECK_MSG(!parts_.empty(), "Compose of zero transforms");
+  for (const auto& p : parts_) OASIS_CHECK(p != nullptr);
+}
+
+std::vector<tensor::Tensor> Compose::apply(const tensor::Tensor& image,
+                                           common::Rng& rng) const {
+  std::vector<tensor::Tensor> variants;
+  for (const auto& part : parts_) {
+    // Later parts also transform the variants accumulated so far (kCross),
+    // e.g. MR then SH yields rotations, a shear, and sheared rotations.
+    const std::size_t existing = variants.size();
+    if (mode_ == ComposeMode::kCross) {
+      for (std::size_t i = 0; i < existing; ++i) {
+        for (auto& v : part->apply(variants[i], rng)) {
+          variants.push_back(std::move(v));
+        }
+      }
+    }
+    for (auto& v : part->apply(image, rng)) variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+index_t Compose::variant_count() const {
+  index_t total = 0;
+  for (const auto& part : parts_) {
+    const index_t c = part->variant_count();
+    total = mode_ == ComposeMode::kCross ? total * (1 + c) + c : total + c;
+  }
+  return total;
+}
+
+std::string Compose::label() const {
+  std::string s;
+  for (const auto& part : parts_) {
+    if (!s.empty()) s += "+";
+    s += part->label();
+  }
+  return s;
+}
+
+TransformPtr make_transform(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kMajorRotation:
+      return std::make_unique<MajorRotation>();
+    case TransformKind::kMinorRotation:
+      return std::make_unique<MinorRotation>();
+    case TransformKind::kShear:
+      return std::make_unique<Shear>();
+    case TransformKind::kHorizontalFlip:
+      return std::make_unique<HorizontalFlip>();
+    case TransformKind::kVerticalFlip:
+      return std::make_unique<VerticalFlip>();
+    case TransformKind::kNone:
+      break;
+  }
+  throw ConfigError("make_transform: kNone has no Transform object");
+}
+
+TransformKind parse_transform_kind(const std::string& name) {
+  if (name == "none" || name == "WO") return TransformKind::kNone;
+  if (name == "MR" || name == "major-rotation")
+    return TransformKind::kMajorRotation;
+  if (name == "mR" || name == "minor-rotation")
+    return TransformKind::kMinorRotation;
+  if (name == "SH" || name == "shear") return TransformKind::kShear;
+  if (name == "HFlip" || name == "hflip")
+    return TransformKind::kHorizontalFlip;
+  if (name == "VFlip" || name == "vflip") return TransformKind::kVerticalFlip;
+  throw ConfigError("unknown transform: " + name);
+}
+
+}  // namespace oasis::augment

@@ -1,0 +1,160 @@
+// The OASIS transform suite (paper Section 2 / Appendix B).
+//
+// A Transform maps one image to the set X'_t of augmented variants added to
+// the training batch (Eq. 4). Randomized transforms (minor rotation, shear)
+// draw their parameters per image from the client's RNG — the paper notes the
+// server cannot know these parameters, which is part of why the resulting
+// linear combinations are hard to deconvolve.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace oasis::augment {
+
+class Transform {
+ public:
+  Transform() = default;
+  Transform(const Transform&) = delete;
+  Transform& operator=(const Transform&) = delete;
+  virtual ~Transform() = default;
+
+  /// The augmented variants X'_t of `image` (at least one).
+  [[nodiscard]] virtual std::vector<tensor::Tensor> apply(
+      const tensor::Tensor& image, common::Rng& rng) const = 0;
+
+  /// Number of variants apply() produces (fixed per transform).
+  [[nodiscard]] virtual index_t variant_count() const { return 1; }
+
+  /// Short label matching the paper's figure legends (MR, mR, SH, ...).
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+using TransformPtr = std::unique_ptr<Transform>;
+
+/// MR — adds the three quarter-turn rotations (90°, 180°, 270°), computed as
+/// exact index permutations so the image mean is preserved bit-for-bit.
+class MajorRotation : public Transform {
+ public:
+  std::vector<tensor::Tensor> apply(const tensor::Tensor& image,
+                                    common::Rng& rng) const override;
+  [[nodiscard]] index_t variant_count() const override { return 3; }
+  [[nodiscard]] std::string label() const override { return "MR"; }
+};
+
+/// Adds a uniform brightness offset so `variant` has exactly the mean pixel
+/// value of `original`.
+///
+/// This realizes the paper's defining requirement on X'_t — that x_t and its
+/// variants "activate the same set of neurons" (Proposition 1) — against
+/// measurement-binning attacks like RTF, whose attacked neurons threshold a
+/// scalar brightness statistic: an interpolated warp with border fill
+/// perturbs that statistic by ~1e-3, which is dozens of bins at n≈900, so
+/// without mean matching the original would sit alone in its bin and be
+/// reconstructed verbatim. Exact permutations (quarter turns, flips) need no
+/// matching; warped variants get a constant offset (itself a standard
+/// brightness augmentation). Values may leave [0,1] slightly; training and
+/// gradients are unaffected.
+tensor::Tensor mean_matched(tensor::Tensor variant,
+                            const tensor::Tensor& original);
+
+/// mR — one rotation by a random angle < 90° (bilinear, zero fill,
+/// mean-matched by default).
+class MinorRotation : public Transform {
+ public:
+  /// Angle drawn uniformly from [min_deg, max_deg] (degrees).
+  explicit MinorRotation(real min_deg = 15.0, real max_deg = 75.0,
+                         bool mean_match = true);
+
+  std::vector<tensor::Tensor> apply(const tensor::Tensor& image,
+                                    common::Rng& rng) const override;
+  [[nodiscard]] std::string label() const override { return "mR"; }
+
+ private:
+  real min_deg_, max_deg_;
+  bool mean_match_;
+};
+
+/// SH — one shear with random factor μ (Appendix B, Eq. 8; mean-matched by
+/// default).
+class Shear : public Transform {
+ public:
+  explicit Shear(real min_mu = 0.25, real max_mu = 0.6,
+                 bool mean_match = true);
+
+  std::vector<tensor::Tensor> apply(const tensor::Tensor& image,
+                                    common::Rng& rng) const override;
+  [[nodiscard]] std::string label() const override { return "SH"; }
+
+ private:
+  real min_mu_, max_mu_;
+  bool mean_match_;
+};
+
+/// HFlip — mirror about the vertical axis (Eq. 6).
+class HorizontalFlip : public Transform {
+ public:
+  std::vector<tensor::Tensor> apply(const tensor::Tensor& image,
+                                    common::Rng& rng) const override;
+  [[nodiscard]] std::string label() const override { return "HFlip"; }
+};
+
+/// VFlip — mirror about the horizontal axis (Eq. 7).
+class VerticalFlip : public Transform {
+ public:
+  std::vector<tensor::Tensor> apply(const tensor::Tensor& image,
+                                    common::Rng& rng) const override;
+  [[nodiscard]] std::string label() const override { return "VFlip"; }
+};
+
+/// How Compose combines its parts' variant sets.
+enum class ComposeMode {
+  /// X'_t = union of each part's variants (MR+SH → 4 variants).
+  kUnion,
+  /// X'_t additionally contains later parts applied to earlier parts'
+  /// variants (MR+SH → rotations, shear, and sheared rotations: 7
+  /// variants). This is the "integration of multiple transformations" of
+  /// Section 4: the denser variant set maximizes the chance that some
+  /// variant co-activates every neuron the original activates, which is
+  /// what CAH at small batch sizes requires.
+  kCross,
+};
+
+/// Combination of several transforms (e.g. MR+SH, the integration Section 4
+/// shows is required against CAH at batch size 8).
+class Compose : public Transform {
+ public:
+  explicit Compose(std::vector<TransformPtr> parts,
+                   ComposeMode mode = ComposeMode::kCross);
+
+  std::vector<tensor::Tensor> apply(const tensor::Tensor& image,
+                                    common::Rng& rng) const override;
+  [[nodiscard]] index_t variant_count() const override;
+  [[nodiscard]] std::string label() const override;
+
+ private:
+  std::vector<TransformPtr> parts_;
+  ComposeMode mode_;
+};
+
+/// Named transform kinds for configs and CLI flags.
+enum class TransformKind {
+  kNone,
+  kMajorRotation,
+  kMinorRotation,
+  kShear,
+  kHorizontalFlip,
+  kVerticalFlip,
+};
+
+/// Factory for a single transform.
+TransformPtr make_transform(TransformKind kind);
+
+/// Parses "none|MR|mR|SH|HFlip|VFlip" (also accepts long names).
+TransformKind parse_transform_kind(const std::string& name);
+
+}  // namespace oasis::augment

@@ -1,0 +1,108 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace oasis::common {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  OASIS_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{help, default_value, /*is_bool=*/false};
+  order_.push_back(name);
+}
+
+void CliParser::add_bool(const std::string& name, const std::string& help) {
+  OASIS_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{help, "false", /*is_bool=*/true};
+  order_.push_back(name);
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw ConfigError("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      throw ConfigError("unknown flag --" + arg + "\n" + help());
+    }
+    if (it->second.is_bool) {
+      it->second.value = has_value ? value : "true";
+    } else if (has_value) {
+      it->second.value = value;
+    } else {
+      if (i + 1 >= argc) throw ConfigError("flag --" + arg + " needs a value");
+      it->second.value = argv[++i];
+    }
+  }
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  OASIS_CHECK_MSG(it != flags_.end(), "unregistered flag --" << name);
+  return it->second;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const auto& v = find(name).value;
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects an integer, got: " + v);
+  }
+}
+
+real CliParser::get_real(const std::string& name) const {
+  const auto& v = find(name).value;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects a number, got: " + v);
+  }
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const auto& v = find(name).value;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw ConfigError("flag --" + name + " expects true/false, got: " + v);
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const auto& f = flags_.at(name);
+    os << "  --" << name;
+    if (!f.is_bool) os << " <value>";
+    os << "\n      " << f.help;
+    os << " (default: " << f.value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace oasis::common

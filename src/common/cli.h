@@ -1,0 +1,62 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms.
+// Unknown flags raise ConfigError so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oasis::common {
+
+/// Declarative flag registry + parser.
+///
+///   CliParser cli("fig03_rtf_defense", "Reproduces Figure 3");
+///   cli.add_flag("batches", "number of attack batches", "16");
+///   cli.add_bool("full", "run the paper-scale configuration");
+///   cli.parse(argc, argv);
+///   int batches = cli.get_int("batches");
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers a value flag with a default.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+
+  /// Registers a boolean flag (defaults to false).
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parses argv; prints help and exits(0) on --help. Throws ConfigError on
+  /// unknown flags or missing values.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] real get_real(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Help text listing all registered flags.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace oasis::common

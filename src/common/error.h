@@ -1,0 +1,68 @@
+// Error handling: exceptions thrown at API boundaries plus CHECK macros.
+//
+// Following the C++ Core Guidelines (E.2, E.3), programming errors and
+// violated preconditions throw; callers that can recover catch
+// `oasis::Error` (or a subclass) at a suitable boundary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oasis {
+
+/// Base class for all errors raised by the OASIS library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when tensor shapes are incompatible for an operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed serialized payloads (FL messages, model snapshots).
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on invalid user-supplied configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OASIS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace oasis
+
+/// Precondition check that throws oasis::Error with location info.
+#define OASIS_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::oasis::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+/// Precondition check with a streamed message:
+///   OASIS_CHECK_MSG(a == b, "mismatch: " << a << " vs " << b);
+#define OASIS_CHECK_MSG(expr, stream_expr)                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream oasis_check_os_;                                  \
+      oasis_check_os_ << stream_expr;                                      \
+      ::oasis::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                    oasis_check_os_.str());                \
+    }                                                                      \
+  } while (0)

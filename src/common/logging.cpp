@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <iomanip>
+
+#include "common/error.h"
+
+namespace oasis::common {
+namespace {
+
+LogLevel& threshold_storage() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage(); }
+
+void set_log_threshold(LogLevel level) { threshold_storage() = level; }
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string lower(s.size(), '\0');
+  std::transform(s.begin(), s.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  throw ConfigError("unknown log level: " + s);
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level)
+    : level_(level), enabled_(level >= log_threshold() &&
+                              level != LogLevel::kOff) {}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch()) .count() % 1000;
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  std::ostringstream line;
+  line << '[' << std::put_time(&tm_buf, "%H:%M:%S") << '.' << std::setw(3)
+       << std::setfill('0') << ms << "] [" << tag(level_) << "] "
+       << os_.str() << '\n';
+  std::cerr << line.str();
+}
+
+}  // namespace detail
+}  // namespace oasis::common

@@ -1,0 +1,56 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage:  OASIS_LOG(info) << "round " << r << " complete";
+// Levels below the global threshold compile to a no-op stream evaluation.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace oasis::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-insensitive).
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+
+/// Accumulates one log line and flushes it (with level tag and timestamp)
+/// on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace oasis::common
+
+#define OASIS_LOG(level)                     \
+  ::oasis::common::detail::LogLine(          \
+      ::oasis::common::LogLevel::k##level)
+
+// Convenience aliases matching common lowercase spellings.
+#define OASIS_LOG_DEBUG ::oasis::common::detail::LogLine(::oasis::common::LogLevel::kDebug)
+#define OASIS_LOG_INFO  ::oasis::common::detail::LogLine(::oasis::common::LogLevel::kInfo)
+#define OASIS_LOG_WARN  ::oasis::common::detail::LogLine(::oasis::common::LogLevel::kWarn)
+#define OASIS_LOG_ERROR ::oasis::common::detail::LogLine(::oasis::common::LogLevel::kError)

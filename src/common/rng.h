@@ -1,0 +1,83 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (weight init, dataset synthesis,
+// client sampling, attack calibration, augmentation parameters) draws from an
+// explicitly seeded `Rng` so that a whole experiment is a pure function of
+// its seed. The engine is xoshiro256** (Blackman & Vigna), which is fast,
+// high-quality, and trivially splittable for per-component streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oasis::common {
+
+/// xoshiro256** PRNG with convenience samplers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, but the members below are preferred (stable across
+/// standard-library implementations).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Derives an independent child stream; deterministic in (parent state
+  /// consumed, `stream_id`). Used to give each FL client / dataset shard its
+  /// own stream without coupling their sequences.
+  [[nodiscard]] Rng split(std::uint64_t stream_id);
+
+  /// Uniform real in [lo, hi).
+  real uniform(real lo = 0.0, real hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (uses an internal cached spare).
+  real normal(real mean = 0.0, real stddev = 1.0);
+
+  /// Bernoulli trial with probability `p` of true.
+  bool bernoulli(real p);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i)));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  std::vector<index_t> sample_without_replacement(index_t n, index_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  real spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, ~1e-9
+/// absolute error). Used by attack calibration to place RTF bin cutoffs and
+/// CAH activation thresholds at Gaussian quantiles, exactly as the attack
+/// papers prescribe.
+real inverse_normal_cdf(real p);
+
+/// Standard-normal CDF via std::erfc.
+real normal_cdf(real x);
+
+}  // namespace oasis::common

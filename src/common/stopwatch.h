@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for benchmark harnesses and progress logging.
+#pragma once
+
+#include <chrono>
+
+namespace oasis::common {
+
+/// Starts running on construction; `seconds()` reads elapsed wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace oasis::common

@@ -1,0 +1,29 @@
+#include "core/oasis.h"
+
+namespace oasis::core {
+
+OasisDefense::OasisDefense(OasisConfig config)
+    : policy_(augment::make_policy(config.transforms)) {}
+
+OasisDefense::OasisDefense(augment::AugmentationPolicy policy)
+    : policy_(std::move(policy)) {}
+
+data::Batch OasisDefense::process(const data::Batch& batch,
+                                  common::Rng& rng) const {
+  return policy_.augment(batch, rng);
+}
+
+std::string OasisDefense::name() const {
+  return "oasis[" + policy_.label() + "]";
+}
+
+fl::PreprocessorPtr make_preprocessor(
+    const std::vector<augment::TransformKind>& transforms) {
+  augment::AugmentationPolicy policy = augment::make_policy(transforms);
+  if (policy.empty()) {
+    return std::make_shared<fl::IdentityPreprocessor>();
+  }
+  return std::make_shared<OasisDefense>(std::move(policy));
+}
+
+}  // namespace oasis::core

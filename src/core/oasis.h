@@ -1,0 +1,47 @@
+// OasisDefense — the paper's contribution as a client-side preprocessor.
+//
+// OASIS extends every local training batch D with augmented copies of each
+// image (Eq. 4), chosen so original and copies activate the same attacked
+// neurons (Proposition 1). The attacked gradients then memorize only linear
+// combinations, and gradient inversion yields unrecognizable overlaps.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "augment/policy.h"
+#include "fl/preprocessor.h"
+
+namespace oasis::core {
+
+/// Transform selection for the defense. The paper's strongest configurations
+/// are {MajorRotation} against RTF and {MajorRotation, Shear} against CAH.
+struct OasisConfig {
+  std::vector<augment::TransformKind> transforms;
+};
+
+class OasisDefense : public fl::BatchPreprocessor {
+ public:
+  explicit OasisDefense(OasisConfig config);
+  explicit OasisDefense(augment::AugmentationPolicy policy);
+
+  /// D → D' = D ∪ ⋃_t X'_t, originals first, copied labels.
+  data::Batch process(const data::Batch& batch,
+                      common::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const augment::AugmentationPolicy& policy() const {
+    return policy_;
+  }
+
+ private:
+  augment::AugmentationPolicy policy_;
+};
+
+/// Builds the preprocessor for a transform list; an empty list yields the
+/// identity preprocessor (the undefended baseline "WO").
+fl::PreprocessorPtr make_preprocessor(
+    const std::vector<augment::TransformKind>& transforms);
+
+}  // namespace oasis::core

@@ -1,0 +1,60 @@
+#include "core/trainer.h"
+
+#include "augment/policy.h"
+#include "metrics/accuracy.h"
+#include "nn/loss.h"
+
+namespace oasis::core {
+
+TrainResult train_classifier(nn::Sequential& model,
+                             const data::InMemoryDataset& train,
+                             const data::InMemoryDataset& test,
+                             const TrainerConfig& config) {
+  OASIS_CHECK(!train.empty() && !test.empty());
+  OASIS_CHECK(config.epochs >= 1);
+  const augment::AugmentationPolicy policy =
+      augment::make_policy(config.transforms);
+  common::Rng rng(config.seed);
+  nn::Adam optimizer(model.parameters(), config.adam);
+  nn::SoftmaxCrossEntropy loss_fn;
+
+  TrainResult result;
+  for (index_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.schedule) optimizer.set_lr(config.schedule->lr(epoch));
+    real epoch_loss = 0.0;
+    index_t steps = 0;
+    for (const auto& indices :
+         data::epoch_batches(train.size(), config.batch_size, rng,
+                             /*drop_last=*/false)) {
+      data::Batch batch = data::gather(train, indices);
+      if (!policy.empty()) batch = policy.augment(batch, rng);
+
+      optimizer.zero_grad();
+      const tensor::Tensor logits =
+          model.forward(batch.images, /*training=*/true);
+      const nn::LossResult loss = loss_fn.compute(logits, batch.labels);
+      model.backward(loss.grad_logits);
+      optimizer.step();
+
+      epoch_loss += loss.loss;
+      ++steps;
+    }
+    epoch_loss /= static_cast<real>(steps == 0 ? 1 : steps);
+    result.epoch_loss.push_back(epoch_loss);
+
+    if (config.on_epoch) {
+      real acc = -1.0;
+      if (config.eval_every != 0 &&
+          ((epoch + 1) % config.eval_every == 0 ||
+           epoch + 1 == config.epochs)) {
+        acc = metrics::accuracy(model, test);
+      }
+      config.on_epoch(epoch, epoch_loss, acc);
+    }
+  }
+  result.final_test_accuracy = metrics::accuracy(model, test);
+  result.final_train_accuracy = metrics::accuracy(model, train);
+  return result;
+}
+
+}  // namespace oasis::core

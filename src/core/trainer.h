@@ -1,0 +1,47 @@
+// Classifier training harness for the Table 1 experiment (model utility
+// with vs without OASIS).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "augment/transforms.h"
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+#include "nn/scheduler.h"
+#include "nn/sequential.h"
+
+namespace oasis::core {
+
+struct TrainerConfig {
+  index_t epochs = 10;
+  index_t batch_size = 32;
+  nn::Adam::Options adam;  // paper: lr 1e-3; weight decay 1e-5 / 1e-3
+  /// Optional learning-rate schedule evaluated at the start of each epoch
+  /// (overrides adam.lr when set).
+  nn::LrSchedulePtr schedule;
+  /// OASIS transform set applied to every training batch (empty = without
+  /// OASIS). Augmented copies inherit their original's label, per Section 4.
+  std::vector<augment::TransformKind> transforms;
+  std::uint64_t seed = 17;
+  /// Optional per-epoch callback (epoch, train_loss, test_accuracy).
+  std::function<void(index_t, real, real)> on_epoch;
+  /// Evaluate test accuracy every `eval_every` epochs (and always at the
+  /// end); 0 disables intermediate evaluation.
+  index_t eval_every = 0;
+};
+
+struct TrainResult {
+  std::vector<real> epoch_loss;
+  real final_test_accuracy = 0.0;
+  real final_train_accuracy = 0.0;
+};
+
+/// Trains `model` on `train` with Adam + softmax CE and returns accuracies
+/// on `test`/`train`. Deterministic in (model init, config seed).
+TrainResult train_classifier(nn::Sequential& model,
+                             const data::InMemoryDataset& train,
+                             const data::InMemoryDataset& test,
+                             const TrainerConfig& config);
+
+}  // namespace oasis::core

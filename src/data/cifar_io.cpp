@@ -1,0 +1,87 @@
+#include "data/cifar_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace oasis::data {
+namespace {
+
+constexpr index_t kImageBytes = 3 * 32 * 32;
+constexpr index_t kRecordBytes = 2 + kImageBytes;
+
+}  // namespace
+
+InMemoryDataset load_cifar100_bin(const std::string& path,
+                                  index_t max_examples) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw Error("cannot open CIFAR file: " + path);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size == 0 || size % kRecordBytes != 0) {
+    throw Error("malformed CIFAR-100 file (size " + std::to_string(size) +
+                " not a multiple of " + std::to_string(kRecordBytes) + "): " +
+                path);
+  }
+  in.seekg(0);
+  index_t count = size / kRecordBytes;
+  if (max_examples != 0) count = std::min(count, max_examples);
+
+  InMemoryDataset dataset(100, {3, 32, 32});
+  std::vector<std::uint8_t> record(kRecordBytes);
+  for (index_t r = 0; r < count; ++r) {
+    in.read(reinterpret_cast<char*>(record.data()), kRecordBytes);
+    if (!in) throw Error("truncated CIFAR-100 record in " + path);
+    const index_t fine_label = record[1];
+    if (fine_label >= 100) {
+      throw Error("CIFAR-100 fine label out of range in " + path);
+    }
+    tensor::Tensor image({3, 32, 32});
+    for (index_t i = 0; i < kImageBytes; ++i) {
+      // Record layout is already channel-major [3][32][32].
+      image[i] = static_cast<real>(record[2 + i]) / 255.0;
+    }
+    dataset.push_back({std::move(image), fine_label});
+  }
+  return dataset;
+}
+
+std::optional<Cifar100Splits> try_load_cifar100(const std::string& dir,
+                                                index_t max_train,
+                                                index_t max_test) {
+  namespace fs = std::filesystem;
+  const fs::path train_path = fs::path(dir) / "train.bin";
+  const fs::path test_path = fs::path(dir) / "test.bin";
+  if (!fs::exists(train_path) || !fs::exists(test_path)) {
+    return std::nullopt;
+  }
+  return Cifar100Splits{load_cifar100_bin(train_path.string(), max_train),
+                        load_cifar100_bin(test_path.string(), max_test)};
+}
+
+void write_cifar100_bin(const InMemoryDataset& dataset,
+                        const std::string& path) {
+  OASIS_CHECK_MSG(dataset.image_shape() == tensor::Shape({3, 32, 32}),
+                  "CIFAR format requires [3,32,32] images, dataset has "
+                      << tensor::to_string(dataset.image_shape()));
+  OASIS_CHECK_MSG(dataset.num_classes() <= 100,
+                  "CIFAR-100 format holds at most 100 classes");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + path);
+  std::vector<std::uint8_t> record(kRecordBytes);
+  for (index_t r = 0; r < dataset.size(); ++r) {
+    const Example& e = dataset.at(r);
+    record[0] = static_cast<std::uint8_t>(e.label / 5);  // coarse ≈ fine/5
+    record[1] = static_cast<std::uint8_t>(e.label);
+    for (index_t i = 0; i < kImageBytes; ++i) {
+      record[2 + i] = static_cast<std::uint8_t>(
+          std::clamp(e.image[i] * 255.0, 0.0, 255.0) + 0.5);
+    }
+    out.write(reinterpret_cast<const char*>(record.data()), kRecordBytes);
+  }
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace oasis::data

@@ -1,0 +1,42 @@
+// Loader for the real CIFAR-100 binary format.
+//
+// The paper evaluates on CIFAR100. This build environment has no dataset
+// files, so every bench falls back to the synthetic stand-in — but a
+// downstream user with the real data can drop the standard binary files
+// (`train.bin` / `test.bin` from cifar-100-binary.tar.gz) into a directory
+// and pass it via OASIS_CIFAR100_DIR; the loaders here parse the canonical
+// record layout:
+//
+//   1 byte coarse label | 1 byte fine label | 3072 bytes pixels
+//   (pixels channel-major: 1024 R, 1024 G, 1024 B, row-major within channel)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace oasis::data {
+
+/// Parses one CIFAR-100 binary file into a dataset of [3,32,32] images in
+/// [0,1] labeled with the fine label (100 classes). `max_examples` == 0
+/// loads everything. Throws Error on malformed files.
+InMemoryDataset load_cifar100_bin(const std::string& path,
+                                  index_t max_examples = 0);
+
+/// Loads train.bin/test.bin from `dir` if both exist; std::nullopt if the
+/// directory or files are absent (callers fall back to synthetic data).
+struct Cifar100Splits {
+  InMemoryDataset train;
+  InMemoryDataset test;
+};
+std::optional<Cifar100Splits> try_load_cifar100(const std::string& dir,
+                                                index_t max_train = 0,
+                                                index_t max_test = 0);
+
+/// Inverse of the record format — used by tests to synthesize valid files
+/// and by users to export generated datasets for external tooling.
+void write_cifar100_bin(const InMemoryDataset& dataset,
+                        const std::string& path);
+
+}  // namespace oasis::data

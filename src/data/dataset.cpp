@@ -1,0 +1,105 @@
+#include "data/dataset.h"
+
+#include "common/error.h"
+#include "tensor/shape.h"
+
+namespace oasis::data {
+
+void InMemoryDataset::push_back(Example e) {
+  OASIS_CHECK_MSG(e.label < num_classes_,
+                  "label " << e.label << " >= " << num_classes_);
+  tensor::check_same_shape(e.image.shape(), image_shape_, "push_back");
+  examples_.push_back(std::move(e));
+}
+
+const Example& InMemoryDataset::at(index_t i) const {
+  OASIS_CHECK_MSG(i < examples_.size(),
+                  "example " << i << " of " << examples_.size());
+  return examples_[i];
+}
+
+InMemoryDataset InMemoryDataset::subset(
+    std::span<const index_t> indices) const {
+  InMemoryDataset out(num_classes_, image_shape_);
+  for (const auto i : indices) out.push_back(at(i));
+  return out;
+}
+
+std::vector<InMemoryDataset> InMemoryDataset::shard(index_t shards) const {
+  OASIS_CHECK(shards >= 1);
+  std::vector<InMemoryDataset> out;
+  out.reserve(shards);
+  for (index_t s = 0; s < shards; ++s) {
+    out.emplace_back(num_classes_, image_shape_);
+  }
+  for (index_t i = 0; i < examples_.size(); ++i) {
+    out[i % shards].push_back(examples_[i]);
+  }
+  return out;
+}
+
+Batch gather(const InMemoryDataset& dataset,
+             std::span<const index_t> indices) {
+  OASIS_CHECK(!indices.empty());
+  const auto& shape = dataset.image_shape();
+  tensor::Shape batch_shape;
+  batch_shape.push_back(indices.size());
+  batch_shape.insert(batch_shape.end(), shape.begin(), shape.end());
+  Batch batch{tensor::Tensor(std::move(batch_shape)), {}};
+  batch.labels.reserve(indices.size());
+  const index_t stride = dataset.image_dim();
+  for (index_t b = 0; b < indices.size(); ++b) {
+    const Example& e = dataset.at(indices[b]);
+    auto src = e.image.data();
+    auto dst = batch.images.data();
+    for (index_t i = 0; i < stride; ++i) dst[b * stride + i] = src[i];
+    batch.labels.push_back(e.label);
+  }
+  return batch;
+}
+
+tensor::Tensor stack_images(const std::vector<tensor::Tensor>& images) {
+  OASIS_CHECK(!images.empty());
+  const auto& shape = images.front().shape();
+  for (const auto& im : images) {
+    tensor::check_same_shape(im.shape(), shape, "stack_images");
+  }
+  tensor::Shape batch_shape;
+  batch_shape.push_back(images.size());
+  batch_shape.insert(batch_shape.end(), shape.begin(), shape.end());
+  tensor::Tensor out(std::move(batch_shape));
+  const index_t stride = tensor::numel(shape);
+  for (index_t b = 0; b < images.size(); ++b) {
+    auto src = images[b].data();
+    for (index_t i = 0; i < stride; ++i) out.data()[b * stride + i] = src[i];
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor> unstack_images(const tensor::Tensor& batch) {
+  OASIS_CHECK_MSG(batch.rank() >= 2, "unstack_images: rank " << batch.rank());
+  std::vector<tensor::Tensor> out;
+  out.reserve(batch.dim(0));
+  for (index_t b = 0; b < batch.dim(0); ++b) out.push_back(batch.slice(b));
+  return out;
+}
+
+std::vector<std::vector<index_t>> epoch_batches(index_t dataset_size,
+                                                index_t batch_size,
+                                                common::Rng& rng,
+                                                bool drop_last) {
+  OASIS_CHECK(batch_size >= 1);
+  std::vector<index_t> order(dataset_size);
+  for (index_t i = 0; i < dataset_size; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::vector<index_t>> batches;
+  for (index_t start = 0; start < dataset_size; start += batch_size) {
+    const index_t end = std::min(start + batch_size, dataset_size);
+    if (drop_last && end - start < batch_size) break;
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace oasis::data

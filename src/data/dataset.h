@@ -1,0 +1,76 @@
+// Labeled image datasets and batching.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace oasis::data {
+
+/// One labeled image: [C,H,W] tensor in [0,1] plus class index.
+struct Example {
+  tensor::Tensor image;
+  index_t label = 0;
+};
+
+/// A training batch: images stacked into [B,C,H,W] plus parallel labels.
+struct Batch {
+  tensor::Tensor images;
+  std::vector<index_t> labels;
+
+  [[nodiscard]] index_t size() const { return labels.size(); }
+};
+
+/// Materialized dataset held in memory (all our datasets are synthetic and
+/// small enough for this).
+class InMemoryDataset {
+ public:
+  InMemoryDataset(index_t num_classes, tensor::Shape image_shape)
+      : num_classes_(num_classes), image_shape_(std::move(image_shape)) {}
+
+  void push_back(Example e);
+
+  [[nodiscard]] index_t size() const { return examples_.size(); }
+  [[nodiscard]] bool empty() const { return examples_.empty(); }
+  [[nodiscard]] const Example& at(index_t i) const;
+  [[nodiscard]] index_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const tensor::Shape& image_shape() const {
+    return image_shape_;
+  }
+  /// Flattened image dimensionality d = C*H*W.
+  [[nodiscard]] index_t image_dim() const {
+    return tensor::numel(image_shape_);
+  }
+
+  /// New dataset containing the given examples (by index).
+  [[nodiscard]] InMemoryDataset subset(std::span<const index_t> indices) const;
+
+  /// Splits into `shards` near-equal datasets round-robin — used to hand FL
+  /// clients disjoint local data.
+  [[nodiscard]] std::vector<InMemoryDataset> shard(index_t shards) const;
+
+ private:
+  index_t num_classes_;
+  tensor::Shape image_shape_;
+  std::vector<Example> examples_;
+};
+
+/// Stacks the referenced examples into a batch.
+Batch gather(const InMemoryDataset& dataset, std::span<const index_t> indices);
+
+/// Stacks a list of standalone images (all same shape) into [B,C,H,W].
+tensor::Tensor stack_images(const std::vector<tensor::Tensor>& images);
+
+/// Splits [B,C,H,W] back into B images.
+std::vector<tensor::Tensor> unstack_images(const tensor::Tensor& batch);
+
+/// Shuffled batch index lists for one epoch. When `drop_last`, a trailing
+/// partial batch is discarded.
+std::vector<std::vector<index_t>> epoch_batches(index_t dataset_size,
+                                                index_t batch_size,
+                                                common::Rng& rng,
+                                                bool drop_last = true);
+
+}  // namespace oasis::data

@@ -1,0 +1,96 @@
+#include "data/image.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace oasis::data {
+
+void check_image(const tensor::Tensor& image) {
+  if (image.rank() != 3 || (image.dim(0) != 1 && image.dim(0) != 3)) {
+    throw ShapeError("expected [C,H,W] image with C in {1,3}, got " +
+                     tensor::to_string(image.shape()));
+  }
+}
+
+tensor::Tensor clamp01(const tensor::Tensor& image) {
+  tensor::Tensor out = image;
+  for (auto& v : out.data()) v = std::clamp(v, 0.0, 1.0);
+  return out;
+}
+
+void write_pnm(const tensor::Tensor& image, const std::string& path) {
+  check_image(image);
+  const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << (c == 3 ? "P6" : "P5") << '\n' << w << ' ' << h << "\n255\n";
+  std::vector<std::uint8_t> row(w * c);
+  for (index_t i = 0; i < h; ++i) {
+    for (index_t j = 0; j < w; ++j) {
+      for (index_t ch = 0; ch < c; ++ch) {
+        const real v = std::clamp(image.at3(ch, i, j) * 255.0, 0.0, 255.0);
+        row[j * c + ch] = static_cast<std::uint8_t>(v + 0.5);
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw Error("write failed: " + path);
+}
+
+tensor::Tensor read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open for reading: " + path);
+  std::string magic;
+  index_t w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  if ((magic != "P6" && magic != "P5") || maxval != 255 || w == 0 || h == 0) {
+    throw Error("unsupported PNM header in " + path);
+  }
+  in.get();  // single whitespace after header
+  const index_t c = magic == "P6" ? 3 : 1;
+  std::vector<std::uint8_t> raw(w * h * c);
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  if (!in) throw Error("truncated PNM payload in " + path);
+  tensor::Tensor image({c, h, w});
+  for (index_t i = 0; i < h; ++i)
+    for (index_t j = 0; j < w; ++j)
+      for (index_t ch = 0; ch < c; ++ch)
+        image.at3(ch, i, j) =
+            static_cast<real>(raw[(i * w + j) * c + ch]) / 255.0;
+  return image;
+}
+
+tensor::Tensor tile_images(const std::vector<tensor::Tensor>& images,
+                           index_t cols) {
+  OASIS_CHECK(!images.empty() && cols >= 1);
+  for (const auto& im : images) {
+    check_image(im);
+    tensor::check_same_shape(im.shape(), images.front().shape(),
+                             "tile_images");
+  }
+  const index_t c = images[0].dim(0), h = images[0].dim(1),
+                w = images[0].dim(2);
+  const index_t rows = (images.size() + cols - 1) / cols;
+  constexpr index_t gutter = 2;
+  tensor::Tensor canvas = tensor::Tensor::full(
+      {c, rows * h + (rows + 1) * gutter, cols * w + (cols + 1) * gutter},
+      1.0);
+  for (index_t idx = 0; idx < images.size(); ++idx) {
+    const index_t r = idx / cols, col = idx % cols;
+    const index_t oy = gutter + r * (h + gutter);
+    const index_t ox = gutter + col * (w + gutter);
+    const tensor::Tensor clamped = clamp01(images[idx]);
+    for (index_t ch = 0; ch < c; ++ch)
+      for (index_t i = 0; i < h; ++i)
+        for (index_t j = 0; j < w; ++j)
+          canvas.at3(ch, oy + i, ox + j) = clamped.at3(ch, i, j);
+  }
+  return canvas;
+}
+
+}  // namespace oasis::data

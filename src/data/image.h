@@ -1,0 +1,34 @@
+// Image conventions and PPM/PGM file I/O.
+//
+// Throughout the library an image is a rank-3 tensor [C, H, W] with values
+// nominally in [0, 1] (C = 1 or 3). Attack reconstructions may exceed that
+// range; writers clamp on output only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace oasis::data {
+
+/// Validates [C,H,W] layout with C ∈ {1, 3}. Throws ShapeError otherwise.
+void check_image(const tensor::Tensor& image);
+
+/// Clamps all values into [0, 1] (returns a copy).
+tensor::Tensor clamp01(const tensor::Tensor& image);
+
+/// Writes a binary PPM (C=3) or PGM (C=1), 8-bit, clamping to [0,1].
+void write_pnm(const tensor::Tensor& image, const std::string& path);
+
+/// Reads a binary PPM/PGM written by write_pnm back into a [C,H,W] tensor
+/// with values in [0,1]. Throws Error on malformed files.
+tensor::Tensor read_pnm(const std::string& path);
+
+/// Arranges equally-sized [C,H,W] images into a grid (rows × cols) with a
+/// 2-px white gutter — used by the visual-reconstruction benches to emit
+/// side-by-side panels like the paper's Figures 5-8.
+tensor::Tensor tile_images(const std::vector<tensor::Tensor>& images,
+                           index_t cols);
+
+}  // namespace oasis::data

@@ -1,0 +1,184 @@
+#include "data/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace oasis::data {
+namespace {
+
+constexpr real kPi = 3.14159265358979323846;
+
+/// 0 → fully outside, 1 → fully inside, smooth ramp of `softness` pixels
+/// around distance 0 (signed distance convention: negative = inside).
+real coverage(real signed_distance, real softness) {
+  const real t = std::clamp(0.5 - signed_distance / softness, 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+/// Signed distance (in pixels) from point (x, y) to the shape boundary.
+/// Shapes are defined in a local frame already rotated/scaled by the caller.
+real shape_sdf(ShapeKind kind, real x, real y, real r) {
+  const real d = std::hypot(x, y);
+  switch (kind) {
+    case ShapeKind::kCircle:
+      return d - r;
+    case ShapeKind::kRing: {
+      return std::abs(d - r) - r * 0.3;
+    }
+    case ShapeKind::kSquare: {
+      const real dx = std::abs(x) - r, dy = std::abs(y) - r;
+      return std::max(dx, dy);
+    }
+    case ShapeKind::kTriangle: {
+      // Equilateral triangle pointing +y, inradius ~ r/2.
+      const real k = std::sqrt(3.0);
+      real px = std::abs(x);
+      real py = y + r / k;
+      if (px + k * py > 0.0) {
+        const real nx = (px - k * py) / 2.0;
+        const real ny = (-k * px - py) / 2.0;
+        px = nx;
+        py = ny;
+      }
+      px -= std::clamp(px, -2.0 * r / k, 0.0);
+      const real sign = py < 0 ? 1.0 : -1.0;  // outside below base edge
+      return -std::hypot(px, py) * sign;
+    }
+    case ShapeKind::kCross: {
+      const real arm = r * 0.35;
+      const real dx = std::max(std::abs(x) - r, std::abs(y) - arm);
+      const real dy = std::max(std::abs(y) - r, std::abs(x) - arm);
+      return std::min(dx, dy);
+    }
+    case ShapeKind::kStar: {
+      // 5-point star via angular radius modulation.
+      const real ang = std::atan2(y, x);
+      const real modulation =
+          0.55 + 0.45 * std::cos(5.0 * ang);
+      return d - r * modulation;
+    }
+    default:
+      return d - r;  // texture kinds fall back to a disc mask
+  }
+}
+
+}  // namespace
+
+void fill_gradient(tensor::Tensor& canvas, const Color& a, const Color& b,
+                   real angle) {
+  OASIS_CHECK(canvas.rank() == 3 && canvas.dim(0) == 3);
+  const index_t h = canvas.dim(1), w = canvas.dim(2);
+  const real ux = std::cos(angle), uy = std::sin(angle);
+  const real diag = static_cast<real>(h + w);
+  for (index_t i = 0; i < h; ++i) {
+    for (index_t j = 0; j < w; ++j) {
+      const real t = 0.5 + (static_cast<real>(j) * ux +
+                            static_cast<real>(i) * uy) /
+                               diag;
+      const real tt = std::clamp(t, 0.0, 1.0);
+      for (index_t c = 0; c < 3; ++c) {
+        canvas.at3(c, i, j) = a[c] * (1.0 - tt) + b[c] * tt;
+      }
+    }
+  }
+}
+
+void add_sine_texture(tensor::Tensor& canvas, real frequency, real phase,
+                      real angle, real amplitude) {
+  OASIS_CHECK(canvas.rank() == 3 && canvas.dim(0) == 3);
+  const index_t h = canvas.dim(1), w = canvas.dim(2);
+  const real ux = std::cos(angle), uy = std::sin(angle);
+  for (index_t i = 0; i < h; ++i) {
+    for (index_t j = 0; j < w; ++j) {
+      const real coord = (static_cast<real>(j) * ux +
+                          static_cast<real>(i) * uy) /
+                         static_cast<real>(std::max(h, w));
+      const real v =
+          amplitude * std::sin(2.0 * kPi * frequency * coord + phase);
+      for (index_t c = 0; c < 3; ++c) canvas.at3(c, i, j) += v;
+    }
+  }
+}
+
+void draw_shape(tensor::Tensor& canvas, ShapeKind kind, const Color& color,
+                real cx, real cy, real r, real orientation, real softness) {
+  OASIS_CHECK(canvas.rank() == 3 && canvas.dim(0) == 3);
+  const index_t h = canvas.dim(1), w = canvas.dim(2);
+  const real px_cx = cx * static_cast<real>(w);
+  const real px_cy = cy * static_cast<real>(h);
+  const real px_r = r * static_cast<real>(std::min(h, w));
+  const real cos_t = std::cos(-orientation), sin_t = std::sin(-orientation);
+
+  for (index_t i = 0; i < h; ++i) {
+    for (index_t j = 0; j < w; ++j) {
+      const real dx = static_cast<real>(j) - px_cx;
+      const real dy = static_cast<real>(i) - px_cy;
+      // Rotate into the shape's local frame.
+      const real lx = dx * cos_t - dy * sin_t;
+      const real ly = dx * sin_t + dy * cos_t;
+
+      real alpha = 0.0;
+      switch (kind) {
+        case ShapeKind::kStripes: {
+          const real mask = coverage(shape_sdf(ShapeKind::kSquare, lx, ly,
+                                               px_r), softness);
+          if (mask > 0.0) {
+            const real stripe =
+                0.5 + 0.5 * std::sin(2.0 * kPi * lx / (px_r * 0.45));
+            alpha = mask * (stripe > 0.5 ? 1.0 : 0.15);
+          }
+          break;
+        }
+        case ShapeKind::kChecker: {
+          const real mask = coverage(shape_sdf(ShapeKind::kSquare, lx, ly,
+                                               px_r), softness);
+          if (mask > 0.0) {
+            const auto qx = static_cast<long>(std::floor(lx / (px_r * 0.5)));
+            const auto qy = static_cast<long>(std::floor(ly / (px_r * 0.5)));
+            alpha = mask * (((qx + qy) & 1) ? 1.0 : 0.2);
+          }
+          break;
+        }
+        case ShapeKind::kBlob: {
+          // Three soft Gaussian bumps along the local x-axis.
+          real v = 0.0;
+          for (int b = -1; b <= 1; ++b) {
+            const real bx = lx - static_cast<real>(b) * px_r * 0.8;
+            const real d2 = (bx * bx + ly * ly) / (px_r * px_r * 0.5);
+            v += std::exp(-d2);
+          }
+          alpha = std::clamp(v, 0.0, 1.0);
+          break;
+        }
+        case ShapeKind::kGradientBar: {
+          const real mask =
+              coverage(std::max(std::abs(lx) - px_r,
+                                std::abs(ly) - px_r * 0.4),
+                       softness);
+          alpha = mask * std::clamp(0.5 + lx / (2.0 * px_r), 0.1, 1.0);
+          break;
+        }
+        default:
+          alpha = coverage(shape_sdf(kind, lx, ly, px_r), softness);
+      }
+
+      if (alpha <= 0.0) continue;
+      for (index_t c = 0; c < 3; ++c) {
+        real& px = canvas.at3(c, i, j);
+        px = px * (1.0 - alpha) + color[c] * alpha;
+      }
+    }
+  }
+}
+
+void add_noise(tensor::Tensor& canvas, real stddev, common::Rng& rng) {
+  for (auto& v : canvas.data()) v += rng.normal(0.0, stddev);
+}
+
+void clamp_canvas(tensor::Tensor& canvas) {
+  for (auto& v : canvas.data()) v = std::clamp(v, 0.0, 1.0);
+}
+
+}  // namespace oasis::data

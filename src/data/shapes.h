@@ -1,0 +1,59 @@
+// Procedural raster primitives for the synthetic datasets.
+//
+// All drawing writes into a [3, H, W] canvas with soft (smoothstep) edges so
+// the resulting images have the low-frequency structure of natural photos
+// rather than hard binary masks — this matters because the RTF attack bins
+// images by mean brightness and CAH by random projections, both of which are
+// degenerate on binary images.
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace oasis::data {
+
+/// RGB color, components in [0,1].
+using Color = std::array<real, 3>;
+
+/// Shape families the generator can draw. Classes are built from these.
+enum class ShapeKind {
+  kCircle,
+  kRing,
+  kSquare,
+  kTriangle,
+  kCross,
+  kStripes,
+  kChecker,
+  kBlob,      // soft Gaussian bump cluster
+  kStar,
+  kGradientBar,
+};
+
+inline constexpr index_t kShapeKindCount = 10;
+
+/// Fills the canvas with a linear gradient between two colors along a
+/// direction given by angle (radians).
+void fill_gradient(tensor::Tensor& canvas, const Color& a, const Color& b,
+                   real angle);
+
+/// Adds a low-frequency sinusoidal texture of the given frequency (cycles
+/// per image), phase and amplitude to all channels.
+void add_sine_texture(tensor::Tensor& canvas, real frequency, real phase,
+                      real angle, real amplitude);
+
+/// Draws one shape centered at (cx, cy) (fractions of image size) with
+/// characteristic radius r (fraction), rotated by `orientation` radians,
+/// blended with soft edges of width `softness` (pixels).
+void draw_shape(tensor::Tensor& canvas, ShapeKind kind, const Color& color,
+                real cx, real cy, real r, real orientation,
+                real softness = 1.5);
+
+/// Adds i.i.d. Gaussian pixel noise with the given stddev.
+void add_noise(tensor::Tensor& canvas, real stddev, common::Rng& rng);
+
+/// Clamps the canvas into [0,1] in place.
+void clamp_canvas(tensor::Tensor& canvas);
+
+}  // namespace oasis::data

@@ -1,0 +1,156 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace oasis::data {
+namespace {
+
+constexpr real kPi = 3.14159265358979323846;
+constexpr real kGoldenRatioConjugate = 0.61803398874989484820;
+
+Color jittered(const Color& c, real jitter, common::Rng& rng) {
+  Color out = c;
+  for (auto& v : out) {
+    v = std::clamp(v + rng.uniform(-jitter, jitter), 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+Color hsv_to_rgb(real h, real s, real v) {
+  h = h - std::floor(h);
+  const real hh = h * 6.0;
+  const auto sector = static_cast<int>(hh) % 6;
+  const real f = hh - std::floor(hh);
+  const real p = v * (1.0 - s);
+  const real q = v * (1.0 - s * f);
+  const real t = v * (1.0 - s * (1.0 - f));
+  switch (sector) {
+    case 0: return {v, t, p};
+    case 1: return {q, v, p};
+    case 2: return {p, v, t};
+    case 3: return {p, q, v};
+    case 4: return {t, p, v};
+    default: return {v, p, q};
+  }
+}
+
+ClassSignature class_signature(const SynthConfig& cfg, index_t label) {
+  OASIS_CHECK_MSG(label < cfg.num_classes,
+                  "class " << label << " >= " << cfg.num_classes);
+  ClassSignature sig{};
+  // Shape cycles through the 10 families; palette advances per shape cycle so
+  // (shape, palette) pairs are unique up to 100 classes and collide gracefully
+  // beyond.
+  sig.shape = static_cast<ShapeKind>(label % kShapeKindCount);
+  const index_t palette_idx = label / kShapeKindCount;
+
+  // Golden-angle hue spacing keeps any two palettes as far apart as possible;
+  // `palette_overlap` pulls hues together to make classes confusable.
+  const real base_hue =
+      std::fmod(static_cast<real>(label) * kGoldenRatioConjugate, 1.0);
+  const real palette_hue =
+      std::fmod(static_cast<real>(palette_idx) * kGoldenRatioConjugate + 0.13,
+                1.0);
+  const real hue = cfg.palette_overlap * palette_hue +
+                   (1.0 - cfg.palette_overlap) * base_hue;
+
+  sig.foreground = hsv_to_rgb(hue, 0.85, 0.9);
+  sig.background_a = hsv_to_rgb(std::fmod(hue + 0.45, 1.0), 0.35, 0.55);
+  sig.background_b = hsv_to_rgb(std::fmod(hue + 0.55, 1.0), 0.25, 0.35);
+  // Texture frequency distinguishes classes that share shape+palette.
+  sig.texture_frequency = 2.0 + static_cast<real>(label % 5) * 1.5;
+  return sig;
+}
+
+Example generate_example(const SynthConfig& cfg, index_t label,
+                         common::Rng& rng) {
+  const ClassSignature sig = class_signature(cfg, label);
+  tensor::Tensor canvas({3, cfg.height, cfg.width});
+
+  // Background: class palette, random direction, random brightness scale.
+  const real brightness = rng.uniform(0.6, 1.3);
+  Color bg_a = sig.background_a, bg_b = sig.background_b;
+  for (auto& v : bg_a) v = std::clamp(v * brightness, 0.0, 1.0);
+  for (auto& v : bg_b) v = std::clamp(v * brightness, 0.0, 1.0);
+  fill_gradient(canvas, bg_a, bg_b, rng.uniform(0.0, 2.0 * kPi));
+
+  // Class texture with random phase/orientation (orientation-free feature).
+  add_sine_texture(canvas, sig.texture_frequency, rng.uniform(0.0, 2.0 * kPi),
+                   rng.uniform(0.0, 2.0 * kPi), 0.06);
+
+  // Main shape: random pose — class identity must not depend on orientation,
+  // which is exactly what makes OASIS label-preserving on this data.
+  const Color fg = jittered(sig.foreground, cfg.color_jitter, rng);
+  draw_shape(canvas, sig.shape, fg, rng.uniform(0.32, 0.68),
+             rng.uniform(0.32, 0.68), rng.uniform(0.18, 0.32),
+             rng.uniform(0.0, 2.0 * kPi));
+
+  // Occasional small distractor from another family (never another class's
+  // full signature) to add clutter.
+  if (rng.bernoulli(cfg.distractor_prob)) {
+    const auto kind = static_cast<ShapeKind>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kShapeKindCount - 1)));
+    const Color dc = hsv_to_rgb(rng.uniform(0.0, 1.0), 0.5, 0.8);
+    draw_shape(canvas, kind, dc, rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9),
+               rng.uniform(0.05, 0.1), rng.uniform(0.0, 2.0 * kPi));
+  }
+
+  add_noise(canvas, cfg.noise_stddev, rng);
+  clamp_canvas(canvas);
+  return Example{std::move(canvas), label};
+}
+
+SynthDataset generate(const SynthConfig& cfg) {
+  OASIS_CHECK(cfg.num_classes >= 1 && cfg.height >= 8 && cfg.width >= 8);
+  common::Rng rng(cfg.seed);
+  SynthDataset out{
+      InMemoryDataset(cfg.num_classes, {3, cfg.height, cfg.width}),
+      InMemoryDataset(cfg.num_classes, {3, cfg.height, cfg.width})};
+  for (index_t label = 0; label < cfg.num_classes; ++label) {
+    common::Rng class_rng = rng.split(label + 1);
+    for (index_t i = 0; i < cfg.train_per_class; ++i) {
+      out.train.push_back(generate_example(cfg, label, class_rng));
+    }
+    for (index_t i = 0; i < cfg.test_per_class; ++i) {
+      out.test.push_back(generate_example(cfg, label, class_rng));
+    }
+  }
+  return out;
+}
+
+SynthConfig synth_imagenet_config() {
+  SynthConfig cfg;
+  cfg.num_classes = 10;
+  cfg.height = 64;
+  cfg.width = 64;
+  cfg.train_per_class = 60;
+  cfg.test_per_class = 20;
+  cfg.noise_stddev = 0.02;
+  cfg.color_jitter = 0.06;
+  cfg.palette_overlap = 0.0;
+  cfg.distractor_prob = 0.25;
+  cfg.seed = 20240103;
+  return cfg;
+}
+
+SynthConfig synth_cifar100_config() {
+  SynthConfig cfg;
+  cfg.num_classes = 100;
+  cfg.height = 32;
+  cfg.width = 32;
+  cfg.train_per_class = 24;
+  cfg.test_per_class = 6;
+  cfg.noise_stddev = 0.055;
+  cfg.color_jitter = 0.12;
+  cfg.palette_overlap = 0.35;
+  cfg.distractor_prob = 0.4;
+  cfg.seed = 20240104;
+  return cfg;
+}
+
+}  // namespace oasis::data

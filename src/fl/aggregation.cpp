@@ -1,0 +1,50 @@
+#include "fl/aggregation.h"
+
+#include "common/error.h"
+#include "tensor/shape.h"
+
+namespace oasis::fl {
+namespace {
+
+std::vector<tensor::Tensor> weighted_average(
+    std::span<const ClientUpdateMessage> updates, bool weight_by_examples) {
+  OASIS_CHECK_MSG(!updates.empty(), "aggregating zero updates");
+  std::vector<tensor::Tensor> total;
+  real total_weight = 0.0;
+  for (const auto& update : updates) {
+    const real weight =
+        weight_by_examples ? static_cast<real>(update.num_examples) : 1.0;
+    OASIS_CHECK_MSG(weight > 0.0, "client " << update.client_id
+                                            << " reported zero examples");
+    auto grads = tensor::deserialize_tensors(update.gradients);
+    if (total.empty()) {
+      total = std::move(grads);
+      for (auto& t : total) t *= weight;
+    } else {
+      OASIS_CHECK_MSG(grads.size() == total.size(),
+                      "update tensor count mismatch: " << grads.size()
+                                                       << " vs "
+                                                       << total.size());
+      for (std::size_t i = 0; i < grads.size(); ++i) {
+        total[i].add_scaled_(grads[i], weight);
+      }
+    }
+    total_weight += weight;
+  }
+  for (auto& t : total) t /= total_weight;
+  return total;
+}
+
+}  // namespace
+
+std::vector<tensor::Tensor> fedavg(
+    std::span<const ClientUpdateMessage> updates) {
+  return weighted_average(updates, /*weight_by_examples=*/true);
+}
+
+std::vector<tensor::Tensor> fedavg_unweighted(
+    std::span<const ClientUpdateMessage> updates) {
+  return weighted_average(updates, /*weight_by_examples=*/false);
+}
+
+}  // namespace oasis::fl

@@ -1,0 +1,22 @@
+// Gradient aggregation rules.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fl/message.h"
+#include "tensor/tensor.h"
+
+namespace oasis::fl {
+
+/// FedAvg (paper Eq. 1): example-weighted average of client gradients.
+/// All updates must deserialize to identically-shaped tensor lists.
+/// Throws Error on empty input or shape/count mismatch.
+std::vector<tensor::Tensor> fedavg(
+    std::span<const ClientUpdateMessage> updates);
+
+/// Unweighted mean of client gradients (the plain 1/M average in Eq. 1).
+std::vector<tensor::Tensor> fedavg_unweighted(
+    std::span<const ClientUpdateMessage> updates);
+
+}  // namespace oasis::fl

@@ -1,0 +1,123 @@
+#include "fl/client.h"
+
+#include "nn/model_io.h"
+
+namespace oasis::fl {
+
+Client::Client(std::uint64_t id, data::InMemoryDataset local_data,
+               ModelFactory factory, index_t batch_size,
+               PreprocessorPtr preprocessor, common::Rng rng,
+               BatchSampling sampling, LossKind loss_kind)
+    : id_(id),
+      local_data_(std::move(local_data)),
+      model_(factory()),
+      batch_size_(batch_size),
+      preprocessor_(std::move(preprocessor)),
+      rng_(rng),
+      sampling_(sampling),
+      loss_kind_(loss_kind) {
+  OASIS_CHECK(model_ != nullptr);
+  OASIS_CHECK(preprocessor_ != nullptr);
+  OASIS_CHECK_MSG(batch_size_ >= 1 && batch_size_ <= local_data_.size(),
+                  "client " << id_ << ": batch " << batch_size_ << " vs "
+                            << local_data_.size() << " local examples");
+}
+
+void Client::set_update_postprocessor(PostprocessorPtr postprocessor) {
+  postprocessor_ = std::move(postprocessor);
+}
+
+void Client::set_local_training(index_t steps, real lr) {
+  OASIS_CHECK(steps >= 1 && lr > 0.0);
+  local_steps_ = steps;
+  local_lr_ = lr;
+}
+
+std::vector<index_t> Client::sample_batch_indices() {
+  if (sampling_ == BatchSampling::kUniform) {
+    return rng_.sample_without_replacement(local_data_.size(), batch_size_);
+  }
+  // Unique labels: walk a fresh permutation, taking the first example of
+  // each class until the batch is full.
+  std::vector<index_t> order(local_data_.size());
+  for (index_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.shuffle(order);
+  std::vector<index_t> picked;
+  std::vector<bool> used(local_data_.num_classes(), false);
+  for (const auto idx : order) {
+    const index_t label = local_data_.at(idx).label;
+    if (used[label]) continue;
+    used[label] = true;
+    picked.push_back(idx);
+    if (picked.size() == batch_size_) break;
+  }
+  OASIS_CHECK_MSG(picked.size() == batch_size_,
+                  "client " << id_ << ": only " << picked.size()
+                            << " distinct-label examples for batch "
+                            << batch_size_);
+  return picked;
+}
+
+ClientUpdateMessage Client::handle_round(const GlobalModelMessage& msg) {
+  nn::deserialize_state(*model_, msg.model_state);
+
+  // Parameter snapshot for multi-step pseudo-gradient mode.
+  std::vector<tensor::Tensor> before;
+  if (local_steps_ > 1) {
+    for (const auto* p : model_->parameters()) before.push_back(p->value);
+  }
+
+  index_t examples = 0;
+  for (index_t step = 0; step < local_steps_; ++step) {
+    // Sample the local batch D; defense hook maps D -> D'.
+    const auto indices = sample_batch_indices();
+    last_raw_batch_ = data::gather(local_data_, indices);
+    const data::Batch training_batch =
+        preprocessor_->process(last_raw_batch_, rng_);
+    examples += training_batch.size();
+
+    model_->zero_grad();
+    const tensor::Tensor logits =
+        model_->forward(training_batch.images, /*training=*/true);
+    const nn::LossResult loss =
+        loss_kind_ == LossKind::kSoftmaxCrossEntropy
+            ? ce_loss_.compute(logits, training_batch.labels)
+            : bce_loss_.compute(logits, training_batch.labels);
+    last_loss_ = loss.loss;
+    model_->backward(loss.grad_logits);
+
+    if (local_steps_ > 1) {
+      // Plain local SGD step; the accumulated drift is uploaded below.
+      for (auto* p : model_->parameters()) {
+        p->value.add_scaled_(p->grad, -local_lr_);
+      }
+    }
+  }
+
+  std::vector<tensor::Tensor> gradients;
+  if (local_steps_ > 1) {
+    // Pseudo-gradient (w_received − w_local) / lr, FedAvg-compatible.
+    auto params = model_->parameters();
+    gradients.reserve(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      tensor::Tensor delta = before[i];
+      delta -= params[i]->value;
+      delta /= local_lr_;
+      gradients.push_back(std::move(delta));
+    }
+  } else {
+    gradients = nn::snapshot_gradients(*model_);
+  }
+  if (postprocessor_) {
+    gradients = postprocessor_->process(std::move(gradients), rng_);
+  }
+
+  ClientUpdateMessage update;
+  update.round = msg.round;
+  update.client_id = id_;
+  update.num_examples = examples;
+  update.gradients = tensor::serialize_tensors(gradients);
+  return update;
+}
+
+}  // namespace oasis::fl

@@ -1,0 +1,100 @@
+// FL client: local data, local model replica, gradient computation.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "data/dataset.h"
+#include "fl/message.h"
+#include "fl/postprocessor.h"
+#include "fl/preprocessor.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+
+namespace oasis::fl {
+
+/// Builds a fresh model replica with the architecture the federation agreed
+/// on. Clients instantiate locally and load the server's weights into it.
+using ModelFactory = std::function<std::unique_ptr<nn::Sequential>()>;
+
+/// How the client draws its local batch each round.
+/// Which training loss the federation runs.
+enum class LossKind {
+  /// Softmax cross-entropy — standard classification (all CNN experiments).
+  kSoftmaxCrossEntropy,
+  /// One-vs-all logistic regression — the Appendix D linear-model setting.
+  kSigmoidBce,
+};
+
+enum class BatchSampling {
+  /// Uniform without replacement — the standard FL setting.
+  kUniform,
+  /// At most one example per class — the Appendix D linear-model setting,
+  /// where the inversion requires unique labels per batch.
+  kUniqueLabels,
+};
+
+/// One federated user u_j.
+///
+/// Per round: deserializes the dispatched global model into its replica,
+/// samples a local batch D of `batch_size`, runs the (possibly OASIS)
+/// preprocessor to get D', computes batch gradients of the cross-entropy
+/// loss, and returns them serialized.
+class Client {
+ public:
+  Client(std::uint64_t id, data::InMemoryDataset local_data,
+         ModelFactory factory, index_t batch_size,
+         PreprocessorPtr preprocessor, common::Rng rng,
+         BatchSampling sampling = BatchSampling::kUniform,
+         LossKind loss_kind = LossKind::kSoftmaxCrossEntropy);
+
+  /// Installs a gradient postprocessor (DP noise, pruning, ...) applied to
+  /// every update before upload. Default: upload exact gradients.
+  void set_update_postprocessor(PostprocessorPtr postprocessor);
+
+  /// Switches the client to classic FedAvg local training: per round it runs
+  /// `steps` local SGD steps (each on a fresh preprocessed batch) with the
+  /// given learning rate and uploads the pseudo-gradient
+  /// (w_received − w_local) / lr. With steps == 1 this equals the raw batch
+  /// gradient, so the default single-step mode is the special case the
+  /// paper's attack analysis assumes.
+  void set_local_training(index_t steps, real lr);
+
+  /// Handles one training round. Throws SerializationError on a malformed
+  /// model payload.
+  ClientUpdateMessage handle_round(const GlobalModelMessage& msg);
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const data::InMemoryDataset& local_data() const {
+    return local_data_;
+  }
+  /// The batch D sampled in the most recent round (pre-augmentation) — used
+  /// by attack-evaluation harnesses as the reconstruction ground truth.
+  [[nodiscard]] const data::Batch& last_raw_batch() const {
+    return last_raw_batch_;
+  }
+  /// Loss of the most recent local step (diagnostics).
+  [[nodiscard]] real last_loss() const { return last_loss_; }
+
+ private:
+  /// Indices of this round's batch under the configured sampling mode.
+  std::vector<index_t> sample_batch_indices();
+
+  std::uint64_t id_;
+  data::InMemoryDataset local_data_;
+  std::unique_ptr<nn::Sequential> model_;
+  index_t batch_size_;
+  PreprocessorPtr preprocessor_;
+  PostprocessorPtr postprocessor_;  // nullptr = identity
+  index_t local_steps_ = 1;
+  real local_lr_ = 0.0;  // 0 → raw-gradient mode
+  common::Rng rng_;
+  BatchSampling sampling_;
+  LossKind loss_kind_;
+  nn::SoftmaxCrossEntropy ce_loss_;
+  nn::SigmoidBce bce_loss_;
+  data::Batch last_raw_batch_;
+  real last_loss_ = 0.0;
+};
+
+}  // namespace oasis::fl

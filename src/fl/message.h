@@ -1,0 +1,31 @@
+// Wire messages of the FL protocol.
+//
+// The simulator runs in one process but all server↔client traffic passes
+// through these serialized payloads, so the byte-level protocol is exercised
+// end-to-end (and a malicious server sees exactly what a real one would: the
+// serialized batch-summed gradients).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/serialize.h"
+
+namespace oasis::fl {
+
+/// Server → client: the (possibly maliciously modified) global model.
+struct GlobalModelMessage {
+  std::uint64_t round = 0;
+  tensor::ByteBuffer model_state;  // serialize_state() of the global model
+};
+
+/// Client → server: batch-summed gradients for every model parameter, in
+/// model.parameters() order.
+struct ClientUpdateMessage {
+  std::uint64_t round = 0;
+  std::uint64_t client_id = 0;
+  /// Number of examples the gradients were computed over (FedAvg weight).
+  std::uint64_t num_examples = 0;
+  tensor::ByteBuffer gradients;  // serialize_tensors() of parameter grads
+};
+
+}  // namespace oasis::fl

@@ -1,0 +1,43 @@
+// Client-side batch preprocessing hook.
+//
+// OASIS plugs in here: the defense is purely local preprocessing of the
+// training batch before gradients are computed (paper Eq. 4), requiring no
+// protocol change and no server cooperation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace oasis::fl {
+
+class BatchPreprocessor {
+ public:
+  BatchPreprocessor() = default;
+  BatchPreprocessor(const BatchPreprocessor&) = delete;
+  BatchPreprocessor& operator=(const BatchPreprocessor&) = delete;
+  virtual ~BatchPreprocessor() = default;
+
+  /// Maps the sampled batch D to the batch actually used for the gradient
+  /// computation (D' under OASIS).
+  [[nodiscard]] virtual data::Batch process(const data::Batch& batch,
+                                            common::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Default: clients train on the raw batch.
+class IdentityPreprocessor : public BatchPreprocessor {
+ public:
+  data::Batch process(const data::Batch& batch,
+                      common::Rng& /*rng*/) const override {
+    return batch;
+  }
+  [[nodiscard]] std::string name() const override { return "identity"; }
+};
+
+using PreprocessorPtr = std::shared_ptr<const BatchPreprocessor>;
+
+}  // namespace oasis::fl

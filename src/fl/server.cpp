@@ -1,0 +1,61 @@
+#include "fl/server.h"
+
+#include "fl/aggregation.h"
+#include "nn/model_io.h"
+
+namespace oasis::fl {
+
+Server::Server(std::unique_ptr<nn::Sequential> global_model,
+               real learning_rate)
+    : model_(std::move(global_model)), learning_rate_(learning_rate) {
+  OASIS_CHECK(model_ != nullptr);
+  OASIS_CHECK(learning_rate_ > 0.0);
+}
+
+GlobalModelMessage Server::begin_round() {
+  GlobalModelMessage msg;
+  msg.round = round_;
+  msg.model_state = nn::serialize_state(*model_);
+  current_dispatch_ = msg;
+  return msg;
+}
+
+GlobalModelMessage Server::dispatch_to(std::uint64_t /*client_id*/) {
+  return current_dispatch_;
+}
+
+void Server::finish_round(std::span<const ClientUpdateMessage> updates) {
+  const auto average = fedavg(updates);
+  auto params = model_->parameters();
+  OASIS_CHECK_MSG(average.size() == params.size(),
+                  "aggregated " << average.size() << " tensors for "
+                                << params.size() << " parameters");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value.add_scaled_(average[i], -learning_rate_);
+  }
+  ++round_;
+}
+
+MaliciousServer::MaliciousServer(std::unique_ptr<nn::Sequential> global_model,
+                                 real learning_rate,
+                                 ModelManipulator manipulator)
+    : Server(std::move(global_model), learning_rate),
+      manipulator_(std::move(manipulator)) {
+  OASIS_CHECK(manipulator_ != nullptr);
+}
+
+GlobalModelMessage MaliciousServer::begin_round() {
+  // Manipulate the live global model (the dishonest server controls it
+  // outright), then dispatch the standard message — on the wire the round
+  // looks like any other.
+  manipulator_(*model_);
+  return Server::begin_round();
+}
+
+void MaliciousServer::finish_round(
+    std::span<const ClientUpdateMessage> updates) {
+  captured_.insert(captured_.end(), updates.begin(), updates.end());
+  Server::finish_round(updates);
+}
+
+}  // namespace oasis::fl

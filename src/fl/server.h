@@ -1,0 +1,77 @@
+// FL servers: honest FedAvg coordinator and the dishonest variant the
+// paper's threat model assumes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fl/message.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace oasis::fl {
+
+/// Honest central server: owns the global model, dispatches it each round,
+/// aggregates client gradients with FedAvg and applies them with SGD
+/// (w ← w − η·Ḡ, paper Eq. 1).
+class Server {
+ public:
+  Server(std::unique_ptr<nn::Sequential> global_model, real learning_rate);
+  virtual ~Server() = default;
+
+  /// Begins round `t`: returns the message to dispatch to selected clients.
+  /// Virtual so a dishonest server can manipulate the dispatched model.
+  virtual GlobalModelMessage begin_round();
+
+  /// Per-client dispatch. The honest protocol sends every client the same
+  /// message (the default forwards the one begin_round() built); a dishonest
+  /// server may override this to send INCONSISTENT models — the primitive
+  /// behind the secure-aggregation circumvention of Pasquini et al. (2022).
+  virtual GlobalModelMessage dispatch_to(std::uint64_t client_id);
+
+  /// Consumes the round's client updates and advances the global model.
+  virtual void finish_round(std::span<const ClientUpdateMessage> updates);
+
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+  nn::Sequential& global_model() { return *model_; }
+
+ protected:
+  std::unique_ptr<nn::Sequential> model_;
+  real learning_rate_;
+  std::uint64_t round_ = 0;
+  GlobalModelMessage current_dispatch_;  // built by begin_round()
+};
+
+/// Hook through which an attack manipulates the dispatched model — the
+/// "malicious modification of global model parameters" of the threat model.
+using ModelManipulator = std::function<void(nn::Sequential&)>;
+
+/// Dishonest server: applies a manipulation to (a copy of the state of) the
+/// global model before dispatch and records every client update it receives
+/// so the attack can invert the gradients offline.
+///
+/// It still performs normal FedAvg so training proceeds and the attack stays
+/// covert — matching the paper's "modification should be minimal to avoid
+/// detection" requirement.
+class MaliciousServer : public Server {
+ public:
+  MaliciousServer(std::unique_ptr<nn::Sequential> global_model,
+                  real learning_rate, ModelManipulator manipulator);
+
+  GlobalModelMessage begin_round() override;
+  void finish_round(std::span<const ClientUpdateMessage> updates) override;
+
+  /// All updates captured so far (most recent round last).
+  [[nodiscard]] const std::vector<ClientUpdateMessage>& captured() const {
+    return captured_;
+  }
+  void clear_captured() { captured_.clear(); }
+
+ private:
+  ModelManipulator manipulator_;
+  std::vector<ClientUpdateMessage> captured_;
+};
+
+}  // namespace oasis::fl

@@ -1,0 +1,51 @@
+#include "fl/simulation.h"
+
+namespace oasis::fl {
+
+Simulation::Simulation(std::unique_ptr<Server> server,
+                       std::vector<std::unique_ptr<Client>> clients,
+                       SimulationConfig config)
+    : server_(std::move(server)),
+      clients_(std::move(clients)),
+      config_(config),
+      rng_(config.seed) {
+  OASIS_CHECK(server_ != nullptr);
+  OASIS_CHECK_MSG(!clients_.empty(), "simulation needs at least one client");
+  for (const auto& c : clients_) OASIS_CHECK(c != nullptr);
+  OASIS_CHECK_MSG(config_.clients_per_round <= clients_.size(),
+                  "M=" << config_.clients_per_round << " > N="
+                       << clients_.size());
+}
+
+Client& Simulation::client(index_t i) {
+  OASIS_CHECK_MSG(i < clients_.size(), "client " << i);
+  return *clients_[i];
+}
+
+std::vector<std::uint64_t> Simulation::run_round() {
+  const index_t m = config_.clients_per_round == 0 ? clients_.size()
+                                                   : config_.clients_per_round;
+  const auto selected = rng_.sample_without_replacement(clients_.size(), m);
+
+  server_->begin_round();
+  std::vector<ClientUpdateMessage> updates;
+  std::vector<std::uint64_t> ids;
+  updates.reserve(m);
+  for (const auto idx : selected) {
+    updates.push_back(clients_[idx]->handle_round(
+        server_->dispatch_to(clients_[idx]->id())));
+    ids.push_back(clients_[idx]->id());
+  }
+  server_->finish_round(updates);
+  return ids;
+}
+
+void Simulation::run(index_t rounds,
+                     const std::function<void(index_t)>& on_round) {
+  for (index_t r = 0; r < rounds; ++r) {
+    run_round();
+    if (on_round) on_round(r);
+  }
+}
+
+}  // namespace oasis::fl

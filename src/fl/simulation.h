@@ -1,0 +1,45 @@
+// Round orchestration: wires server and clients into the iterative protocol
+// of Section 2 (random M-of-N client selection per round).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fl/client.h"
+#include "fl/server.h"
+
+namespace oasis::fl {
+
+struct SimulationConfig {
+  /// Clients selected per round (M ≤ N). 0 means "all clients".
+  index_t clients_per_round = 0;
+  std::uint64_t seed = 7;
+};
+
+/// In-process federation of one server and N clients.
+class Simulation {
+ public:
+  Simulation(std::unique_ptr<Server> server,
+             std::vector<std::unique_ptr<Client>> clients,
+             SimulationConfig config);
+
+  /// Runs one protocol round; returns the ids of participating clients.
+  std::vector<std::uint64_t> run_round();
+
+  /// Runs `rounds` rounds, invoking `on_round` (if set) after each.
+  void run(index_t rounds,
+           const std::function<void(index_t round)>& on_round = {});
+
+  Server& server() { return *server_; }
+  [[nodiscard]] index_t num_clients() const { return clients_.size(); }
+  Client& client(index_t i);
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  SimulationConfig config_;
+  common::Rng rng_;
+};
+
+}  // namespace oasis::fl

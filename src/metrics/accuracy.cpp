@@ -1,0 +1,42 @@
+#include "metrics/accuracy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace oasis::metrics {
+
+real accuracy(nn::Module& model, const data::InMemoryDataset& dataset,
+              index_t eval_batch) {
+  return top_k_accuracy(model, dataset, 1, eval_batch);
+}
+
+real top_k_accuracy(nn::Module& model, const data::InMemoryDataset& dataset,
+                    index_t k, index_t eval_batch) {
+  OASIS_CHECK(!dataset.empty() && k >= 1 && eval_batch >= 1);
+  index_t correct = 0;
+  std::vector<index_t> indices;
+  for (index_t start = 0; start < dataset.size(); start += eval_batch) {
+    const index_t end = std::min(start + eval_batch, dataset.size());
+    indices.clear();
+    for (index_t i = start; i < end; ++i) indices.push_back(i);
+    const data::Batch batch = data::gather(dataset, indices);
+    const tensor::Tensor logits =
+        model.forward(batch.images, /*training=*/false);
+    OASIS_CHECK(logits.rank() == 2 && logits.dim(0) == batch.size());
+    const index_t classes = logits.dim(1);
+    for (index_t b = 0; b < batch.size(); ++b) {
+      // Count logits strictly greater than the true class's logit; the
+      // prediction is top-k correct iff fewer than k classes beat it.
+      const real target = logits.at2(b, batch.labels[b]);
+      index_t beaten_by = 0;
+      for (index_t c = 0; c < classes; ++c) {
+        if (logits.at2(b, c) > target) ++beaten_by;
+      }
+      if (beaten_by < k) ++correct;
+    }
+  }
+  return static_cast<real>(correct) / static_cast<real>(dataset.size());
+}
+
+}  // namespace oasis::metrics

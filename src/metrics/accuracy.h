@@ -1,0 +1,18 @@
+// Classification accuracy evaluation.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace oasis::metrics {
+
+/// Fraction of `dataset` examples whose argmax logit matches the label.
+/// Runs the model in eval mode, in mini-batches of `eval_batch` for memory.
+real accuracy(nn::Module& model, const data::InMemoryDataset& dataset,
+              index_t eval_batch = 64);
+
+/// Top-k variant (k=1 equals accuracy()).
+real top_k_accuracy(nn::Module& model, const data::InMemoryDataset& dataset,
+                    index_t k, index_t eval_batch = 64);
+
+}  // namespace oasis::metrics

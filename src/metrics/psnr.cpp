@@ -1,0 +1,62 @@
+#include "metrics/psnr.h"
+
+#include <cmath>
+
+#include "tensor/shape.h"
+
+namespace oasis::metrics {
+
+real mse(const tensor::Tensor& a, const tensor::Tensor& b) {
+  tensor::check_same_shape(a.shape(), b.shape(), "mse");
+  OASIS_CHECK(a.size() > 0);
+  real s = 0.0;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (index_t i = 0; i < pa.size(); ++i) {
+    const real d = pa[i] - pb[i];
+    s += d * d;
+  }
+  return s / static_cast<real>(pa.size());
+}
+
+real psnr(const tensor::Tensor& reconstruction,
+          const tensor::Tensor& original, real peak) {
+  const real err = mse(reconstruction, original);
+  if (err <= 0.0) return kPsnrCap;
+  const real value = 10.0 * std::log10(peak * peak / err);
+  return std::min(value, kPsnrCap);
+}
+
+real ssim_global(const tensor::Tensor& a, const tensor::Tensor& b) {
+  tensor::check_same_shape(a.shape(), b.shape(), "ssim_global");
+  OASIS_CHECK(a.rank() == 3);
+  constexpr real c1 = 0.01 * 0.01, c2 = 0.03 * 0.03;
+  const index_t channels = a.dim(0);
+  const index_t hw = a.dim(1) * a.dim(2);
+  real total = 0.0;
+  for (index_t ch = 0; ch < channels; ++ch) {
+    real ma = 0.0, mb = 0.0;
+    for (index_t p = 0; p < hw; ++p) {
+      ma += a.data()[ch * hw + p];
+      mb += b.data()[ch * hw + p];
+    }
+    ma /= static_cast<real>(hw);
+    mb /= static_cast<real>(hw);
+    real va = 0.0, vb = 0.0, cov = 0.0;
+    for (index_t p = 0; p < hw; ++p) {
+      const real da = a.data()[ch * hw + p] - ma;
+      const real db = b.data()[ch * hw + p] - mb;
+      va += da * da;
+      vb += db * db;
+      cov += da * db;
+    }
+    va /= static_cast<real>(hw);
+    vb /= static_cast<real>(hw);
+    cov /= static_cast<real>(hw);
+    total += ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) /
+             ((ma * ma + mb * mb + c1) * (va + vb + c2));
+  }
+  return total / static_cast<real>(channels);
+}
+
+}  // namespace oasis::metrics

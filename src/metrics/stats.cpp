@@ -1,0 +1,60 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace oasis::metrics {
+namespace {
+
+real quantile(const std::vector<real>& sorted, real q) {
+  const real pos = q * static_cast<real>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const real frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+BoxStats box_stats(std::vector<real> values) {
+  OASIS_CHECK_MSG(!values.empty(), "box_stats of empty sample");
+  std::sort(values.begin(), values.end());
+  BoxStats s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile(values, 0.25);
+  s.median = quantile(values, 0.5);
+  s.q3 = quantile(values, 0.75);
+  real sum = 0.0;
+  for (const auto v : values) sum += v;
+  s.mean = sum / static_cast<real>(values.size());
+  return s;
+}
+
+std::string format_box_row(const std::string& label, const BoxStats& s) {
+  std::ostringstream os;
+  os << std::left << std::setw(18) << label << std::right << std::fixed
+     << std::setprecision(2);
+  for (const real v : {s.min, s.q1, s.median, s.q3, s.max, s.mean}) {
+    os << std::setw(10) << v;
+  }
+  os << std::setw(8) << s.count;
+  return os.str();
+}
+
+std::string box_row_header(const std::string& label_column) {
+  std::ostringstream os;
+  os << std::left << std::setw(18) << label_column << std::right;
+  for (const char* c : {"min", "q1", "median", "q3", "max", "mean"}) {
+    os << std::setw(10) << c;
+  }
+  os << std::setw(8) << "n";
+  return os.str();
+}
+
+}  // namespace oasis::metrics

@@ -1,0 +1,33 @@
+// Distribution summaries matching the paper's box plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oasis::metrics {
+
+/// Five-number summary plus mean — one "box" of Figures 3/4/13 (the paper's
+/// green triangle is the mean).
+struct BoxStats {
+  real min = 0.0;
+  real q1 = 0.0;
+  real median = 0.0;
+  real q3 = 0.0;
+  real max = 0.0;
+  real mean = 0.0;
+  index_t count = 0;
+};
+
+/// Computes the summary (linear-interpolated quantiles). Requires non-empty
+/// input; the input vector is copied and sorted internally.
+BoxStats box_stats(std::vector<real> values);
+
+/// One formatted table row: "label  min q1 med q3 max mean n".
+std::string format_box_row(const std::string& label, const BoxStats& stats);
+
+/// Header matching format_box_row's columns.
+std::string box_row_header(const std::string& label_column);
+
+}  // namespace oasis::metrics

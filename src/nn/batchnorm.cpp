@@ -1,0 +1,113 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace oasis::nn {
+
+BatchNorm2d::BatchNorm2d(index_t channels, real momentum, real eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", tensor::Tensor::ones({channels})),
+      beta_("bn.beta", tensor::Tensor({channels})),
+      running_mean_({channels}),
+      running_var_(tensor::Tensor::ones({channels})) {}
+
+tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& x, bool training) {
+  OASIS_CHECK_MSG(x.rank() == 4 && x.dim(1) == channels_,
+                  "BatchNorm2d: bad input " << tensor::to_string(x.shape()));
+  in_shape_ = x.shape();
+  cached_training_ = training;
+  const index_t b = x.dim(0), hw = x.dim(2) * x.dim(3);
+  const real count = static_cast<real>(b * hw);
+
+  tensor::Tensor mean({channels_}), var({channels_});
+  if (training) {
+    for (index_t c = 0; c < channels_; ++c) {
+      real s = 0.0;
+      for (index_t n = 0; n < b; ++n)
+        for (index_t p = 0; p < hw; ++p)
+          s += x.data()[(n * channels_ + c) * hw + p];
+      mean[c] = s / count;
+    }
+    for (index_t c = 0; c < channels_; ++c) {
+      real s = 0.0;
+      for (index_t n = 0; n < b; ++n)
+        for (index_t p = 0; p < hw; ++p) {
+          const real d = x.data()[(n * channels_ + c) * hw + p] - mean[c];
+          s += d * d;
+        }
+      var[c] = s / count;
+    }
+    for (index_t c = 0; c < channels_; ++c) {
+      running_mean_[c] =
+          (1.0 - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      running_var_[c] =
+          (1.0 - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  tensor::Tensor invstd({channels_});
+  for (index_t c = 0; c < channels_; ++c)
+    invstd[c] = 1.0 / std::sqrt(var[c] + eps_);
+
+  tensor::Tensor y(x.shape());
+  tensor::Tensor xhat(x.shape());
+  for (index_t n = 0; n < b; ++n)
+    for (index_t c = 0; c < channels_; ++c)
+      for (index_t p = 0; p < hw; ++p) {
+        const index_t i = (n * channels_ + c) * hw + p;
+        const real h = (x.data()[i] - mean[c]) * invstd[c];
+        xhat.data()[i] = h;
+        y.data()[i] = gamma_.value[c] * h + beta_.value[c];
+      }
+  cached_xhat_ = std::move(xhat);
+  cached_invstd_ = std::move(invstd);
+  return y;
+}
+
+tensor::Tensor BatchNorm2d::backward(const tensor::Tensor& grad_out) {
+  tensor::check_same_shape(grad_out.shape(), in_shape_, "BatchNorm2d backward");
+  const index_t b = in_shape_[0], hw = in_shape_[2] * in_shape_[3];
+  const real count = static_cast<real>(b * hw);
+
+  tensor::Tensor grad_in(in_shape_);
+  for (index_t c = 0; c < channels_; ++c) {
+    real sum_g = 0.0, sum_gx = 0.0;
+    for (index_t n = 0; n < b; ++n)
+      for (index_t p = 0; p < hw; ++p) {
+        const index_t i = (n * channels_ + c) * hw + p;
+        sum_g += grad_out.data()[i];
+        sum_gx += grad_out.data()[i] * cached_xhat_.data()[i];
+      }
+    gamma_.grad[c] += sum_gx;
+    beta_.grad[c] += sum_g;
+
+    if (cached_training_) {
+      // d/dx of batch-statistic normalization (standard BN backward).
+      const real scale = gamma_.value[c] * cached_invstd_[c];
+      for (index_t n = 0; n < b; ++n)
+        for (index_t p = 0; p < hw; ++p) {
+          const index_t i = (n * channels_ + c) * hw + p;
+          grad_in.data()[i] =
+              scale * (grad_out.data()[i] - sum_g / count -
+                       cached_xhat_.data()[i] * sum_gx / count);
+        }
+    } else {
+      const real scale = gamma_.value[c] * cached_invstd_[c];
+      for (index_t n = 0; n < b; ++n)
+        for (index_t p = 0; p < hw; ++p) {
+          const index_t i = (n * channels_ + c) * hw + p;
+          grad_in.data()[i] = scale * grad_out.data()[i];
+        }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace oasis::nn

@@ -1,0 +1,76 @@
+#include "nn/conv2d.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace oasis::nn {
+
+Conv2d::Conv2d(index_t in_channels, index_t out_channels, index_t kernel,
+               index_t stride, index_t pad, common::Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_("conv.weight",
+              init::kaiming_uniform({out_channels, in_channels * kernel * kernel},
+                                    in_channels * kernel * kernel, rng)),
+      bias_("conv.bias", tensor::Tensor({out_channels})) {
+  OASIS_CHECK(kernel >= 1 && stride >= 1);
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& x, bool /*training*/) {
+  OASIS_CHECK_MSG(x.rank() == 4 && x.dim(1) == in_ch_,
+                  "Conv2d: bad input " << tensor::to_string(x.shape()));
+  const index_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const index_t oh = tensor::conv_out_extent(h, k_, stride_, pad_);
+  const index_t ow = tensor::conv_out_extent(w, k_, stride_, pad_);
+  cached_h_ = h;
+  cached_w_ = w;
+  cached_batch_ = batch;
+  cached_cols_.clear();
+  cached_cols_.reserve(batch);
+
+  tensor::Tensor y({batch, out_ch_, oh, ow});
+  for (index_t n = 0; n < batch; ++n) {
+    tensor::Tensor cols = tensor::im2col(x.slice(n), k_, k_, stride_, pad_);
+    tensor::Tensor out = tensor::matmul(weight_.value, cols);  // [out_ch, oh*ow]
+    for (index_t c = 0; c < out_ch_; ++c) {
+      const real b = bias_.value[c];
+      for (index_t p = 0; p < oh * ow; ++p) {
+        y.data()[((n * out_ch_ + c) * oh * ow) + p] = out.at2(c, p) + b;
+      }
+    }
+    cached_cols_.push_back(std::move(cols));
+  }
+  return y;
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
+  OASIS_CHECK_MSG(grad_out.rank() == 4 && grad_out.dim(0) == cached_batch_ &&
+                      grad_out.dim(1) == out_ch_,
+                  "Conv2d backward: bad grad "
+                      << tensor::to_string(grad_out.shape()));
+  const index_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  tensor::Tensor grad_x({cached_batch_, in_ch_, cached_h_, cached_w_});
+  for (index_t n = 0; n < cached_batch_; ++n) {
+    // [out_ch, oh*ow] view of this sample's output gradient.
+    tensor::Tensor gy = grad_out.slice(n).reshaped({out_ch_, oh * ow});
+    weight_.grad += tensor::matmul_nt(gy, cached_cols_[n]);
+    for (index_t c = 0; c < out_ch_; ++c) {
+      real s = 0.0;
+      for (index_t p = 0; p < oh * ow; ++p) s += gy.at2(c, p);
+      bias_.grad[c] += s;
+    }
+    tensor::Tensor gcols = tensor::matmul_tn(weight_.value, gy);
+    tensor::Tensor gx = tensor::col2im(gcols, in_ch_, cached_h_, cached_w_,
+                                       k_, k_, stride_, pad_);
+    auto dst = grad_x.data();
+    auto src = gx.data();
+    const index_t sz = src.size();
+    for (index_t i = 0; i < sz; ++i) dst[n * sz + i] = src[i];
+  }
+  return grad_x;
+}
+
+}  // namespace oasis::nn

@@ -1,0 +1,40 @@
+#include "nn/dense.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace oasis::nn {
+
+Dense::Dense(index_t in_features, index_t out_features, common::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_("dense.weight",
+              init::kaiming_uniform({out_features, in_features}, in_features,
+                                    rng)),
+      bias_("dense.bias", tensor::Tensor({out_features})) {}
+
+tensor::Tensor Dense::forward(const tensor::Tensor& x, bool /*training*/) {
+  OASIS_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
+                  "Dense(" << in_ << "->" << out_ << "): bad input "
+                           << tensor::to_string(x.shape()));
+  cached_input_ = x;
+  tensor::Tensor y = tensor::matmul_nt(x, weight_.value);  // [B, out]
+  tensor::add_row_vector(y, bias_.value);
+  return y;
+}
+
+tensor::Tensor Dense::backward(const tensor::Tensor& grad_out) {
+  OASIS_CHECK_MSG(grad_out.rank() == 2 && grad_out.dim(1) == out_,
+                  "Dense backward: bad grad "
+                      << tensor::to_string(grad_out.shape()));
+  OASIS_CHECK_MSG(grad_out.dim(0) == cached_input_.dim(0),
+                  "Dense backward: batch mismatch");
+  // grad_W[o, i] = Σ_b grad_out[b, o] * x[b, i]  — the batch-summed gradient
+  // the attacks invert.
+  weight_.grad += tensor::matmul_tn(grad_out, cached_input_);
+  bias_.grad += tensor::sum_rows(grad_out);
+  // grad_x = grad_out · W.
+  return tensor::matmul(grad_out, weight_.value);
+}
+
+}  // namespace oasis::nn

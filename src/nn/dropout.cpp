@@ -1,0 +1,33 @@
+#include "nn/dropout.h"
+
+namespace oasis::nn {
+
+Dropout::Dropout(real p, common::Rng rng) : p_(p), rng_(rng) {
+  OASIS_CHECK_MSG(p_ >= 0.0 && p_ < 1.0, "dropout p=" << p_);
+}
+
+tensor::Tensor Dropout::forward(const tensor::Tensor& x, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0) return x;
+  const real keep_scale = 1.0 / (1.0 - p_);
+  mask_.resize(x.size());
+  tensor::Tensor out = x;
+  auto v = out.data();
+  for (index_t i = 0; i < v.size(); ++i) {
+    mask_[i] = rng_.bernoulli(p_) ? 0.0 : keep_scale;
+    v[i] *= mask_[i];
+  }
+  return out;
+}
+
+tensor::Tensor Dropout::backward(const tensor::Tensor& grad_out) {
+  if (!last_training_ || p_ == 0.0) return grad_out;
+  OASIS_CHECK_MSG(grad_out.size() == mask_.size(),
+                  "Dropout backward: size mismatch");
+  tensor::Tensor grad_in = grad_out;
+  auto g = grad_in.data();
+  for (index_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
+  return grad_in;
+}
+
+}  // namespace oasis::nn

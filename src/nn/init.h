@@ -1,0 +1,22 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace oasis::nn::init {
+
+/// Kaiming (He) uniform: U[-√(6/fan_in), +√(6/fan_in)] — default for layers
+/// followed by ReLU.
+tensor::Tensor kaiming_uniform(tensor::Shape shape, index_t fan_in,
+                               common::Rng& rng);
+
+/// Xavier/Glorot uniform: U[-√(6/(fan_in+fan_out)), +...].
+tensor::Tensor xavier_uniform(tensor::Shape shape, index_t fan_in,
+                              index_t fan_out, common::Rng& rng);
+
+/// Kaiming normal: N(0, 2/fan_in).
+tensor::Tensor kaiming_normal(tensor::Shape shape, index_t fan_in,
+                              common::Rng& rng);
+
+}  // namespace oasis::nn::init

@@ -1,0 +1,44 @@
+#include "nn/model_io.h"
+
+namespace oasis::nn {
+
+std::vector<tensor::Tensor> snapshot_state(Module& model) {
+  std::vector<tensor::Tensor> state;
+  for (const auto* p : model.parameters()) state.push_back(p->value);
+  for (const auto* b : model.buffers()) state.push_back(*b);
+  return state;
+}
+
+void load_state(Module& model, const std::vector<tensor::Tensor>& state) {
+  auto params = model.parameters();
+  auto buffers = model.buffers();
+  OASIS_CHECK_MSG(state.size() == params.size() + buffers.size(),
+                  "load_state: " << state.size() << " tensors for "
+                                 << params.size() << " params + "
+                                 << buffers.size() << " buffers");
+  std::size_t i = 0;
+  for (auto* p : params) {
+    tensor::check_same_shape(p->value.shape(), state[i].shape(), "load_state");
+    p->value = state[i++];
+  }
+  for (auto* b : buffers) {
+    tensor::check_same_shape(b->shape(), state[i].shape(), "load_state");
+    *b = state[i++];
+  }
+}
+
+std::vector<tensor::Tensor> snapshot_gradients(Module& model) {
+  std::vector<tensor::Tensor> grads;
+  for (const auto* p : model.parameters()) grads.push_back(p->grad);
+  return grads;
+}
+
+tensor::ByteBuffer serialize_state(Module& model) {
+  return tensor::serialize_tensors(snapshot_state(model));
+}
+
+void deserialize_state(Module& model, const tensor::ByteBuffer& bytes) {
+  load_state(model, tensor::deserialize_tensors(bytes));
+}
+
+}  // namespace oasis::nn

@@ -1,0 +1,24 @@
+// Snapshot/restore of model state (parameters + buffers) as tensor lists and
+// byte buffers — the payloads the FL protocol ships.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/serialize.h"
+
+namespace oasis::nn {
+
+/// Copies all parameter values followed by all buffers, in module order.
+std::vector<tensor::Tensor> snapshot_state(Module& model);
+
+/// Loads a snapshot produced by snapshot_state into a structurally identical
+/// model. Throws Error on count/shape mismatch.
+void load_state(Module& model, const std::vector<tensor::Tensor>& state);
+
+/// Copies all parameter *gradients*, in module order (an FL client update).
+std::vector<tensor::Tensor> snapshot_gradients(Module& model);
+
+/// Serialized forms (wire format of the FL simulator).
+tensor::ByteBuffer serialize_state(Module& model);
+void deserialize_state(Module& model, const tensor::ByteBuffer& bytes);
+
+}  // namespace oasis::nn

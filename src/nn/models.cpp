@@ -1,0 +1,87 @@
+#include "nn/models.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+
+namespace oasis::nn {
+
+std::unique_ptr<Sequential> make_mlp(const ImageSpec& spec,
+                                     const std::vector<index_t>& hidden,
+                                     index_t classes, common::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  index_t in = spec.pixels();
+  for (const auto h : hidden) {
+    net->emplace<Dense>(in, h, rng);
+    net->emplace<ReLU>();
+    in = h;
+  }
+  net->emplace<Dense>(in, classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mini_convnet(const ImageSpec& spec,
+                                              index_t classes,
+                                              common::Rng& rng,
+                                              index_t width) {
+  OASIS_CHECK_MSG(spec.height % 4 == 0 && spec.width % 4 == 0,
+                  "make_mini_convnet: image extent must be divisible by 4");
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(spec.channels, width, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2, 2);
+  net->emplace<Conv2d>(width, width * 2, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2, 2);
+  net->emplace<Flatten>();
+  const index_t feat = width * 2 * (spec.height / 4) * (spec.width / 4);
+  net->emplace<Dense>(feat, 128, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dense>(128, classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mini_resnet(const ImageSpec& spec,
+                                             index_t classes,
+                                             common::Rng& rng,
+                                             index_t width) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(spec.channels, width, 3, 1, 1, rng);
+  net->emplace<BatchNorm2d>(width);
+  net->emplace<ReLU>();
+  net->emplace<ResidualBlock>(width, width, 1, rng);
+  net->emplace<ResidualBlock>(width, width * 2, 2, rng);
+  net->emplace<ResidualBlock>(width * 2, width * 4, 2, rng);
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Dense>(width * 4, classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_linear_model(const ImageSpec& spec,
+                                              index_t classes,
+                                              common::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  net->emplace<Dense>(spec.pixels(), classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_attack_host(const ImageSpec& spec,
+                                             index_t attack_neurons,
+                                             index_t classes,
+                                             common::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  net->emplace<Dense>(spec.pixels(), attack_neurons, rng);  // malicious slot
+  net->emplace<ReLU>();
+  net->emplace<Dense>(attack_neurons, 64, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dense>(64, classes, rng);
+  return net;
+}
+
+}  // namespace oasis::nn

@@ -1,0 +1,59 @@
+// Model factories used across experiments.
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.h"
+
+namespace oasis::nn {
+
+/// Geometry of the image inputs a model consumes.
+struct ImageSpec {
+  index_t channels = 3;
+  index_t height = 32;
+  index_t width = 32;
+
+  [[nodiscard]] index_t pixels() const { return channels * height * width; }
+};
+
+/// Multi-layer perceptron: Flatten → [Dense → ReLU]* → Dense(classes).
+std::unique_ptr<Sequential> make_mlp(const ImageSpec& spec,
+                                     const std::vector<index_t>& hidden,
+                                     index_t classes, common::Rng& rng);
+
+/// Compact CNN: 2×(Conv → ReLU → MaxPool) → Dense head. The default
+/// classifier for Table 1 quick runs.
+std::unique_ptr<Sequential> make_mini_convnet(const ImageSpec& spec,
+                                              index_t classes,
+                                              common::Rng& rng,
+                                              index_t width = 12);
+
+/// MiniResNet — the ResNet-18 stand-in: stem conv+BN+ReLU, three residual
+/// stages (widths w, 2w, 4w; strides 1, 2, 2), global average pooling, and a
+/// linear classifier. ~10 conv layers; same topology family as ResNet-18
+/// scaled to CPU budgets.
+std::unique_ptr<Sequential> make_mini_resnet(const ImageSpec& spec,
+                                             index_t classes,
+                                             common::Rng& rng,
+                                             index_t width = 8);
+
+/// Single Dense(d → classes) layer — the linear model of Appendix D's
+/// gradient-inversion experiment (Fig. 13).
+std::unique_ptr<Sequential> make_linear_model(const ImageSpec& spec,
+                                              index_t classes,
+                                              common::Rng& rng);
+
+/// The host network the active attacks implant into: Flatten →
+/// Dense(d→n_attack) + ReLU (the malicious block, layers 1-2) → Dense → ReLU
+/// → Dense(classes). The attacker overwrites the first Dense's parameters;
+/// indices of the malicious layer within the Sequential are fixed:
+/// kMaliciousDenseIndex / kMaliciousReluIndex.
+std::unique_ptr<Sequential> make_attack_host(const ImageSpec& spec,
+                                             index_t attack_neurons,
+                                             index_t classes,
+                                             common::Rng& rng);
+
+/// Position of the malicious Dense layer inside make_attack_host's result.
+inline constexpr index_t kMaliciousDenseIndex = 1;
+
+}  // namespace oasis::nn

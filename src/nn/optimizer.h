@@ -1,0 +1,78 @@
+// First-order optimizers over a set of Parameters.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace oasis::nn {
+
+/// Base optimizer: owns no parameters, only references them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Current learning rate (schedulers adjust it between epochs).
+  [[nodiscard]] virtual real lr() const = 0;
+  virtual void set_lr(real lr) = 0;
+
+  /// Clears all parameter gradients.
+  void zero_grad() {
+    for (auto* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// SGD with optional momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    real lr = 0.01;
+    real momentum = 0.0;
+    real weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<Parameter*> params, Options opts);
+  void step() override;
+  [[nodiscard]] real lr() const override { return opts_.lr; }
+  void set_lr(real lr) override { opts_.lr = lr; }
+
+ private:
+  Options opts_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with L2 weight decay, as the paper's Table 1 setup
+/// (Adam, lr 1e-3, weight decay 1e-5 / 1e-3).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    real lr = 1e-3;
+    real beta1 = 0.9;
+    real beta2 = 0.999;
+    real eps = 1e-8;
+    real weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Parameter*> params, Options opts);
+  void step() override;
+  [[nodiscard]] real lr() const override { return opts_.lr; }
+  void set_lr(real lr) override { opts_.lr = lr; }
+
+ private:
+  Options opts_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  index_t t_ = 0;
+};
+
+}  // namespace oasis::nn

@@ -1,0 +1,27 @@
+// Trainable parameter: value + accumulated gradient.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace oasis::nn {
+
+/// A named trainable tensor with its gradient accumulator.
+///
+/// Gradients ACCUMULATE across backward() calls until zero_grad(); this
+/// mirrors the batch-summed semantics the reconstruction attacks rely on
+/// (the FL client uploads exactly these accumulated tensors).
+struct Parameter {
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, tensor::Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0); }
+};
+
+}  // namespace oasis::nn

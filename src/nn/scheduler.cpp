@@ -1,0 +1,30 @@
+#include "nn/scheduler.h"
+
+#include <cmath>
+
+namespace oasis::nn {
+
+StepDecayLr::StepDecayLr(real initial, index_t step_size, real gamma)
+    : initial_(initial), step_size_(step_size), gamma_(gamma) {
+  OASIS_CHECK(initial > 0.0 && step_size >= 1 && gamma > 0.0 && gamma <= 1.0);
+}
+
+real StepDecayLr::lr(index_t epoch) const {
+  return initial_ * std::pow(gamma_, static_cast<real>(epoch / step_size_));
+}
+
+CosineAnnealingLr::CosineAnnealingLr(real initial, index_t total_epochs,
+                                     real floor)
+    : initial_(initial), total_epochs_(total_epochs), floor_(floor) {
+  OASIS_CHECK(initial > 0.0 && total_epochs >= 1 && floor >= 0.0 &&
+              floor <= initial);
+}
+
+real CosineAnnealingLr::lr(index_t epoch) const {
+  constexpr real kPi = 3.14159265358979323846;
+  const real t = std::min<real>(1.0, static_cast<real>(epoch) /
+                                         static_cast<real>(total_epochs_));
+  return floor_ + 0.5 * (initial_ - floor_) * (1.0 + std::cos(kPi * t));
+}
+
+}  // namespace oasis::nn

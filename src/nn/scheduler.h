@@ -1,0 +1,58 @@
+// Learning-rate schedules.
+#pragma once
+
+#include <memory>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace oasis::nn {
+
+/// Maps an epoch index to a learning rate.
+class LrSchedule {
+ public:
+  LrSchedule() = default;
+  LrSchedule(const LrSchedule&) = delete;
+  LrSchedule& operator=(const LrSchedule&) = delete;
+  virtual ~LrSchedule() = default;
+
+  [[nodiscard]] virtual real lr(index_t epoch) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(real lr) : lr_(lr) { OASIS_CHECK(lr > 0.0); }
+  [[nodiscard]] real lr(index_t /*epoch*/) const override { return lr_; }
+
+ private:
+  real lr_;
+};
+
+/// Multiplies the rate by `gamma` every `step_size` epochs.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(real initial, index_t step_size, real gamma);
+  [[nodiscard]] real lr(index_t epoch) const override;
+
+ private:
+  real initial_;
+  index_t step_size_;
+  real gamma_;
+};
+
+/// Cosine annealing from `initial` to `floor` over `total_epochs`.
+class CosineAnnealingLr : public LrSchedule {
+ public:
+  CosineAnnealingLr(real initial, index_t total_epochs, real floor = 0.0);
+  [[nodiscard]] real lr(index_t epoch) const override;
+
+ private:
+  real initial_;
+  index_t total_epochs_;
+  real floor_;
+};
+
+using LrSchedulePtr = std::shared_ptr<const LrSchedule>;
+
+}  // namespace oasis::nn

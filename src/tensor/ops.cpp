@@ -1,0 +1,297 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oasis::tensor {
+namespace {
+
+void check_rank2(const Tensor& t, const char* op) {
+  if (t.rank() != 2) {
+    throw ShapeError(std::string(op) + ": expected rank-2, got " +
+                     to_string(t.shape()));
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  OASIS_CHECK_MSG(b.dim(0) == k, "matmul: " << to_string(a.shape()) << " · "
+                                            << to_string(b.shape()));
+  Tensor c({m, n});
+  const real* pa = a.data().data();
+  const real* pb = b.data().data();
+  real* pc = c.data().data();
+  for (index_t i = 0; i < m; ++i) {
+    const real* arow = pa + i * k;
+    real* crow = pc + i * n;
+    for (index_t kk = 0; kk < k; ++kk) {
+      const real av = arow[kk];
+      if (av == 0.0) continue;
+      const real* brow = pb + kk * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  OASIS_CHECK_MSG(b.dim(0) == k, "matmul_tn: " << to_string(a.shape()) << "ᵀ · "
+                                               << to_string(b.shape()));
+  Tensor c({m, n});
+  const real* pa = a.data().data();
+  const real* pb = b.data().data();
+  real* pc = c.data().data();
+  // c[i,j] = Σ_kk a[kk,i] * b[kk,j]; iterate kk outermost so both reads are
+  // row-contiguous.
+  for (index_t kk = 0; kk < k; ++kk) {
+    const real* arow = pa + kk * m;
+    const real* brow = pb + kk * n;
+    for (index_t i = 0; i < m; ++i) {
+      const real av = arow[i];
+      if (av == 0.0) continue;
+      real* crow = pc + i * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  OASIS_CHECK_MSG(b.dim(1) == k, "matmul_nt: " << to_string(a.shape()) << " · "
+                                               << to_string(b.shape()) << "ᵀ");
+  Tensor c({m, n});
+  const real* pa = a.data().data();
+  const real* pb = b.data().data();
+  real* pc = c.data().data();
+  // c[i,j] = Σ_kk a[i,kk] * b[j,kk]: dot of two contiguous rows.
+  for (index_t i = 0; i < m; ++i) {
+    const real* arow = pa + i * k;
+    real* crow = pc + i * n;
+    for (index_t j = 0; j < n; ++j) {
+      const real* brow = pb + j * k;
+      real s = 0.0;
+      for (index_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const index_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) t.at2(j, i) = a.at2(i, j);
+  return t;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  check_rank2(a, "matvec");
+  OASIS_CHECK_MSG(x.rank() == 1 && x.dim(0) == a.dim(1),
+                  "matvec: " << to_string(a.shape()) << " · "
+                             << to_string(x.shape()));
+  const index_t m = a.dim(0), n = a.dim(1);
+  Tensor y({m});
+  for (index_t i = 0; i < m; ++i) {
+    real s = 0.0;
+    for (index_t j = 0; j < n; ++j) s += a.at2(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Tensor outer(const Tensor& a, const Tensor& b) {
+  OASIS_CHECK_MSG(a.rank() == 1 && b.rank() == 1,
+                  "outer: " << to_string(a.shape()) << " ⊗ "
+                            << to_string(b.shape()));
+  const index_t m = a.dim(0), n = b.dim(0);
+  Tensor c({m, n});
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) c.at2(i, j) = a[i] * b[j];
+  return c;
+}
+
+Tensor sum_rows(const Tensor& a) {
+  check_rank2(a, "sum_rows");
+  const index_t m = a.dim(0), n = a.dim(1);
+  Tensor s({n});
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) s[j] += a.at2(i, j);
+  return s;
+}
+
+void add_row_vector(Tensor& a, const Tensor& bias) {
+  check_rank2(a, "add_row_vector");
+  OASIS_CHECK_MSG(bias.rank() == 1 && bias.dim(0) == a.dim(1),
+                  "add_row_vector: " << to_string(a.shape()) << " + "
+                                     << to_string(bias.shape()));
+  const index_t m = a.dim(0), n = a.dim(1);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) a.at2(i, j) += bias[j];
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a;
+  for (auto& v : out.data()) v = std::max(v, 0.0);
+  return out;
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation) {
+  check_same_shape(grad_out.shape(), pre_activation.shape(), "relu_backward");
+  Tensor grad_in = grad_out;
+  auto g = grad_in.data();
+  auto z = pre_activation.data();
+  for (index_t i = 0; i < g.size(); ++i) {
+    if (z[i] <= 0.0) g[i] = 0.0;
+  }
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check_rank2(logits, "softmax_rows");
+  const index_t m = logits.dim(0), n = logits.dim(1);
+  Tensor p = logits;
+  for (index_t i = 0; i < m; ++i) {
+    real mx = p.at2(i, 0);
+    for (index_t j = 1; j < n; ++j) mx = std::max(mx, p.at2(i, j));
+    real sum = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      const real e = std::exp(p.at2(i, j) - mx);
+      p.at2(i, j) = e;
+      sum += e;
+    }
+    for (index_t j = 0; j < n; ++j) p.at2(i, j) /= sum;
+  }
+  return p;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  check_rank2(logits, "log_softmax_rows");
+  const index_t m = logits.dim(0), n = logits.dim(1);
+  Tensor out = logits;
+  for (index_t i = 0; i < m; ++i) {
+    real mx = out.at2(i, 0);
+    for (index_t j = 1; j < n; ++j) mx = std::max(mx, out.at2(i, j));
+    real sum = 0.0;
+    for (index_t j = 0; j < n; ++j) sum += std::exp(out.at2(i, j) - mx);
+    const real lse = mx + std::log(sum);
+    for (index_t j = 0; j < n; ++j) out.at2(i, j) -= lse;
+  }
+  return out;
+}
+
+index_t conv_out_extent(index_t in, index_t k, index_t stride, index_t pad) {
+  OASIS_CHECK_MSG(in + 2 * pad >= k,
+                  "conv: kernel " << k << " larger than padded input "
+                                  << in + 2 * pad);
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+Tensor im2col(const Tensor& image, index_t kh, index_t kw, index_t stride,
+              index_t pad) {
+  OASIS_CHECK_MSG(image.rank() == 3,
+                  "im2col: expected [C,H,W], got " << to_string(image.shape()));
+  OASIS_CHECK(stride >= 1);
+  const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  const index_t oh = conv_out_extent(h, kh, stride, pad);
+  const index_t ow = conv_out_extent(w, kw, stride, pad);
+  Tensor cols({c * kh * kw, oh * ow});
+  const real* src = image.data().data();
+  real* dst = cols.data().data();
+  const index_t out_cols = oh * ow;
+  for (index_t ch = 0; ch < c; ++ch) {
+    for (index_t ki = 0; ki < kh; ++ki) {
+      for (index_t kj = 0; kj < kw; ++kj) {
+        real* drow = dst + ((ch * kh + ki) * kw + kj) * out_cols;
+        for (index_t oi = 0; oi < oh; ++oi) {
+          // Source row index may be out of bounds when padding is in effect.
+          const std::ptrdiff_t si =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (index_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t sj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            real v = 0.0;
+            if (si >= 0 && si < static_cast<std::ptrdiff_t>(h) && sj >= 0 &&
+                sj < static_cast<std::ptrdiff_t>(w)) {
+              v = src[(ch * h + static_cast<index_t>(si)) * w +
+                      static_cast<index_t>(sj)];
+            }
+            drow[oi * ow + oj] = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, index_t channels, index_t height,
+              index_t width, index_t kh, index_t kw, index_t stride,
+              index_t pad) {
+  const index_t oh = conv_out_extent(height, kh, stride, pad);
+  const index_t ow = conv_out_extent(width, kw, stride, pad);
+  OASIS_CHECK_MSG(cols.rank() == 2 && cols.dim(0) == channels * kh * kw &&
+                      cols.dim(1) == oh * ow,
+                  "col2im: bad cols shape " << to_string(cols.shape()));
+  Tensor image({channels, height, width});
+  const real* src = cols.data().data();
+  real* dst = image.data().data();
+  const index_t out_cols = oh * ow;
+  for (index_t ch = 0; ch < channels; ++ch) {
+    for (index_t ki = 0; ki < kh; ++ki) {
+      for (index_t kj = 0; kj < kw; ++kj) {
+        const real* srow = src + ((ch * kh + ki) * kw + kj) * out_cols;
+        for (index_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t si =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (si < 0 || si >= static_cast<std::ptrdiff_t>(height)) continue;
+          for (index_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t sj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (sj < 0 || sj >= static_cast<std::ptrdiff_t>(width)) continue;
+            dst[(ch * height + static_cast<index_t>(si)) * width +
+                static_cast<index_t>(sj)] += srow[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+real max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "max_abs_diff");
+  real m = 0.0;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (index_t i = 0; i < pa.size(); ++i)
+    m = std::max(m, std::abs(pa[i] - pb[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, real rtol, real atol) {
+  if (a.shape() != b.shape()) return false;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (index_t i = 0; i < pa.size(); ++i) {
+    if (std::abs(pa[i] - pb[i]) > atol + rtol * std::abs(pb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace oasis::tensor

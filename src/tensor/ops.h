@@ -1,0 +1,77 @@
+// Linear-algebra and NN-support kernels on Tensor.
+//
+// All matrix kernels operate on rank-2 tensors with row-major layout. The
+// matmul family uses an i-k-j loop order with a contiguous unit-stride inner
+// loop, which the compiler auto-vectorizes; this is the single hot spot of
+// training and of the attack's reconstruction arithmetic.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace oasis::tensor {
+
+/// C = A(m×k) · B(k×n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ(k×m becomes m×k input) · B — computes A.T @ B without materializing
+/// the transpose. A is (k×m), B is (k×n), result (m×n). Used for weight
+/// gradients (xᵀ · δ).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A(m×k) · Bᵀ where B is (n×k), result (m×n). Used for input gradients
+/// (δ · Wᵀ with W stored (out×in)).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Explicit transpose of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+/// y = A(m×n) · x(n).
+Tensor matvec(const Tensor& a, const Tensor& x);
+
+/// Outer product a(m) ⊗ b(n) → (m×n).
+Tensor outer(const Tensor& a, const Tensor& b);
+
+/// Sum of a rank-2 tensor over rows: result[j] = Σ_i a[i,j]. This is exactly
+/// the batch-summed bias gradient the reconstruction attacks invert.
+Tensor sum_rows(const Tensor& a);
+
+/// Adds a rank-1 bias to every row of a rank-2 tensor in place.
+void add_row_vector(Tensor& a, const Tensor& bias);
+
+/// Element-wise max(v, 0).
+Tensor relu(const Tensor& a);
+
+/// ReLU backward: grad masked by (pre_activation > 0).
+Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation);
+
+/// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise log-softmax of a rank-2 tensor (numerically stabilized).
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// im2col for 2-D convolution.
+///
+/// Input [C, H, W] is unrolled into a matrix of shape
+/// [C*kh*kw, out_h*out_w] so convolution becomes a single matmul with the
+/// (out_channels × C*kh*kw) filter matrix. Zero padding, stride >= 1.
+Tensor im2col(const Tensor& image, index_t kh, index_t kw, index_t stride,
+              index_t pad);
+
+/// Adjoint of im2col: folds a [C*kh*kw, out_h*out_w] column matrix back into
+/// a [C, H, W] image, summing overlapping contributions.
+Tensor col2im(const Tensor& cols, index_t channels, index_t height,
+              index_t width, index_t kh, index_t kw, index_t stride,
+              index_t pad);
+
+/// Output spatial extent of a convolution/pool along one axis.
+index_t conv_out_extent(index_t in, index_t k, index_t stride, index_t pad);
+
+/// Max-absolute-difference between two same-shaped tensors.
+real max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True iff all |a-b| <= atol + rtol*|b| element-wise (same shape required).
+bool allclose(const Tensor& a, const Tensor& b, real rtol = 1e-9,
+              real atol = 1e-12);
+
+}  // namespace oasis::tensor

@@ -1,0 +1,76 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+
+namespace oasis::tensor {
+namespace {
+
+void write_u64(std::uint64_t v, ByteBuffer& out) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::uint64_t read_u64(const ByteBuffer& in, std::size_t& offset) {
+  if (offset + sizeof(std::uint64_t) > in.size()) {
+    throw SerializationError("truncated buffer reading u64");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, in.data() + offset, sizeof(v));
+  offset += sizeof(v);
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(const Tensor& t, ByteBuffer& out) {
+  write_u64(t.rank(), out);
+  for (const auto d : t.shape()) write_u64(d, out);
+  const auto values = t.data();
+  const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+  out.insert(out.end(), p, p + values.size() * sizeof(real));
+}
+
+Tensor read_tensor(const ByteBuffer& in, std::size_t& offset) {
+  const auto rank = read_u64(in, offset);
+  if (rank > 8) {
+    throw SerializationError("implausible tensor rank " +
+                             std::to_string(rank));
+  }
+  Shape shape(rank);
+  for (auto& d : shape) d = read_u64(in, offset);
+  const index_t n = numel(shape);
+  if (offset + n * sizeof(real) > in.size()) {
+    throw SerializationError("truncated buffer reading tensor payload");
+  }
+  std::vector<real> values(n);
+  std::memcpy(values.data(), in.data() + offset, n * sizeof(real));
+  offset += n * sizeof(real);
+  return Tensor(std::move(shape), std::move(values));
+}
+
+ByteBuffer serialize_tensors(const std::vector<Tensor>& tensors) {
+  ByteBuffer out;
+  write_u64(tensors.size(), out);
+  for (const auto& t : tensors) write_tensor(t, out);
+  return out;
+}
+
+std::vector<Tensor> deserialize_tensors(const ByteBuffer& in) {
+  std::size_t offset = 0;
+  const auto count = read_u64(in, offset);
+  if (count > (1u << 20)) {
+    throw SerializationError("implausible tensor count " +
+                             std::to_string(count));
+  }
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    tensors.push_back(read_tensor(in, offset));
+  }
+  if (offset != in.size()) {
+    throw SerializationError("trailing bytes after tensor list");
+  }
+  return tensors;
+}
+
+}  // namespace oasis::tensor

@@ -1,0 +1,32 @@
+// Binary (de)serialization of tensors.
+//
+// The FL layer ships model snapshots and gradient updates between server and
+// clients as byte buffers; this module defines that wire format. Layout per
+// tensor: u64 rank, u64 extents..., f64 values... (little-endian host order —
+// the simulator runs in one process, so no byte swapping is performed, but
+// the format is versioned for forward compatibility).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace oasis::tensor {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+/// Appends a serialized tensor to `out`.
+void write_tensor(const Tensor& t, ByteBuffer& out);
+
+/// Reads one tensor starting at `offset`, advancing `offset` past it.
+/// Throws SerializationError on truncated/malformed input.
+Tensor read_tensor(const ByteBuffer& in, std::size_t& offset);
+
+/// Serializes a list of tensors with a count header.
+ByteBuffer serialize_tensors(const std::vector<Tensor>& tensors);
+
+/// Inverse of serialize_tensors. Throws SerializationError on malformed input.
+std::vector<Tensor> deserialize_tensors(const ByteBuffer& in);
+
+}  // namespace oasis::tensor

@@ -1,0 +1,45 @@
+// Shape type and helpers for the dense tensor engine.
+#pragma once
+
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace oasis::tensor {
+
+/// Tensor shape: a list of dimension extents, outermost first (row-major).
+using Shape = std::vector<index_t>;
+
+/// Total number of elements in a shape (1 for a scalar / empty shape).
+inline index_t numel(const Shape& shape) {
+  index_t n = 1;
+  for (const auto d : shape) n *= d;
+  return n;
+}
+
+/// "[2, 3, 4]" — for error messages and logs.
+inline std::string to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (index_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+/// Throws ShapeError unless the two shapes are identical.
+inline void check_same_shape(const Shape& a, const Shape& b,
+                             const char* op) {
+  if (a != b) {
+    throw ShapeError(std::string(op) + ": shape mismatch " + to_string(a) +
+                     " vs " + to_string(b));
+  }
+}
+
+}  // namespace oasis::tensor

@@ -1,0 +1,141 @@
+// Dense row-major tensor of `real` (double) values.
+//
+// This is the numeric workhorse beneath the NN library, the augmentation
+// engine, and the attacks. It deliberately has value semantics (copyable,
+// movable) and owns its storage in a contiguous std::vector — no views or
+// reference counting, which keeps aliasing reasoning trivial throughout the
+// gradient-inversion code where exactness matters.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "tensor/shape.h"
+
+namespace oasis::tensor {
+
+class Tensor {
+ public:
+  /// Empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape initialized from `values` (size must match).
+  Tensor(Shape shape, std::vector<real> values);
+
+  // ---- Factories -----------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0); }
+  static Tensor full(Shape shape, real value);
+  /// I.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, common::Rng& rng, real mean = 0.0,
+                      real stddev = 1.0);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand(Shape shape, common::Rng& rng, real lo = 0.0,
+                     real hi = 1.0);
+
+  // ---- Introspection -------------------------------------------------------
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] index_t rank() const { return shape_.size(); }
+  [[nodiscard]] index_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  /// Extent of dimension `d` (bounds-checked).
+  [[nodiscard]] index_t dim(index_t d) const;
+
+  [[nodiscard]] std::span<real> data() { return data_; }
+  [[nodiscard]] std::span<const real> data() const { return data_; }
+
+  // ---- Element access ------------------------------------------------------
+
+  /// Flat (row-major) access, bounds-checked in debug via at().
+  real& operator[](index_t i) { return data_[i]; }
+  real operator[](index_t i) const { return data_[i]; }
+
+  /// Multi-index access (rank must match argument count). Bounds-checked.
+  real& at(std::initializer_list<index_t> idx);
+  [[nodiscard]] real at(std::initializer_list<index_t> idx) const;
+
+  /// Unchecked 2-D accessors for hot loops (rank-2 tensors only by contract).
+  real& at2(index_t i, index_t j) { return data_[i * shape_[1] + j]; }
+  [[nodiscard]] real at2(index_t i, index_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+
+  /// Unchecked 3-D accessor ([C, H, W] image layouts).
+  real& at3(index_t c, index_t h, index_t w) {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+  [[nodiscard]] real at3(index_t c, index_t h, index_t w) const {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+
+  /// Unchecked 4-D accessor ([N, C, H, W] layouts in the CNN).
+  real& at4(index_t n, index_t c, index_t h, index_t w) {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  [[nodiscard]] real at4(index_t n, index_t c, index_t h, index_t w) const {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  // ---- Shape manipulation --------------------------------------------------
+
+  /// Returns a copy with a new shape of identical element count.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape (element count must be preserved).
+  void reshape(Shape new_shape);
+
+  /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+  [[nodiscard]] Tensor row(index_t i) const;
+
+  /// Extracts the `n`-th outermost slice (e.g. one image from [N,C,H,W]).
+  [[nodiscard]] Tensor slice(index_t n) const;
+
+  // ---- In-place arithmetic -------------------------------------------------
+
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(real s);
+  Tensor& operator/=(real s);
+  /// Hadamard (element-wise) product.
+  Tensor& mul_(const Tensor& rhs);
+  /// this += alpha * rhs  (axpy).
+  Tensor& add_scaled_(const Tensor& rhs, real alpha);
+  /// Sets every element to `value`.
+  void fill(real value);
+
+  // ---- Reductions ----------------------------------------------------------
+
+  [[nodiscard]] real sum() const;
+  [[nodiscard]] real mean() const;
+  [[nodiscard]] real min() const;
+  [[nodiscard]] real max() const;
+  /// Index of the maximum element (first on ties). Requires non-empty.
+  [[nodiscard]] index_t argmax() const;
+  /// Euclidean norm.
+  [[nodiscard]] real norm() const;
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<real> data_;
+};
+
+// ---- Out-of-place arithmetic -----------------------------------------------
+
+Tensor operator+(Tensor lhs, const Tensor& rhs);
+Tensor operator-(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, real s);
+Tensor operator*(real s, Tensor rhs);
+
+}  // namespace oasis::tensor

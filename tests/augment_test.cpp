@@ -1,0 +1,288 @@
+// Augmentation engine tests: exactness of index-permutation transforms,
+// algebraic properties (involutions, composition to identity), bilinear warp
+// correctness, policy construction of D'.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "augment/affine.h"
+#include "augment/policy.h"
+#include "augment/transforms.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace oasis::augment {
+namespace {
+
+constexpr real kPi = 3.14159265358979323846;
+
+tensor::Tensor random_image(common::Rng& rng, index_t n = 8) {
+  return tensor::Tensor::rand({3, n, n}, rng);
+}
+
+TEST(Affine, Rotate90KnownPixels) {
+  // 2x2 single-channel image; 90° ccw moves in(0,1) -> out(0,0).
+  tensor::Tensor img({1, 2, 2}, {1, 2, 3, 4});
+  tensor::Tensor r = rotate90(img);
+  EXPECT_DOUBLE_EQ(r.at3(0, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(r.at3(0, 0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(r.at3(0, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r.at3(0, 1, 1), 3.0);
+}
+
+TEST(Affine, QuarterTurnsComposeToIdentity) {
+  common::Rng rng(1);
+  tensor::Tensor img = random_image(rng);
+  EXPECT_TRUE(rotate90(rotate90(rotate90(rotate90(img)))) == img);
+  EXPECT_TRUE(rotate180(rotate180(img)) == img);
+  EXPECT_TRUE(rotate90(rotate270(img)) == img);
+  EXPECT_TRUE(rotate90(rotate90(img)) == rotate180(img));
+}
+
+TEST(Affine, FlipsAreInvolutions) {
+  common::Rng rng(2);
+  tensor::Tensor img = random_image(rng);
+  EXPECT_TRUE(flip_horizontal(flip_horizontal(img)) == img);
+  EXPECT_TRUE(flip_vertical(flip_vertical(img)) == img);
+  // HFlip ∘ VFlip == 180° rotation.
+  EXPECT_TRUE(flip_horizontal(flip_vertical(img)) == rotate180(img));
+}
+
+TEST(Affine, ExactTransformsPreserveThePixelMultiset) {
+  // The property that defeats RTF's mean-brightness bins: major rotations
+  // and flips permute pixels, so the pixel multiset — and hence the mean up
+  // to floating summation order — is preserved exactly.
+  common::Rng rng(3);
+  tensor::Tensor img = random_image(rng, 16);
+  auto sorted = [](const tensor::Tensor& t) {
+    std::vector<real> v(t.data().begin(), t.data().end());
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  const auto ref = sorted(img);
+  EXPECT_EQ(sorted(rotate90(img)), ref);
+  EXPECT_EQ(sorted(rotate180(img)), ref);
+  EXPECT_EQ(sorted(rotate270(img)), ref);
+  EXPECT_EQ(sorted(flip_horizontal(img)), ref);
+  EXPECT_EQ(sorted(flip_vertical(img)), ref);
+  EXPECT_NEAR(rotate90(img).sum(), img.sum(), 1e-10);
+}
+
+TEST(Affine, MinorRotationChangesMean) {
+  // Bilinear zero-fill rotation loses corner mass — minor rotation is NOT
+  // mean-preserving, which is why it defends less reliably (Fig. 6 vs 5).
+  common::Rng rng(4);
+  tensor::Tensor img = tensor::Tensor::full({3, 16, 16}, 1.0);
+  tensor::Tensor r = rotate(img, 30.0 * kPi / 180.0);
+  EXPECT_LT(r.mean(), img.mean() - 0.05);
+}
+
+TEST(Affine, RotationByZeroIsIdentity) {
+  common::Rng rng(5);
+  tensor::Tensor img = random_image(rng);
+  EXPECT_LT(tensor::max_abs_diff(rotate(img, 0.0), img), 1e-12);
+}
+
+TEST(Affine, BilinearQuarterTurnMatchesExact) {
+  // Rotating by exactly 90° through the bilinear path must agree with the
+  // index-permutation implementation (grid points land on grid points).
+  common::Rng rng(6);
+  tensor::Tensor img = random_image(rng);
+  tensor::Tensor bilinear = rotate(img, kPi / 2.0);
+  EXPECT_LT(tensor::max_abs_diff(bilinear, rotate90(img)), 1e-9);
+}
+
+TEST(Affine, ShearZeroIsIdentity) {
+  common::Rng rng(7);
+  tensor::Tensor img = random_image(rng);
+  EXPECT_LT(tensor::max_abs_diff(shear(img, 0.0), img), 1e-12);
+}
+
+TEST(Affine, ShearDisplacesRowsOppositely) {
+  // A vertical bar shears into a diagonal: top and bottom rows move in
+  // opposite directions around the vertical center.
+  tensor::Tensor img({1, 9, 9});
+  for (index_t i = 0; i < 9; ++i) img.at3(0, i, 4) = 1.0;
+  tensor::Tensor s = shear(img, 0.5);
+  // Center row unchanged.
+  EXPECT_NEAR(s.at3(0, 4, 4), 1.0, 1e-9);
+  // Forward map x' = x + mu(y - cy): top row (y=0) shifts by -2, bottom by
+  // +2.
+  EXPECT_NEAR(s.at3(0, 0, 2), 1.0, 1e-9);
+  EXPECT_NEAR(s.at3(0, 8, 6), 1.0, 1e-9);
+}
+
+TEST(Affine, QuarterTurnRequiresSquare) {
+  tensor::Tensor img({3, 4, 6});
+  EXPECT_THROW(rotate90(img), Error);
+  EXPECT_NO_THROW(rotate180(img));
+  EXPECT_NO_THROW(flip_horizontal(img));
+}
+
+TEST(Transforms, MajorRotationYieldsThreeExactRotations) {
+  common::Rng rng(8);
+  tensor::Tensor img = random_image(rng);
+  MajorRotation mr;
+  auto vs = mr.apply(img, rng);
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_TRUE(vs[0] == rotate90(img));
+  EXPECT_TRUE(vs[1] == rotate180(img));
+  EXPECT_TRUE(vs[2] == rotate270(img));
+}
+
+TEST(Transforms, MinorRotationProducesNonTrivialVariant) {
+  common::Rng rng(9);
+  tensor::Tensor img = random_image(rng, 16);
+  MinorRotation mr;
+  auto vs = mr.apply(img, rng);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_GT(tensor::max_abs_diff(vs[0], img), 0.01);
+}
+
+TEST(Transforms, MinorRotationValidatesRange) {
+  EXPECT_THROW(MinorRotation(0.0, 50.0), Error);
+  EXPECT_THROW(MinorRotation(10.0, 95.0), Error);
+  EXPECT_THROW(MinorRotation(60.0, 30.0), Error);
+}
+
+TEST(Transforms, ShearRandomizesSignAndMagnitude) {
+  common::Rng rng(10);
+  tensor::Tensor img = random_image(rng, 16);
+  Shear sh(0.3, 0.3, /*mean_match=*/false);  // fixed magnitude, random sign
+  bool saw_left = false, saw_right = false;
+  for (int i = 0; i < 20; ++i) {
+    auto vs = sh.apply(img, rng);
+    // Compare against deterministic shears of both signs.
+    if (tensor::max_abs_diff(vs[0], shear(img, 0.3)) < 1e-12) saw_right = true;
+    if (tensor::max_abs_diff(vs[0], shear(img, -0.3)) < 1e-12) saw_left = true;
+  }
+  EXPECT_TRUE(saw_left);
+  EXPECT_TRUE(saw_right);
+}
+
+TEST(Transforms, MeanMatchingPreservesBrightnessStatistic) {
+  // The Proposition 1 mechanism against RTF bins: warped variants carry
+  // exactly the original's mean pixel value.
+  common::Rng rng(101);
+  tensor::Tensor img = random_image(rng, 16);
+  MinorRotation mr;
+  Shear sh;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(mr.apply(img, rng)[0].mean(), img.mean(), 1e-12);
+    EXPECT_NEAR(sh.apply(img, rng)[0].mean(), img.mean(), 1e-12);
+  }
+  // Without matching, the zero-filled border visibly shifts the mean.
+  MinorRotation raw(15.0, 75.0, /*mean_match=*/false);
+  EXPECT_GT(std::abs(raw.apply(img, rng)[0].mean() - img.mean()), 1e-3);
+}
+
+TEST(Transforms, ComposeUnionConcatenatesVariants) {
+  common::Rng rng(11);
+  std::vector<TransformPtr> parts;
+  parts.push_back(std::make_unique<MajorRotation>());
+  parts.push_back(std::make_unique<HorizontalFlip>());
+  Compose combo(std::move(parts), ComposeMode::kUnion);
+  EXPECT_EQ(combo.label(), "MR+HFlip");
+  EXPECT_EQ(combo.variant_count(), 4u);
+  tensor::Tensor img = random_image(rng);
+  auto vs = combo.apply(img, rng);
+  ASSERT_EQ(vs.size(), 4u);
+  EXPECT_TRUE(vs[3] == flip_horizontal(img));
+}
+
+TEST(Transforms, ComposeCrossAlsoTransformsEarlierVariants) {
+  common::Rng rng(11);
+  std::vector<TransformPtr> parts;
+  parts.push_back(std::make_unique<MajorRotation>());
+  parts.push_back(std::make_unique<HorizontalFlip>());
+  Compose combo(std::move(parts), ComposeMode::kCross);
+  EXPECT_EQ(combo.variant_count(), 7u);
+  tensor::Tensor img = random_image(rng);
+  auto vs = combo.apply(img, rng);
+  ASSERT_EQ(vs.size(), 7u);
+  // Rotations first, then flipped rotations, then the flip of the original.
+  EXPECT_TRUE(vs[0] == rotate90(img));
+  EXPECT_TRUE(vs[3] == flip_horizontal(rotate90(img)));
+  EXPECT_TRUE(vs[6] == flip_horizontal(img));
+}
+
+TEST(Transforms, ParseRoundTrip) {
+  EXPECT_EQ(parse_transform_kind("MR"), TransformKind::kMajorRotation);
+  EXPECT_EQ(parse_transform_kind("mR"), TransformKind::kMinorRotation);
+  EXPECT_EQ(parse_transform_kind("SH"), TransformKind::kShear);
+  EXPECT_EQ(parse_transform_kind("HFlip"), TransformKind::kHorizontalFlip);
+  EXPECT_EQ(parse_transform_kind("VFlip"), TransformKind::kVerticalFlip);
+  EXPECT_EQ(parse_transform_kind("none"), TransformKind::kNone);
+  EXPECT_THROW(parse_transform_kind("bogus"), ConfigError);
+}
+
+TEST(Policy, EmptyPolicyIsIdentity) {
+  common::Rng rng(12);
+  AugmentationPolicy policy;
+  EXPECT_TRUE(policy.empty());
+  EXPECT_EQ(policy.label(), "WO");
+  data::Batch batch{tensor::Tensor::rand({2, 3, 8, 8}, rng), {0, 1}};
+  data::Batch out = policy.augment(batch, rng);
+  EXPECT_TRUE(out.images == batch.images);
+}
+
+TEST(Policy, AugmentKeepsOriginalsFirstAndCopiesLabels) {
+  common::Rng rng(13);
+  auto policy = make_policy({TransformKind::kMajorRotation});
+  EXPECT_EQ(policy.variants_per_image(), 3u);
+  data::Batch batch{tensor::Tensor::rand({2, 3, 8, 8}, rng), {5, 7}};
+  data::Batch out = policy.augment(batch, rng);
+  // D' = 2 originals + 2*3 rotations.
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(out.images.dim(0), 8u);
+  // Originals first, in order.
+  EXPECT_TRUE(out.images.slice(0) == batch.images.slice(0));
+  EXPECT_TRUE(out.images.slice(1) == batch.images.slice(1));
+  // Variant labels copy their original's.
+  EXPECT_EQ(out.labels, (std::vector<index_t>{5, 7, 5, 5, 5, 7, 7, 7}));
+  // The rotations really are rotations of the right original.
+  EXPECT_TRUE(out.images.slice(2) == rotate90(batch.images.slice(0)));
+  EXPECT_TRUE(out.images.slice(5) == rotate90(batch.images.slice(1)));
+}
+
+TEST(Policy, CompositePolicyIsCrossIntegrated) {
+  auto policy = make_policy(
+      {TransformKind::kMajorRotation, TransformKind::kShear});
+  EXPECT_EQ(policy.label(), "MR+SH");
+  // Integration (Section 4): rotations + shear + sheared rotations.
+  EXPECT_EQ(policy.variants_per_image(), 7u);
+}
+
+TEST(Policy, NoneEntriesSkipped) {
+  auto policy = make_policy({TransformKind::kNone});
+  EXPECT_TRUE(policy.empty());
+  auto mixed = make_policy({TransformKind::kNone, TransformKind::kShear});
+  EXPECT_EQ(mixed.label(), "SH");
+}
+
+// Property sweep: every single-transform policy preserves original slots and
+// produces B*(1+v) images.
+class PolicySweep : public ::testing::TestWithParam<TransformKind> {};
+
+TEST_P(PolicySweep, BatchGeometry) {
+  common::Rng rng(14);
+  auto policy = make_policy({GetParam()});
+  const index_t v = policy.variants_per_image();
+  data::Batch batch{tensor::Tensor::rand({3, 3, 8, 8}, rng), {0, 1, 2}};
+  data::Batch out = policy.augment(batch, rng);
+  EXPECT_EQ(out.size(), 3 * (1 + v));
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(out.images.slice(i) == batch.images.slice(i));
+    EXPECT_EQ(out.labels[i], batch.labels[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransforms, PolicySweep,
+    ::testing::Values(TransformKind::kMajorRotation,
+                      TransformKind::kMinorRotation, TransformKind::kShear,
+                      TransformKind::kHorizontalFlip,
+                      TransformKind::kVerticalFlip));
+
+}  // namespace
+}  // namespace oasis::augment

@@ -1,0 +1,192 @@
+// Tests for the baseline defenses (DP mechanism, pruning), the update
+// postprocessor wiring, and implant detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/cah.h"
+#include "attack/detection.h"
+#include "attack/rtf.h"
+#include "core/baselines.h"
+#include "core/experiment.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "nn/model_io.h"
+#include "nn/models.h"
+
+namespace oasis::core {
+namespace {
+
+std::vector<tensor::Tensor> toy_grads() {
+  return {tensor::Tensor({2, 2}, {3.0, -4.0, 0.0, 0.0}),
+          tensor::Tensor({2}, {0.0, 12.0})};
+}
+
+TEST(DpMechanism, ClipsGlobalNormWithoutNoise) {
+  DpGaussianMechanism dp(/*clip_norm=*/6.5, /*noise_multiplier=*/0.0);
+  common::Rng rng(1);
+  // Global norm = sqrt(9+16+144) = 13 → scale 0.5.
+  const auto out = dp.process(toy_grads(), rng);
+  EXPECT_DOUBLE_EQ(out[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(out[0][1], -2.0);
+  EXPECT_DOUBLE_EQ(out[1][1], 6.0);
+}
+
+TEST(DpMechanism, LeavesSmallUpdatesUnclipped) {
+  DpGaussianMechanism dp(100.0, 0.0);
+  common::Rng rng(2);
+  const auto out = dp.process(toy_grads(), rng);
+  EXPECT_DOUBLE_EQ(out[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1][1], 12.0);
+}
+
+TEST(DpMechanism, NoiseHasCalibratedScale) {
+  const real clip = 2.0, sigma = 0.5;
+  DpGaussianMechanism dp(clip, sigma);
+  common::Rng rng(3);
+  // Zero gradients: output is pure noise with stddev sigma*clip = 1.
+  std::vector<tensor::Tensor> zeros{tensor::Tensor({10000})};
+  const auto out = dp.process(zeros, rng);
+  real sq = 0.0;
+  for (const auto v : out[0].data()) sq += v * v;
+  const real stddev = std::sqrt(sq / 10000.0);
+  EXPECT_NEAR(stddev, 1.0, 0.05);
+}
+
+TEST(DpMechanism, RejectsBadParameters) {
+  EXPECT_THROW(DpGaussianMechanism(0.0, 1.0), Error);
+  EXPECT_THROW(DpGaussianMechanism(1.0, -0.1), Error);
+}
+
+TEST(TopKPruning, KeepsExactlyTheLargestEntries) {
+  TopKPruning prune(0.5);
+  common::Rng rng(4);
+  std::vector<tensor::Tensor> grads{
+      tensor::Tensor({4}, {0.1, -5.0, 2.0, -0.2})};
+  const auto out = prune.process(grads, rng);
+  EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(out[0][1], -5.0);
+  EXPECT_DOUBLE_EQ(out[0][2], 2.0);
+  EXPECT_DOUBLE_EQ(out[0][3], 0.0);
+}
+
+TEST(TopKPruning, KeepAllIsIdentity) {
+  TopKPruning prune(1.0);
+  common::Rng rng(5);
+  auto grads = toy_grads();
+  const auto out = prune.process(grads, rng);
+  EXPECT_TRUE(out[0] == grads[0]);
+  EXPECT_TRUE(out[1] == grads[1]);
+}
+
+TEST(TopKPruning, SparsityMatchesFraction) {
+  TopKPruning prune(0.1);
+  common::Rng rng(6);
+  std::vector<tensor::Tensor> grads{tensor::Tensor::randn({1000}, rng)};
+  const auto out = prune.process(grads, rng);
+  index_t nonzero = 0;
+  for (const auto v : out[0].data()) {
+    if (v != 0.0) ++nonzero;
+  }
+  EXPECT_NEAR(static_cast<real>(nonzero), 100.0, 5.0);
+  EXPECT_THROW(TopKPruning(0.0), Error);
+  EXPECT_THROW(TopKPruning(1.5), Error);
+}
+
+TEST(Postprocessor, ClientAppliesItBeforeUpload) {
+  data::SynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = 2;
+  cfg.test_per_class = 0;
+  auto dataset = data::generate(cfg).train;
+  const fl::ModelFactory factory = [] {
+    common::Rng rng(9);
+    return nn::make_mlp({3, 8, 8}, {8}, 4, rng);
+  };
+  fl::Client client(0, dataset, factory, 4,
+                    std::make_shared<fl::IdentityPreprocessor>(),
+                    common::Rng(10));
+  // Mechanism with zero noise and tiny clip: every uploaded tensor must have
+  // tiny global norm.
+  client.set_update_postprocessor(
+      std::make_shared<DpGaussianMechanism>(1e-3, 0.0));
+  auto model = factory();
+  fl::GlobalModelMessage msg;
+  msg.model_state = nn::serialize_state(*model);
+  const auto update = client.handle_round(msg);
+  const auto grads = tensor::deserialize_tensors(update.gradients);
+  real sq = 0.0;
+  for (const auto& g : grads) {
+    for (const auto v : g.data()) sq += v * v;
+  }
+  EXPECT_NEAR(std::sqrt(sq), 1e-3, 1e-9);
+}
+
+TEST(Baselines, DpNoiseBlindsRtfButOasisKeepsGradientsExact) {
+  data::SynthConfig cfg;
+  cfg.num_classes = 10;
+  cfg.height = cfg.width = 12;
+  cfg.train_per_class = 3;
+  cfg.test_per_class = 0;
+  auto victim = data::generate(cfg).train;
+  cfg.seed ^= 77;
+  auto aux = data::generate(cfg).train;
+
+  AttackExperimentConfig exp;
+  exp.attack = AttackKind::kRtf;
+  exp.batch_size = 4;
+  exp.neurons = 100;
+  exp.num_batches = 2;
+  exp.seed = 5;
+  const auto undefended = run_attack_experiment(victim, aux, exp);
+  exp.postprocessor = std::make_shared<DpGaussianMechanism>(1.0, 1e-2);
+  const auto dp = run_attack_experiment(victim, aux, exp);
+  EXPECT_GT(undefended.mean_psnr(), 80.0);
+  EXPECT_LT(dp.mean_psnr(), 30.0);
+}
+
+TEST(Detection, RtfImplantIsConspicuous) {
+  data::SynthConfig cfg;
+  cfg.num_classes = 6;
+  cfg.height = cfg.width = 10;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 0;
+  auto aux = data::generate(cfg).train;
+  const nn::ImageSpec spec{3, 10, 10};
+  common::Rng rng(11);
+
+  auto honest = nn::make_attack_host(spec, 40, 6, rng);
+  const auto honest_report = attack::inspect_first_dense(*honest);
+  EXPECT_FALSE(honest_report.suspicious());
+  EXPECT_LT(honest_report.row_duplication, 0.01);
+
+  attack::RtfAttack rtf(spec, 40, aux);
+  auto rtf_host = nn::make_attack_host(spec, 40, 6, rng);
+  rtf.implant(*rtf_host);
+  const auto rtf_report = attack::inspect_first_dense(*rtf_host);
+  EXPECT_TRUE(rtf_report.suspicious());
+  EXPECT_DOUBLE_EQ(rtf_report.row_duplication, 1.0);
+  EXPECT_GT(rtf_report.bias_monotonicity, 0.95);
+}
+
+TEST(Detection, CahImplantEvadesTheScreens) {
+  data::SynthConfig cfg;
+  cfg.num_classes = 6;
+  cfg.height = cfg.width = 10;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 0;
+  auto aux = data::generate(cfg).train;
+  const nn::ImageSpec spec{3, 10, 10};
+  common::Rng rng(12);
+  attack::CahAttack cah(spec, 40, 0.2, aux);
+  auto host = nn::make_attack_host(spec, 40, 6, rng);
+  cah.implant(*host);
+  const auto report = attack::inspect_first_dense(*host);
+  EXPECT_FALSE(report.suspicious());
+  EXPECT_LT(report.row_duplication, 0.01);
+  EXPECT_LT(report.bias_monotonicity, 0.8);
+}
+
+}  // namespace
+}  // namespace oasis::core

@@ -1,0 +1,177 @@
+// Tests for the common utilities: CLI parsing, logging levels, error
+// macros, stopwatch; plus serialization robustness (fuzz) and experiment
+// determinism properties.
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/experiment.h"
+#include "data/synthetic.h"
+#include "tensor/serialize.h"
+
+namespace oasis {
+namespace {
+
+TEST(Cli, ParsesAllValueForms) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("alpha", "a value", "1");
+  cli.add_flag("beta", "another", "x");
+  cli.add_bool("gamma", "a switch");
+  const char* argv[] = {"prog", "--alpha", "42", "--beta=hello", "--gamma"};
+  cli.parse(5, argv);
+  EXPECT_EQ(cli.get_int("alpha"), 42);
+  EXPECT_EQ(cli.get("beta"), "hello");
+  EXPECT_TRUE(cli.get_bool("gamma"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("rate", "r", "0.5");
+  cli.add_bool("quick", "q");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_DOUBLE_EQ(cli.get_real("rate"), 0.5);
+  EXPECT_FALSE(cli.get_bool("quick"));
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("known", "k", "1");
+  {
+    const char* argv[] = {"prog", "--unknown", "3"};
+    EXPECT_THROW(cli.parse(3, argv), ConfigError);
+  }
+  {
+    const char* argv[] = {"prog", "positional"};
+    EXPECT_THROW(cli.parse(2, argv), ConfigError);
+  }
+  {
+    const char* argv[] = {"prog", "--known"};
+    EXPECT_THROW(cli.parse(2, argv), ConfigError);  // missing value
+  }
+}
+
+TEST(Cli, TypeErrorsAreReported) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("n", "count", "not-a-number");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_THROW((void)cli.get_int("n"), ConfigError);
+  EXPECT_THROW((void)cli.get_real("n"), ConfigError);
+  EXPECT_THROW((void)cli.get("unregistered"), Error);
+}
+
+TEST(Cli, BoolAcceptsExplicitValues) {
+  common::CliParser cli("prog", "test");
+  cli.add_bool("flag", "f");
+  const char* argv[] = {"prog", "--flag=false"};
+  cli.parse(2, argv);
+  EXPECT_FALSE(cli.get_bool("flag"));
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("x", "", "1");
+  EXPECT_THROW(cli.add_flag("x", "", "2"), Error);
+  EXPECT_THROW(cli.add_bool("x", ""), Error);
+}
+
+TEST(Logging, ParseLevels) {
+  using common::LogLevel;
+  EXPECT_EQ(common::parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(common::parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(common::parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(common::parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(common::parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(common::parse_log_level("loud"), ConfigError);
+}
+
+TEST(Logging, ThresholdRoundTrip) {
+  const auto saved = common::log_threshold();
+  common::set_log_threshold(common::LogLevel::kError);
+  EXPECT_EQ(common::log_threshold(), common::LogLevel::kError);
+  OASIS_LOG_INFO << "suppressed line (must not crash)";
+  common::set_log_threshold(saved);
+}
+
+TEST(ErrorMacros, CheckThrowsWithLocation) {
+  try {
+    OASIS_CHECK_MSG(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  common::Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i);
+  (void)sink;
+  const double elapsed = sw.seconds();
+  EXPECT_GT(elapsed, 0.0);
+  // millis() and seconds() measure the same clock.
+  EXPECT_GE(sw.millis(), elapsed * 1e3);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), elapsed + 0.5);
+}
+
+// Serialization fuzz: corrupting a valid buffer at any prefix length must
+// raise SerializationError (never crash or return garbage silently).
+class SerializationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationFuzz, TruncationAlwaysThrows) {
+  common::Rng rng(GetParam());
+  std::vector<tensor::Tensor> tensors;
+  tensors.push_back(tensor::Tensor::randn({3, 4}, rng));
+  tensors.push_back(tensor::Tensor::randn({7}, rng));
+  const tensor::ByteBuffer buf = tensor::serialize_tensors(tensors);
+  // Truncate at a pseudo-random interior point.
+  const auto cut = 1 + static_cast<std::size_t>(rng.uniform_int(
+                           0, static_cast<std::int64_t>(buf.size()) - 2));
+  tensor::ByteBuffer truncated(buf.begin(),
+                               buf.begin() + static_cast<std::ptrdiff_t>(cut));
+  EXPECT_THROW(tensor::deserialize_tensors(truncated), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, SerializationFuzz, ::testing::Range(1, 17));
+
+TEST(Determinism, AttackExperimentIsAPureFunctionOfItsSeed) {
+  data::SynthConfig cfg;
+  cfg.num_classes = 6;
+  cfg.height = cfg.width = 10;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 0;
+  const auto victim = data::generate(cfg).train;
+  cfg.seed ^= 0x11;
+  const auto aux = data::generate(cfg).train;
+
+  core::AttackExperimentConfig exp;
+  exp.attack = core::AttackKind::kRtf;
+  exp.batch_size = 4;
+  exp.neurons = 50;
+  exp.num_batches = 2;
+  exp.transforms = {augment::TransformKind::kMinorRotation};
+  exp.seed = 1234;
+  const auto a = core::run_attack_experiment(victim, aux, exp);
+  const auto b = core::run_attack_experiment(victim, aux, exp);
+  ASSERT_EQ(a.per_image_psnr.size(), b.per_image_psnr.size());
+  for (std::size_t i = 0; i < a.per_image_psnr.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_image_psnr[i], b.per_image_psnr[i]);
+  }
+  exp.seed = 4321;
+  const auto c = core::run_attack_experiment(victim, aux, exp);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.per_image_psnr.size(); ++i) {
+    if (a.per_image_psnr[i] != c.per_image_psnr[i]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,260 @@
+// Data substrate tests: image I/O, dataset invariants, synthetic generator
+// determinism and statistics, batching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/image.h"
+#include "data/shapes.h"
+#include "data/synthetic.h"
+#include "tensor/ops.h"
+
+namespace oasis::data {
+namespace {
+
+TEST(Image, CheckImageRejectsBadShapes) {
+  EXPECT_NO_THROW(check_image(tensor::Tensor({3, 4, 4})));
+  EXPECT_NO_THROW(check_image(tensor::Tensor({1, 2, 2})));
+  EXPECT_THROW(check_image(tensor::Tensor({2, 4, 4})), ShapeError);
+  EXPECT_THROW(check_image(tensor::Tensor({3, 4})), ShapeError);
+}
+
+TEST(Image, Clamp01) {
+  tensor::Tensor img({1, 1, 3}, {-0.5, 0.5, 1.5});
+  tensor::Tensor c = clamp01(img);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+TEST(Image, PnmRoundTrip) {
+  common::Rng rng(1);
+  tensor::Tensor img = tensor::Tensor::rand({3, 6, 5}, rng);
+  const std::string path = "/tmp/oasis_test_rt.ppm";
+  write_pnm(img, path);
+  tensor::Tensor back = read_pnm(path);
+  ASSERT_EQ(back.shape(), img.shape());
+  // 8-bit quantization: error bounded by 1/255 per pixel (half a step after
+  // rounding).
+  EXPECT_LT(tensor::max_abs_diff(back, img), 0.5 / 255.0 + 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(Image, PnmGrayscale) {
+  tensor::Tensor img({1, 2, 2}, {0.0, 0.25, 0.5, 1.0});
+  const std::string path = "/tmp/oasis_test_gray.pgm";
+  write_pnm(img, path);
+  tensor::Tensor back = read_pnm(path);
+  EXPECT_EQ(back.dim(0), 1u);
+  EXPECT_NEAR(back[3], 1.0, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(Image, ReadMissingFileThrows) {
+  EXPECT_THROW(read_pnm("/tmp/definitely_missing_oasis.ppm"), Error);
+}
+
+TEST(Image, TileImagesGeometry) {
+  std::vector<tensor::Tensor> imgs(5, tensor::Tensor({3, 4, 4}));
+  tensor::Tensor canvas = tile_images(imgs, 3);
+  // 2 rows × 3 cols with 2px gutters: h = 2*4+3*2 = 14, w = 3*4+4*2 = 20.
+  EXPECT_EQ(canvas.shape(), (tensor::Shape{3, 14, 20}));
+}
+
+TEST(Dataset, PushBackValidates) {
+  InMemoryDataset ds(3, {3, 4, 4});
+  EXPECT_THROW(ds.push_back({tensor::Tensor({3, 4, 4}), 3}), Error);
+  EXPECT_THROW(ds.push_back({tensor::Tensor({3, 2, 2}), 0}), ShapeError);
+  ds.push_back({tensor::Tensor({3, 4, 4}), 2});
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.image_dim(), 48u);
+}
+
+TEST(Dataset, SubsetAndShard) {
+  InMemoryDataset ds(2, {1, 1, 1});
+  for (index_t i = 0; i < 10; ++i) {
+    ds.push_back({tensor::Tensor({1, 1, 1}, {static_cast<real>(i)}), i % 2});
+  }
+  const std::vector<index_t> idx{1, 3, 5};
+  auto sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.at(2).image[0], 5.0);
+
+  auto shards = ds.shard(3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].size(), 4u);
+  EXPECT_EQ(shards[1].size(), 3u);
+  // Round-robin: shard 1 holds examples 1, 4, 7.
+  EXPECT_DOUBLE_EQ(shards[1].at(1).image[0], 4.0);
+}
+
+TEST(Dataset, GatherStacksImagesAndLabels) {
+  InMemoryDataset ds(4, {1, 2, 2});
+  for (index_t i = 0; i < 4; ++i) {
+    ds.push_back({tensor::Tensor::full({1, 2, 2}, static_cast<real>(i)), i});
+  }
+  const std::vector<index_t> idx{2, 0};
+  Batch b = gather(ds, idx);
+  EXPECT_EQ(b.images.shape(), (tensor::Shape{2, 1, 2, 2}));
+  EXPECT_EQ(b.labels, (std::vector<index_t>{2, 0}));
+  EXPECT_DOUBLE_EQ(b.images.at4(0, 0, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(b.images.at4(1, 0, 1, 1), 0.0);
+}
+
+TEST(Dataset, StackUnstackRoundTrip) {
+  common::Rng rng(2);
+  std::vector<tensor::Tensor> imgs;
+  for (int i = 0; i < 3; ++i)
+    imgs.push_back(tensor::Tensor::randn({3, 4, 4}, rng));
+  tensor::Tensor stacked = stack_images(imgs);
+  auto back = unstack_images(stacked);
+  ASSERT_EQ(back.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(back[i] == imgs[i]);
+}
+
+TEST(Dataset, EpochBatchesCoverDatasetOnce) {
+  common::Rng rng(3);
+  auto batches = epoch_batches(20, 6, rng, /*drop_last=*/false);
+  ASSERT_EQ(batches.size(), 4u);  // 6+6+6+2
+  std::set<index_t> seen;
+  for (const auto& b : batches)
+    for (const auto i : b) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), 20u);
+
+  auto dropped = epoch_batches(20, 6, rng, /*drop_last=*/true);
+  EXPECT_EQ(dropped.size(), 3u);
+}
+
+TEST(Shapes, GradientFillSpansColors) {
+  tensor::Tensor canvas({3, 8, 8});
+  fill_gradient(canvas, {0, 0, 0}, {1, 1, 1}, 0.0);
+  // Horizontal gradient: left column darker than right.
+  EXPECT_LT(canvas.at3(0, 4, 0), canvas.at3(0, 4, 7));
+}
+
+TEST(Shapes, DrawShapeChangesCanvasInsideOnly) {
+  tensor::Tensor canvas({3, 16, 16});
+  draw_shape(canvas, ShapeKind::kCircle, {1, 0, 0}, 0.5, 0.5, 0.2, 0.0);
+  // Center is foreground red; far corner untouched (zero).
+  EXPECT_GT(canvas.at3(0, 8, 8), 0.9);
+  EXPECT_DOUBLE_EQ(canvas.at3(0, 0, 0), 0.0);
+}
+
+TEST(Shapes, NoiseHasRequestedScale) {
+  common::Rng rng(4);
+  tensor::Tensor canvas({3, 32, 32});
+  add_noise(canvas, 0.1, rng);
+  EXPECT_NEAR(canvas.mean(), 0.0, 0.01);
+  real var = 0.0;
+  for (const auto v : canvas.data()) var += v * v;
+  var /= static_cast<real>(canvas.size());
+  EXPECT_NEAR(std::sqrt(var), 0.1, 0.02);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SynthConfig cfg;
+  cfg.num_classes = 3;
+  cfg.train_per_class = 2;
+  cfg.test_per_class = 1;
+  cfg.height = cfg.width = 16;
+  auto a = generate(cfg);
+  auto b = generate(cfg);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (index_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_TRUE(a.train.at(i).image == b.train.at(i).image);
+    EXPECT_EQ(a.train.at(i).label, b.train.at(i).label);
+  }
+  cfg.seed += 1;
+  auto c = generate(cfg);
+  EXPECT_FALSE(a.train.at(0).image == c.train.at(0).image);
+}
+
+TEST(Synthetic, SizesAndLabels) {
+  SynthConfig cfg;
+  cfg.num_classes = 5;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 2;
+  cfg.height = cfg.width = 12;
+  auto ds = generate(cfg);
+  EXPECT_EQ(ds.train.size(), 20u);
+  EXPECT_EQ(ds.test.size(), 10u);
+  std::vector<index_t> counts(5, 0);
+  for (index_t i = 0; i < ds.train.size(); ++i)
+    ++counts[ds.train.at(i).label];
+  for (const auto c : counts) EXPECT_EQ(c, 4u);
+}
+
+TEST(Synthetic, PixelsInUnitRange) {
+  auto cfg = synth_cifar100_config();
+  cfg.num_classes = 4;
+  cfg.train_per_class = 3;
+  cfg.test_per_class = 1;
+  auto ds = generate(cfg);
+  for (index_t i = 0; i < ds.train.size(); ++i) {
+    EXPECT_GE(ds.train.at(i).image.min(), 0.0);
+    EXPECT_LE(ds.train.at(i).image.max(), 1.0);
+  }
+}
+
+TEST(Synthetic, BrightnessVariesAcrossImages) {
+  // RTF bins by mean brightness; the generator must not produce images with
+  // (near-)identical means or the binning degenerates.
+  auto cfg = synth_imagenet_config();
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 1;
+  auto ds = generate(cfg);
+  std::vector<real> means;
+  for (index_t i = 0; i < ds.train.size(); ++i)
+    means.push_back(ds.train.at(i).image.mean());
+  real lo = means[0], hi = means[0];
+  for (const auto m : means) {
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(hi - lo, 0.1);  // a wide brightness spread
+}
+
+TEST(Synthetic, ClassSignaturesDiffer) {
+  auto cfg = synth_imagenet_config();
+  for (index_t a = 0; a < 10; ++a) {
+    for (index_t b = a + 1; b < 10; ++b) {
+      const auto sa = class_signature(cfg, a);
+      const auto sb = class_signature(cfg, b);
+      const bool same_shape = sa.shape == sb.shape;
+      const bool same_color =
+          std::abs(sa.foreground[0] - sb.foreground[0]) < 1e-6 &&
+          std::abs(sa.foreground[1] - sb.foreground[1]) < 1e-6 &&
+          std::abs(sa.foreground[2] - sb.foreground[2]) < 1e-6;
+      EXPECT_FALSE(same_shape && same_color) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Synthetic, HsvToRgbPrimaries) {
+  const Color red = hsv_to_rgb(0.0, 1.0, 1.0);
+  EXPECT_NEAR(red[0], 1.0, 1e-9);
+  EXPECT_NEAR(red[1], 0.0, 1e-9);
+  const Color green = hsv_to_rgb(1.0 / 3.0, 1.0, 1.0);
+  EXPECT_NEAR(green[1], 1.0, 1e-9);
+  const Color gray = hsv_to_rgb(0.7, 0.0, 0.5);
+  EXPECT_NEAR(gray[0], 0.5, 1e-9);
+  EXPECT_NEAR(gray[2], 0.5, 1e-9);
+}
+
+class ShapeKindSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeKindSweep, EveryShapeKindDrawsSomething) {
+  tensor::Tensor canvas({3, 24, 24});
+  draw_shape(canvas, static_cast<ShapeKind>(GetParam()), {0.9, 0.8, 0.1},
+             0.5, 0.5, 0.3, 0.4);
+  EXPECT_GT(canvas.sum(), 0.5) << "shape kind " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ShapeKindSweep,
+                         ::testing::Range(0, static_cast<int>(kShapeKindCount)));
+
+}  // namespace
+}  // namespace oasis::data

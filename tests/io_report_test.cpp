@@ -1,0 +1,158 @@
+// Tests for the CIFAR-100 binary loader and the experiment report writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "data/cifar_io.h"
+#include "data/synthetic.h"
+#include "metrics/report.h"
+#include "tensor/ops.h"
+
+namespace oasis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+data::InMemoryDataset cifar_like_dataset(index_t n) {
+  data::SynthConfig cfg = data::synth_cifar100_config();
+  cfg.num_classes = 100;
+  cfg.train_per_class = (n + 99) / 100;
+  cfg.test_per_class = 0;
+  auto full = data::generate(cfg).train;
+  std::vector<index_t> idx;
+  for (index_t i = 0; i < n; ++i) idx.push_back(i);
+  return full.subset(idx);
+}
+
+TEST(CifarIo, WriteLoadRoundTrip) {
+  const auto original = cifar_like_dataset(12);
+  const std::string path = "/tmp/oasis_cifar_rt.bin";
+  data::write_cifar100_bin(original, path);
+  const auto loaded = data::load_cifar100_bin(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.num_classes(), 100u);
+  for (index_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.at(i).label, original.at(i).label);
+    // 8-bit quantization bound.
+    EXPECT_LT(tensor::max_abs_diff(loaded.at(i).image, original.at(i).image),
+              0.5 / 255.0 + 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CifarIo, MaxExamplesLimitsLoad) {
+  const auto original = cifar_like_dataset(10);
+  const std::string path = "/tmp/oasis_cifar_lim.bin";
+  data::write_cifar100_bin(original, path);
+  const auto loaded = data::load_cifar100_bin(path, 4);
+  EXPECT_EQ(loaded.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CifarIo, RejectsMalformedFiles) {
+  const std::string path = "/tmp/oasis_cifar_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a cifar file";
+  }
+  EXPECT_THROW(data::load_cifar100_bin(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(data::load_cifar100_bin("/tmp/oasis_missing_cifar.bin"),
+               Error);
+}
+
+TEST(CifarIo, TryLoadReturnsNulloptWhenAbsent) {
+  EXPECT_FALSE(data::try_load_cifar100("/tmp/definitely_missing_dir_oasis")
+                   .has_value());
+}
+
+TEST(CifarIo, TryLoadFindsBothSplits) {
+  namespace fs = std::filesystem;
+  const fs::path dir = "/tmp/oasis_cifar_dir";
+  fs::create_directories(dir);
+  const auto ds = cifar_like_dataset(6);
+  data::write_cifar100_bin(ds, (dir / "train.bin").string());
+  data::write_cifar100_bin(ds, (dir / "test.bin").string());
+  const auto splits = data::try_load_cifar100(dir.string(), 4, 2);
+  ASSERT_TRUE(splits.has_value());
+  EXPECT_EQ(splits->train.size(), 4u);
+  EXPECT_EQ(splits->test.size(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(CifarIo, WriteRejectsWrongGeometry) {
+  data::InMemoryDataset wrong(10, {3, 16, 16});
+  wrong.push_back({tensor::Tensor({3, 16, 16}), 0});
+  EXPECT_THROW(data::write_cifar100_bin(wrong, "/tmp/x.bin"), Error);
+}
+
+TEST(Report, CsvHasUnionOfColumnsInFirstSeenOrder) {
+  metrics::ExperimentReport report("unit");
+  report.set_context("dataset", std::string("A"));
+  report.begin_row();
+  report.add("x", 1.0);
+  report.set_context("dataset", std::string("B"));
+  report.begin_row();
+  report.add("y", std::string("two"));
+  const std::string path = "/tmp/oasis_report.csv";
+  report.write_csv(path);
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("experiment,dataset,x,y"), std::string::npos);
+  EXPECT_NE(text.find("unit,A,1"), std::string::npos);
+  EXPECT_NE(text.find("unit,B,,two"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, CsvEscapesSpecialCharacters) {
+  metrics::ExperimentReport report("unit");
+  report.begin_row();
+  report.add("label", std::string("a,b \"quoted\""));
+  const std::string path = "/tmp/oasis_report_esc.csv";
+  report.write_csv(path);
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"a,b \"\"quoted\"\"\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, JsonIsWellFormedEnough) {
+  metrics::ExperimentReport report("unit");
+  report.add_box_row("MR", metrics::box_stats({1.0, 2.0, 3.0}));
+  const std::string path = "/tmp/oasis_report.json";
+  report.write_json(path);
+  const std::string text = read_file(path);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"label\": \"MR\""), std::string::npos);
+  EXPECT_NE(text.find("\"median\": 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, AddBeforeBeginRowThrows) {
+  metrics::ExperimentReport report("unit");
+  EXPECT_THROW(report.add("k", 1.0), Error);
+}
+
+TEST(Report, BoxRowCarriesAllStats) {
+  metrics::ExperimentReport report("unit");
+  report.set_context("batch", 8.0);
+  report.add_box_row("WO", metrics::box_stats({5.0}));
+  EXPECT_EQ(report.rows(), 1u);
+  const std::string path = "/tmp/oasis_report_box.csv";
+  report.write_csv(path);
+  const std::string text = read_file(path);
+  for (const char* col : {"batch", "label", "min", "q1", "median", "q3",
+                          "max", "mean", "count"}) {
+    EXPECT_NE(text.find(col), std::string::npos) << col;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace oasis

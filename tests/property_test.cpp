@@ -1,0 +1,177 @@
+// Cross-module property sweeps (parameterized): conv gradient correctness
+// over layer geometries, warp inverse consistency over angles, FedAvg
+// algebraic identities, and defense-invariant batch properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "augment/affine.h"
+#include "augment/policy.h"
+#include "fl/aggregation.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+// ---- Conv2d geometry sweep --------------------------------------------------
+
+using ConvGeometry = std::tuple<int /*in_ch*/, int /*out_ch*/, int /*kernel*/,
+                                int /*stride*/, int /*pad*/>;
+
+class ConvGeometrySweep : public ::testing::TestWithParam<ConvGeometry> {};
+
+TEST_P(ConvGeometrySweep, GradientsMatchFiniteDifferences) {
+  const auto [in_ch, out_ch, kernel, stride, pad] = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(in_ch * 1000 + out_ch * 100 +
+                                             kernel * 10 + stride));
+  nn::Conv2d conv(in_ch, out_ch, kernel, stride, pad, rng);
+  tensor::Tensor x = tensor::Tensor::randn(
+      {2, static_cast<index_t>(in_ch), 7, 7}, rng);
+  EXPECT_LT(testutil::check_gradients(conv, x, rng), 3e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometrySweep,
+    ::testing::Values(ConvGeometry{1, 1, 1, 1, 0},   // pointwise
+                      ConvGeometry{2, 3, 3, 1, 1},   // same-pad 3x3
+                      ConvGeometry{3, 2, 3, 2, 1},   // strided
+                      ConvGeometry{1, 4, 5, 1, 2},   // large kernel
+                      ConvGeometry{2, 2, 3, 3, 0})); // stride > 1, no pad
+
+// ---- Warp inverse consistency ----------------------------------------------
+
+class RotationAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotationAngleSweep, RotateThenUnrotateIsNearIdentityInTheInterior) {
+  const real theta = GetParam();
+  common::Rng rng(11);
+  tensor::Tensor img = tensor::Tensor::rand({3, 24, 24}, rng);
+  const tensor::Tensor back =
+      augment::rotate(augment::rotate(img, theta), -theta);
+  // Only the central disc survives both zero-filled warps; compare there.
+  real max_err = 0.0;
+  const real c = 11.5;
+  for (index_t ch = 0; ch < 3; ++ch) {
+    for (index_t i = 0; i < 24; ++i) {
+      for (index_t j = 0; j < 24; ++j) {
+        const real r = std::hypot(static_cast<real>(i) - c,
+                                  static_cast<real>(j) - c);
+        if (r > 7.0) continue;
+        max_err = std::max(max_err,
+                           std::abs(back.at3(ch, i, j) - img.at3(ch, i, j)));
+      }
+    }
+  }
+  // Bilinear resampling twice smooths but must stay close.
+  EXPECT_LT(max_err, 0.35) << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationAngleSweep,
+                         ::testing::Values(0.1, 0.35, 0.7, 1.1, 1.4));
+
+class ShearFactorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShearFactorSweep, ShearThenUnshearIsNearIdentityInTheInterior) {
+  const real mu = GetParam();
+  common::Rng rng(12);
+  tensor::Tensor img = tensor::Tensor::rand({3, 24, 24}, rng);
+  const tensor::Tensor back = augment::shear(augment::shear(img, mu), -mu);
+  real max_err = 0.0;
+  for (index_t ch = 0; ch < 3; ++ch) {
+    for (index_t i = 8; i < 16; ++i) {
+      for (index_t j = 8; j < 16; ++j) {
+        max_err = std::max(max_err,
+                           std::abs(back.at3(ch, i, j) - img.at3(ch, i, j)));
+      }
+    }
+  }
+  EXPECT_LT(max_err, 0.35) << "mu=" << mu;
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ShearFactorSweep,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.6));
+
+// ---- FedAvg algebra ----------------------------------------------------------
+
+TEST(FedAvgAlgebra, AverageOfIdenticalUpdatesIsTheUpdate) {
+  common::Rng rng(13);
+  const tensor::Tensor g = tensor::Tensor::randn({6}, rng);
+  std::vector<fl::ClientUpdateMessage> updates(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    updates[i].client_id = i;
+    updates[i].num_examples = 4;
+    updates[i].gradients = tensor::serialize_tensors({g});
+  }
+  const auto avg = fl::fedavg(updates);
+  EXPECT_TRUE(tensor::allclose(avg[0], g));
+}
+
+TEST(FedAvgAlgebra, WeightedAverageIsConvexCombination) {
+  common::Rng rng(14);
+  const tensor::Tensor a = tensor::Tensor::randn({5}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({5}, rng);
+  std::vector<fl::ClientUpdateMessage> updates(2);
+  updates[0].num_examples = 1;
+  updates[0].gradients = tensor::serialize_tensors({a});
+  updates[1].num_examples = 3;
+  updates[1].gradients = tensor::serialize_tensors({b});
+  const auto avg = fl::fedavg(updates);
+  // Result must lie between min and max coordinatewise (convexity).
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_GE(avg[0][i], std::min(a[i], b[i]) - 1e-12);
+    EXPECT_LE(avg[0][i], std::max(a[i], b[i]) + 1e-12);
+  }
+  // And exactly (a + 3b)/4.
+  tensor::Tensor expected = a;
+  expected.add_scaled_(b, 3.0);
+  expected /= 4.0;
+  EXPECT_TRUE(tensor::allclose(avg[0], expected));
+}
+
+// ---- Defense batch invariants -----------------------------------------------
+
+TEST(DefenseInvariants, AugmentedBatchNeverMutatesOriginals) {
+  common::Rng rng(15);
+  const tensor::Tensor images = tensor::Tensor::rand({3, 3, 12, 12}, rng);
+  data::Batch batch{images, {0, 1, 2}};
+  for (const auto kinds :
+       {std::vector<augment::TransformKind>{
+            augment::TransformKind::kMajorRotation},
+        std::vector<augment::TransformKind>{
+            augment::TransformKind::kMajorRotation,
+            augment::TransformKind::kShear}}) {
+    const auto policy = augment::make_policy(kinds);
+    const data::Batch out = policy.augment(batch, rng);
+    // The original slots are bit-identical and the input batch is untouched.
+    EXPECT_TRUE(batch.images == images);
+    for (index_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(out.images.slice(i) == images.slice(i));
+    }
+  }
+}
+
+TEST(DefenseInvariants, EveryVariantSharesItsOriginalsMean) {
+  // The Proposition 1 mechanism, checked across every policy the benches
+  // use: all variants carry the original's mean brightness to ~1e-12.
+  common::Rng rng(16);
+  const tensor::Tensor img = tensor::Tensor::rand({3, 16, 16}, rng);
+  using augment::TransformKind;
+  for (const auto kinds : {std::vector<TransformKind>{TransformKind::kMajorRotation},
+                           std::vector<TransformKind>{TransformKind::kMinorRotation},
+                           std::vector<TransformKind>{TransformKind::kShear},
+                           std::vector<TransformKind>{TransformKind::kHorizontalFlip},
+                           std::vector<TransformKind>{TransformKind::kVerticalFlip},
+                           std::vector<TransformKind>{TransformKind::kMajorRotation,
+                                                      TransformKind::kShear}}) {
+    const auto policy = augment::make_policy(kinds);
+    for (const auto& v : policy.variants(img, rng)) {
+      EXPECT_NEAR(v.mean(), img.mean(), 1e-12) << policy.label();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oasis

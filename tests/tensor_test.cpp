@@ -1,0 +1,301 @@
+// Unit tests for the tensor engine: construction, arithmetic, matmul
+// variants, im2col/col2im adjointness, reductions, serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace oasis::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (const auto v : t.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Tensor, FromValuesAndAt) {
+  Tensor t({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(t.at({0, 0}), 1.0);
+  EXPECT_EQ(t.at({0, 1}), 2.0);
+  EXPECT_EQ(t.at({1, 0}), 3.0);
+  EXPECT_EQ(t.at2(1, 1), 4.0);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0, 2.0}), Error);
+  Tensor a({2, 2});
+  Tensor b({2, 3});
+  EXPECT_THROW(a += b, ShapeError);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0, 0, 0}), Error);
+}
+
+TEST(Tensor, ArithmeticOps) {
+  Tensor a({3}, {1.0, 2.0, 3.0});
+  Tensor b({3}, {4.0, 5.0, 6.0});
+  Tensor c = a + b;
+  EXPECT_EQ(c[0], 5.0);
+  EXPECT_EQ(c[2], 9.0);
+  c -= a;
+  EXPECT_EQ(c[1], 5.0);
+  c *= 2.0;
+  EXPECT_EQ(c[2], 12.0);
+  c.add_scaled_(a, -1.0);
+  EXPECT_EQ(c[0], 7.0);
+  Tensor d = a;
+  d.mul_(b);
+  EXPECT_EQ(d[1], 10.0);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {3.0, -1.0, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(t.min(), -1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 4.0);
+  EXPECT_EQ(t.argmax(), 2u);
+  EXPECT_DOUBLE_EQ(t.norm(), std::sqrt(9.0 + 1.0 + 16.0 + 4.0));
+}
+
+TEST(Tensor, ReshapeAndSlice) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at2(1, 0), 3.0);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+  Tensor row = t.row(1);
+  EXPECT_EQ(row.shape(), (Shape{3}));
+  EXPECT_EQ(row[0], 4.0);
+  Tensor s = t.slice(0);
+  EXPECT_EQ(s.shape(), (Shape{3}));
+  EXPECT_EQ(s[2], 3.0);
+}
+
+TEST(Ops, MatmulKnownValues) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_DOUBLE_EQ(c.at2(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at2(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at2(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at2(1, 1), 154.0);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Ops, TransposedVariantsAgreeWithExplicitTranspose) {
+  common::Rng rng(7);
+  Tensor a = Tensor::randn({5, 4}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  // matmul_tn(a, b) == transpose(a) @ b
+  EXPECT_TRUE(allclose(matmul_tn(a, b), matmul(transpose(a), b)));
+  Tensor c = Tensor::randn({3, 4}, rng);
+  Tensor d = Tensor::randn({6, 4}, rng);
+  // matmul_nt(c, d) == c @ transpose(d)
+  EXPECT_TRUE(allclose(matmul_nt(c, d), matmul(c, transpose(d))));
+}
+
+TEST(Ops, MatvecAndOuter) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor x({2}, {1, 1});
+  Tensor y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  Tensor o = outer(x, y);
+  EXPECT_EQ(o.shape(), (Shape{2, 2}));
+  EXPECT_DOUBLE_EQ(o.at2(1, 1), 7.0);
+}
+
+TEST(Ops, SumRowsAndAddRowVector) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = sum_rows(a);
+  EXPECT_DOUBLE_EQ(s[0], 5.0);
+  EXPECT_DOUBLE_EQ(s[2], 9.0);
+  Tensor bias({3}, {10, 20, 30});
+  add_row_vector(a, bias);
+  EXPECT_DOUBLE_EQ(a.at2(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(a.at2(1, 2), 36.0);
+}
+
+TEST(Ops, ReluAndBackward) {
+  Tensor z({4}, {-1.0, 0.0, 0.5, 2.0});
+  Tensor a = relu(z);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[3], 2.0);
+  Tensor g({4}, {1, 1, 1, 1});
+  Tensor gi = relu_backward(g, z);
+  EXPECT_DOUBLE_EQ(gi[0], 0.0);
+  EXPECT_DOUBLE_EQ(gi[1], 0.0);  // boundary: z == 0 gives zero grad
+  EXPECT_DOUBLE_EQ(gi[2], 1.0);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  common::Rng rng(3);
+  Tensor logits = Tensor::randn({4, 7}, rng, 0.0, 5.0);
+  Tensor p = softmax_rows(logits);
+  for (index_t i = 0; i < 4; ++i) {
+    real s = 0.0;
+    for (index_t j = 0; j < 7; ++j) {
+      EXPECT_GE(p.at2(i, j), 0.0);
+      s += p.at2(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  common::Rng rng(4);
+  Tensor logits = Tensor::randn({3, 5}, rng, 0.0, 3.0);
+  Tensor lp = log_softmax_rows(logits);
+  Tensor p = softmax_rows(logits);
+  for (index_t i = 0; i < lp.size(); ++i) {
+    EXPECT_NEAR(std::exp(lp[i]), p[i], 1e-12);
+  }
+}
+
+TEST(Ops, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1, no padding: im2col is a reshape.
+  Tensor img({1, 2, 2}, {1, 2, 3, 4});
+  Tensor cols = im2col(img, 1, 1, 1, 0);
+  EXPECT_EQ(cols.shape(), (Shape{1, 4}));
+  EXPECT_DOUBLE_EQ(cols.at2(0, 3), 4.0);
+}
+
+TEST(Ops, Im2ColKnownPatch) {
+  // 2x2 image, 2x2 kernel: single output position contains the whole image.
+  Tensor img({1, 2, 2}, {1, 2, 3, 4});
+  Tensor cols = im2col(img, 2, 2, 1, 0);
+  EXPECT_EQ(cols.shape(), (Shape{4, 1}));
+  EXPECT_DOUBLE_EQ(cols.at2(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cols.at2(3, 0), 4.0);
+}
+
+TEST(Ops, Im2ColPaddingProducesZeros) {
+  Tensor img({1, 1, 1}, {5.0});
+  Tensor cols = im2col(img, 3, 3, 1, 1);
+  EXPECT_EQ(cols.shape(), (Shape{9, 1}));
+  // Center tap sees the pixel; corners see padding.
+  EXPECT_DOUBLE_EQ(cols.at2(4, 0), 5.0);
+  EXPECT_DOUBLE_EQ(cols.at2(0, 0), 0.0);
+}
+
+TEST(Ops, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // the conv backward pass relies on.
+  common::Rng rng(11);
+  const index_t c = 2, h = 6, w = 5, k = 3, stride = 2, pad = 1;
+  Tensor x = Tensor::randn({c, h, w}, rng);
+  const index_t oh = conv_out_extent(h, k, stride, pad);
+  const index_t ow = conv_out_extent(w, k, stride, pad);
+  Tensor y = Tensor::randn({c * k * k, oh * ow}, rng);
+  const Tensor ix = im2col(x, k, k, stride, pad);
+  real lhs = 0.0;
+  for (index_t i = 0; i < ix.size(); ++i) lhs += ix[i] * y[i];
+  const Tensor cy = col2im(y, c, h, w, k, k, stride, pad);
+  real rhs = 0.0;
+  for (index_t i = 0; i < x.size(); ++i) rhs += x[i] * cy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(Serialize, RoundTripSingle) {
+  common::Rng rng(5);
+  Tensor t = Tensor::randn({3, 4, 5}, rng);
+  ByteBuffer buf;
+  write_tensor(t, buf);
+  std::size_t offset = 0;
+  Tensor u = read_tensor(buf, offset);
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_TRUE(t == u);
+}
+
+TEST(Serialize, RoundTripList) {
+  common::Rng rng(6);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({2, 2}, rng));
+  ts.push_back(Tensor::randn({7}, rng));
+  ts.push_back(Tensor({1, 1}));
+  ByteBuffer buf = serialize_tensors(ts);
+  auto us = deserialize_tensors(buf);
+  ASSERT_EQ(us.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(ts[i] == us[i]);
+}
+
+TEST(Serialize, TruncatedThrows) {
+  common::Rng rng(8);
+  ByteBuffer buf = serialize_tensors({Tensor::randn({4, 4}, rng)});
+  buf.resize(buf.size() - 7);
+  EXPECT_THROW(deserialize_tensors(buf), SerializationError);
+}
+
+TEST(Serialize, TrailingBytesThrow) {
+  ByteBuffer buf = serialize_tensors({Tensor({2})});
+  buf.push_back(0);
+  EXPECT_THROW(deserialize_tensors(buf), SerializationError);
+}
+
+TEST(Rng, DeterministicAndSplit) {
+  common::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  common::Rng c = a.split(1);
+  common::Rng d = a.split(1);
+  // Splits from different parent states differ.
+  EXPECT_NE(c(), d());
+}
+
+TEST(Rng, UniformIntRange) {
+  common::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  common::Rng rng(10);
+  real sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const real v = rng.normal(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const real mean = sum / n;
+  const real var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, InverseNormalCdfRoundTrip) {
+  for (const real p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const real x = common::inverse_normal_cdf(p);
+    EXPECT_NEAR(common::normal_cdf(x), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  common::Rng rng(12);
+  auto s = rng.sample_without_replacement(20, 10);
+  ASSERT_EQ(s.size(), 10u);
+  std::sort(s.begin(), s.end());
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+  for (const auto v : s) EXPECT_LT(v, 20u);
+}
+
+}  // namespace
+}  // namespace oasis::tensor

@@ -1,0 +1,48 @@
+#include "test_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oasis::testutil {
+
+real check_gradients(nn::Module& module, const tensor::Tensor& x,
+                     common::Rng& rng, bool training) {
+  // Analytic pass.
+  tensor::Tensor y = module.forward(x, training);
+  GradientProbe probe{tensor::Tensor::randn(y.shape(), rng)};
+  module.zero_grad();
+  tensor::Tensor x_copy = x;  // mutable copy for perturbation probes
+  const tensor::Tensor grad_x = module.backward(probe.direction);
+
+  const auto loss_at = [&] {
+    return probe.loss(module.forward(x_copy, training));
+  };
+
+  real max_err = 0.0;
+  // Parameter gradients.
+  for (auto* param : module.parameters()) {
+    auto values = param->value.data();
+    auto grads = param->grad.data();
+    // Probe a bounded number of coordinates (deterministic stride) so large
+    // layers stay cheap while every region of the tensor is touched.
+    const index_t count = values.size();
+    const index_t stride = std::max<index_t>(1, count / 37);
+    for (index_t i = 0; i < count; i += stride) {
+      const real numeric = numeric_derivative(loss_at, values[i]);
+      max_err = std::max(max_err, std::abs(numeric - grads[i]));
+    }
+  }
+  // Input gradient.
+  {
+    auto values = x_copy.data();
+    const index_t count = values.size();
+    const index_t stride = std::max<index_t>(1, count / 37);
+    for (index_t i = 0; i < count; i += stride) {
+      const real numeric = numeric_derivative(loss_at, values[i]);
+      max_err = std::max(max_err, std::abs(numeric - grad_x.data()[i]));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace oasis::testutil

@@ -1,0 +1,45 @@
+// Shared helpers for the OASIS test suites.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace oasis::testutil {
+
+/// Scalar probe loss L = Σ_i r_i · y_i for a fixed random direction r.
+/// Its analytic gradient w.r.t. y is simply r, which lets us finite-
+/// difference any module: backward(r) must produce dL/dx and accumulate
+/// dL/dθ for this L.
+struct GradientProbe {
+  tensor::Tensor direction;  // r, same shape as the module output
+
+  [[nodiscard]] real loss(const tensor::Tensor& y) const {
+    real s = 0.0;
+    auto r = direction.data();
+    auto v = y.data();
+    for (index_t i = 0; i < v.size(); ++i) s += r[i] * v[i];
+    return s;
+  }
+};
+
+/// Central-difference derivative of `f` w.r.t. one scalar location.
+inline real numeric_derivative(const std::function<real()>& f, real& x,
+                               real h = 1e-6) {
+  const real saved = x;
+  x = saved + h;
+  const real up = f();
+  x = saved - h;
+  const real down = f();
+  x = saved;
+  return (up - down) / (2.0 * h);
+}
+
+/// Checks every parameter gradient and the input gradient of `module`
+/// against central differences. Returns the max absolute error observed.
+/// `x` is the probe input; a fresh forward pass runs per perturbation.
+real check_gradients(nn::Module& module, const tensor::Tensor& x,
+                     common::Rng& rng, bool training = true);
+
+}  // namespace oasis::testutil

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_secagg"
+  "../bench/ablation_secagg.pdb"
+  "CMakeFiles/ablation_secagg.dir/ablation_secagg.cpp.o"
+  "CMakeFiles/ablation_secagg.dir/ablation_secagg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_secagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_psnr_visual"
+  "../bench/fig02_psnr_visual.pdb"
+  "CMakeFiles/fig02_psnr_visual.dir/fig02_psnr_visual.cpp.o"
+  "CMakeFiles/fig02_psnr_visual.dir/fig02_psnr_visual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_psnr_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_rtf_defense"
+  "../bench/fig03_rtf_defense.pdb"
+  "CMakeFiles/fig03_rtf_defense.dir/fig03_rtf_defense.cpp.o"
+  "CMakeFiles/fig03_rtf_defense.dir/fig03_rtf_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_rtf_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_cah_defense"
+  "../bench/fig04_cah_defense.pdb"
+  "CMakeFiles/fig04_cah_defense.dir/fig04_cah_defense.cpp.o"
+  "CMakeFiles/fig04_cah_defense.dir/fig04_cah_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cah_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

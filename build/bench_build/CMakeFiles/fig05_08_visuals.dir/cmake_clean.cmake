@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_08_visuals"
+  "../bench/fig05_08_visuals.pdb"
+  "CMakeFiles/fig05_08_visuals.dir/fig05_08_visuals.cpp.o"
+  "CMakeFiles/fig05_08_visuals.dir/fig05_08_visuals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_08_visuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

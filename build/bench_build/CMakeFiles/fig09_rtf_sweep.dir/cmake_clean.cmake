@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_rtf_sweep"
+  "../bench/fig09_rtf_sweep.pdb"
+  "CMakeFiles/fig09_rtf_sweep.dir/fig09_rtf_sweep.cpp.o"
+  "CMakeFiles/fig09_rtf_sweep.dir/fig09_rtf_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rtf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

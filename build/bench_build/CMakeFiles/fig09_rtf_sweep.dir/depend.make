@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_rtf_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cah_sweep"
+  "../bench/fig10_cah_sweep.pdb"
+  "CMakeFiles/fig10_cah_sweep.dir/fig10_cah_sweep.cpp.o"
+  "CMakeFiles/fig10_cah_sweep.dir/fig10_cah_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cah_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

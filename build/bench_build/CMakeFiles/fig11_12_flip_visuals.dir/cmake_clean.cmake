@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_12_flip_visuals"
+  "../bench/fig11_12_flip_visuals.pdb"
+  "CMakeFiles/fig11_12_flip_visuals.dir/fig11_12_flip_visuals.cpp.o"
+  "CMakeFiles/fig11_12_flip_visuals.dir/fig11_12_flip_visuals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_flip_visuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_linear_model"
+  "../bench/fig13_linear_model.pdb"
+  "CMakeFiles/fig13_linear_model.dir/fig13_linear_model.cpp.o"
+  "CMakeFiles/fig13_linear_model.dir/fig13_linear_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_linear_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/oasis_bench_common.dir/bench_common.cpp.o.d"
+  "liboasis_bench_common.a"
+  "liboasis_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_accuracy"
+  "../bench/table1_accuracy.pdb"
+  "CMakeFiles/table1_accuracy.dir/table1_accuracy.cpp.o"
+  "CMakeFiles/table1_accuracy.dir/table1_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/attack_demo.cpp" "examples_build/CMakeFiles/attack_demo.dir/attack_demo.cpp.o" "gcc" "examples_build/CMakeFiles/attack_demo.dir/attack_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oasis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/oasis_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/oasis_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/oasis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/oasis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/oasis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/oasis_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/oasis_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

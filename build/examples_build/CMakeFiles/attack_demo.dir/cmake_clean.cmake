@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/attack_demo"
+  "../examples/attack_demo.pdb"
+  "CMakeFiles/attack_demo.dir/attack_demo.cpp.o"
+  "CMakeFiles/attack_demo.dir/attack_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

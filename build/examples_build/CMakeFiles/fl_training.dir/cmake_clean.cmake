@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/fl_training"
+  "../examples/fl_training.pdb"
+  "CMakeFiles/fl_training.dir/fl_training.cpp.o"
+  "CMakeFiles/fl_training.dir/fl_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/cah.cpp" "src/attack/CMakeFiles/oasis_attack.dir/cah.cpp.o" "gcc" "src/attack/CMakeFiles/oasis_attack.dir/cah.cpp.o.d"
+  "/root/repo/src/attack/calibration.cpp" "src/attack/CMakeFiles/oasis_attack.dir/calibration.cpp.o" "gcc" "src/attack/CMakeFiles/oasis_attack.dir/calibration.cpp.o.d"
+  "/root/repo/src/attack/detection.cpp" "src/attack/CMakeFiles/oasis_attack.dir/detection.cpp.o" "gcc" "src/attack/CMakeFiles/oasis_attack.dir/detection.cpp.o.d"
+  "/root/repo/src/attack/linear_inversion.cpp" "src/attack/CMakeFiles/oasis_attack.dir/linear_inversion.cpp.o" "gcc" "src/attack/CMakeFiles/oasis_attack.dir/linear_inversion.cpp.o.d"
+  "/root/repo/src/attack/recon_eval.cpp" "src/attack/CMakeFiles/oasis_attack.dir/recon_eval.cpp.o" "gcc" "src/attack/CMakeFiles/oasis_attack.dir/recon_eval.cpp.o.d"
+  "/root/repo/src/attack/rtf.cpp" "src/attack/CMakeFiles/oasis_attack.dir/rtf.cpp.o" "gcc" "src/attack/CMakeFiles/oasis_attack.dir/rtf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/oasis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/oasis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/oasis_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/oasis_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/oasis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_attack.dir/cah.cpp.o"
+  "CMakeFiles/oasis_attack.dir/cah.cpp.o.d"
+  "CMakeFiles/oasis_attack.dir/calibration.cpp.o"
+  "CMakeFiles/oasis_attack.dir/calibration.cpp.o.d"
+  "CMakeFiles/oasis_attack.dir/detection.cpp.o"
+  "CMakeFiles/oasis_attack.dir/detection.cpp.o.d"
+  "CMakeFiles/oasis_attack.dir/linear_inversion.cpp.o"
+  "CMakeFiles/oasis_attack.dir/linear_inversion.cpp.o.d"
+  "CMakeFiles/oasis_attack.dir/recon_eval.cpp.o"
+  "CMakeFiles/oasis_attack.dir/recon_eval.cpp.o.d"
+  "CMakeFiles/oasis_attack.dir/rtf.cpp.o"
+  "CMakeFiles/oasis_attack.dir/rtf.cpp.o.d"
+  "liboasis_attack.a"
+  "liboasis_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/affine.cpp" "src/augment/CMakeFiles/oasis_augment.dir/affine.cpp.o" "gcc" "src/augment/CMakeFiles/oasis_augment.dir/affine.cpp.o.d"
+  "/root/repo/src/augment/policy.cpp" "src/augment/CMakeFiles/oasis_augment.dir/policy.cpp.o" "gcc" "src/augment/CMakeFiles/oasis_augment.dir/policy.cpp.o.d"
+  "/root/repo/src/augment/transforms.cpp" "src/augment/CMakeFiles/oasis_augment.dir/transforms.cpp.o" "gcc" "src/augment/CMakeFiles/oasis_augment.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/oasis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/oasis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_augment.dir/affine.cpp.o"
+  "CMakeFiles/oasis_augment.dir/affine.cpp.o.d"
+  "CMakeFiles/oasis_augment.dir/policy.cpp.o"
+  "CMakeFiles/oasis_augment.dir/policy.cpp.o.d"
+  "CMakeFiles/oasis_augment.dir/transforms.cpp.o"
+  "CMakeFiles/oasis_augment.dir/transforms.cpp.o.d"
+  "liboasis_augment.a"
+  "liboasis_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_common.dir/cli.cpp.o"
+  "CMakeFiles/oasis_common.dir/cli.cpp.o.d"
+  "CMakeFiles/oasis_common.dir/logging.cpp.o"
+  "CMakeFiles/oasis_common.dir/logging.cpp.o.d"
+  "CMakeFiles/oasis_common.dir/rng.cpp.o"
+  "CMakeFiles/oasis_common.dir/rng.cpp.o.d"
+  "liboasis_common.a"
+  "liboasis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

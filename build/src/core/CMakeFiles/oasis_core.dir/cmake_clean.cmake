@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_core.dir/baselines.cpp.o"
+  "CMakeFiles/oasis_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/oasis_core.dir/experiment.cpp.o"
+  "CMakeFiles/oasis_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/oasis_core.dir/oasis.cpp.o"
+  "CMakeFiles/oasis_core.dir/oasis.cpp.o.d"
+  "CMakeFiles/oasis_core.dir/trainer.cpp.o"
+  "CMakeFiles/oasis_core.dir/trainer.cpp.o.d"
+  "liboasis_core.a"
+  "liboasis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

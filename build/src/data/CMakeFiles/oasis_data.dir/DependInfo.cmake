@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cifar_io.cpp" "src/data/CMakeFiles/oasis_data.dir/cifar_io.cpp.o" "gcc" "src/data/CMakeFiles/oasis_data.dir/cifar_io.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/oasis_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/oasis_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/image.cpp" "src/data/CMakeFiles/oasis_data.dir/image.cpp.o" "gcc" "src/data/CMakeFiles/oasis_data.dir/image.cpp.o.d"
+  "/root/repo/src/data/shapes.cpp" "src/data/CMakeFiles/oasis_data.dir/shapes.cpp.o" "gcc" "src/data/CMakeFiles/oasis_data.dir/shapes.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/oasis_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/oasis_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/oasis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

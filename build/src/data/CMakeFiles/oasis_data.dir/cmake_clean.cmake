@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_data.dir/cifar_io.cpp.o"
+  "CMakeFiles/oasis_data.dir/cifar_io.cpp.o.d"
+  "CMakeFiles/oasis_data.dir/dataset.cpp.o"
+  "CMakeFiles/oasis_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/oasis_data.dir/image.cpp.o"
+  "CMakeFiles/oasis_data.dir/image.cpp.o.d"
+  "CMakeFiles/oasis_data.dir/shapes.cpp.o"
+  "CMakeFiles/oasis_data.dir/shapes.cpp.o.d"
+  "CMakeFiles/oasis_data.dir/synthetic.cpp.o"
+  "CMakeFiles/oasis_data.dir/synthetic.cpp.o.d"
+  "liboasis_data.a"
+  "liboasis_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregation.cpp" "src/fl/CMakeFiles/oasis_fl.dir/aggregation.cpp.o" "gcc" "src/fl/CMakeFiles/oasis_fl.dir/aggregation.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/oasis_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/oasis_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/inconsistent_server.cpp" "src/fl/CMakeFiles/oasis_fl.dir/inconsistent_server.cpp.o" "gcc" "src/fl/CMakeFiles/oasis_fl.dir/inconsistent_server.cpp.o.d"
+  "/root/repo/src/fl/secure_agg.cpp" "src/fl/CMakeFiles/oasis_fl.dir/secure_agg.cpp.o" "gcc" "src/fl/CMakeFiles/oasis_fl.dir/secure_agg.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/oasis_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/oasis_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/simulation.cpp" "src/fl/CMakeFiles/oasis_fl.dir/simulation.cpp.o" "gcc" "src/fl/CMakeFiles/oasis_fl.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/oasis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/oasis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/oasis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

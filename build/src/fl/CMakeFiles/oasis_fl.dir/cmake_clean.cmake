@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_fl.dir/aggregation.cpp.o"
+  "CMakeFiles/oasis_fl.dir/aggregation.cpp.o.d"
+  "CMakeFiles/oasis_fl.dir/client.cpp.o"
+  "CMakeFiles/oasis_fl.dir/client.cpp.o.d"
+  "CMakeFiles/oasis_fl.dir/inconsistent_server.cpp.o"
+  "CMakeFiles/oasis_fl.dir/inconsistent_server.cpp.o.d"
+  "CMakeFiles/oasis_fl.dir/secure_agg.cpp.o"
+  "CMakeFiles/oasis_fl.dir/secure_agg.cpp.o.d"
+  "CMakeFiles/oasis_fl.dir/server.cpp.o"
+  "CMakeFiles/oasis_fl.dir/server.cpp.o.d"
+  "CMakeFiles/oasis_fl.dir/simulation.cpp.o"
+  "CMakeFiles/oasis_fl.dir/simulation.cpp.o.d"
+  "liboasis_fl.a"
+  "liboasis_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/accuracy.cpp" "src/metrics/CMakeFiles/oasis_metrics.dir/accuracy.cpp.o" "gcc" "src/metrics/CMakeFiles/oasis_metrics.dir/accuracy.cpp.o.d"
+  "/root/repo/src/metrics/psnr.cpp" "src/metrics/CMakeFiles/oasis_metrics.dir/psnr.cpp.o" "gcc" "src/metrics/CMakeFiles/oasis_metrics.dir/psnr.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/oasis_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/oasis_metrics.dir/report.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/oasis_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/oasis_metrics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/oasis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/oasis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/oasis_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

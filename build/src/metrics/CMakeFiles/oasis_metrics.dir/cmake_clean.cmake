@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_metrics.dir/accuracy.cpp.o"
+  "CMakeFiles/oasis_metrics.dir/accuracy.cpp.o.d"
+  "CMakeFiles/oasis_metrics.dir/psnr.cpp.o"
+  "CMakeFiles/oasis_metrics.dir/psnr.cpp.o.d"
+  "CMakeFiles/oasis_metrics.dir/report.cpp.o"
+  "CMakeFiles/oasis_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/oasis_metrics.dir/stats.cpp.o"
+  "CMakeFiles/oasis_metrics.dir/stats.cpp.o.d"
+  "liboasis_metrics.a"
+  "liboasis_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_nn.dir/activations.cpp.o"
+  "CMakeFiles/oasis_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/oasis_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/oasis_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/dense.cpp.o"
+  "CMakeFiles/oasis_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/dropout.cpp.o"
+  "CMakeFiles/oasis_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/init.cpp.o"
+  "CMakeFiles/oasis_nn.dir/init.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/loss.cpp.o"
+  "CMakeFiles/oasis_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/model_io.cpp.o"
+  "CMakeFiles/oasis_nn.dir/model_io.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/models.cpp.o"
+  "CMakeFiles/oasis_nn.dir/models.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/oasis_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/pooling.cpp.o"
+  "CMakeFiles/oasis_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/residual.cpp.o"
+  "CMakeFiles/oasis_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/scheduler.cpp.o"
+  "CMakeFiles/oasis_nn.dir/scheduler.cpp.o.d"
+  "CMakeFiles/oasis_nn.dir/sequential.cpp.o"
+  "CMakeFiles/oasis_nn.dir/sequential.cpp.o.d"
+  "liboasis_nn.a"
+  "liboasis_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_tensor.dir/ops.cpp.o"
+  "CMakeFiles/oasis_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/oasis_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/oasis_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/oasis_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/oasis_tensor.dir/tensor.cpp.o.d"
+  "liboasis_tensor.a"
+  "liboasis_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_report_test.dir/io_report_test.cpp.o"
+  "CMakeFiles/io_report_test.dir/io_report_test.cpp.o.d"
+  "io_report_test"
+  "io_report_test.pdb"
+  "io_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secagg_test.dir/secagg_test.cpp.o"
+  "CMakeFiles/secagg_test.dir/secagg_test.cpp.o.d"
+  "secagg_test"
+  "secagg_test.pdb"
+  "secagg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secagg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -25,6 +25,7 @@
 #include "fl/simulation.h"
 #include "metrics/accuracy.h"
 #include "nn/models.h"
+#include "runtime/parallel.h"
 
 namespace {
 
@@ -69,7 +70,9 @@ int main(int argc, char** argv) {
                         "DP / pruning / detection baselines vs OASIS");
   cli.add_bool("full", "more rounds and batches");
   cli.add_flag("seed", "experiment seed", "777");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const bool full = cli.get_bool("full");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 

@@ -27,6 +27,7 @@
 #include "fl/secure_agg.h"
 #include "metrics/stats.h"
 #include "nn/models.h"
+#include "runtime/parallel.h"
 
 namespace {
 
@@ -125,7 +126,9 @@ int main(int argc, char** argv) {
       "secure aggregation, model inconsistency, and OASIS");
   cli.add_bool("full", "more rounds");
   cli.add_flag("seed", "experiment seed", "888");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const index_t rounds = cli.get_bool("full") ? 8 : 3;
 

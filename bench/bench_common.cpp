@@ -1,12 +1,15 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/cifar_io.h"
+#include "runtime/parallel.h"
 
 namespace oasis::bench {
 
@@ -123,6 +126,53 @@ std::string ensure_output_dir() {
   const std::string dir = "bench_out";
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+std::vector<ThreadSweepRow> run_thread_sweep(
+    const std::string& name, const std::vector<index_t>& thread_counts,
+    const std::function<void()>& fn, int reps) {
+  std::vector<ThreadSweepRow> rows;
+  std::printf("  %-24s threads   seconds   speedup\n", name.c_str());
+  for (const index_t t : thread_counts) {
+    runtime::set_num_threads(t);
+    fn();  // warm-up: first touch of caches and the (re)built pool
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      common::Stopwatch sw;
+      fn();
+      const double s = sw.seconds();
+      if (r == 0 || s < best) best = s;
+    }
+    ThreadSweepRow row;
+    row.threads = t;
+    row.seconds = best;
+    row.speedup = rows.empty() ? 1.0 : rows.front().seconds / best;
+    std::printf("  %-24s %7zu %9.5f %8.2fx\n", "", static_cast<size_t>(t),
+                row.seconds, row.speedup);
+    rows.push_back(row);
+  }
+  runtime::set_num_threads(0);  // back to --threads/env/auto default
+  return rows;
+}
+
+void write_thread_sweep_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<ThreadSweepRow>>>&
+        sweeps) {
+  std::ofstream out(path);
+  out << "{\n  \"kernels\": [\n";
+  for (std::size_t k = 0; k < sweeps.size(); ++k) {
+    out << "    {\"kernel\": \"" << sweeps[k].first << "\", \"rows\": [";
+    const auto& rows = sweeps[k].second;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << (i ? ", " : "") << "{\"threads\": " << rows[i].threads
+          << ", \"seconds\": " << rows[i].seconds
+          << ", \"speedup\": " << rows[i].speedup << "}";
+    }
+    out << "]}" << (k + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "[report] " << path << "\n";
 }
 
 }  // namespace oasis::bench

@@ -5,7 +5,9 @@
 // core, and accepts --full for a configuration closer to the paper's scale.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "augment/transforms.h"
@@ -69,5 +71,26 @@ void print_banner(const std::string& figure, const std::string& description);
 
 /// Ensures ./bench_out exists and returns its path.
 std::string ensure_output_dir();
+
+/// One row of a serial-vs-parallel thread sweep.
+struct ThreadSweepRow {
+  index_t threads = 1;
+  double seconds = 0.0;  // best-of-reps wall time of one fn() call
+  double speedup = 1.0;  // serial seconds / this row's seconds
+};
+
+/// Times `fn` once per rep at every thread count (via
+/// runtime::set_num_threads, restored to automatic afterwards), keeps the
+/// best rep, and prints a table. Speedups are relative to the first row,
+/// which should be threads=1.
+std::vector<ThreadSweepRow> run_thread_sweep(
+    const std::string& name, const std::vector<index_t>& thread_counts,
+    const std::function<void()>& fn, int reps = 3);
+
+/// Writes named sweeps as JSON to `path` (e.g. bench_out/..._threads.json).
+void write_thread_sweep_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<ThreadSweepRow>>>&
+        sweeps);
 
 }  // namespace oasis::bench

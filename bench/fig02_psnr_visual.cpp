@@ -7,6 +7,7 @@
 #include "bench_common.h"
 #include "data/image.h"
 #include "metrics/psnr.h"
+#include "runtime/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace oasis;
@@ -15,7 +16,9 @@ int main(int argc, char** argv) {
   common::CliParser cli("fig02_psnr_visual",
                         "Reproduces Figure 2 (PSNR visual representation)");
   cli.add_flag("seed", "experiment seed", "202");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   print_banner("Figure 2", "visual representation of PSNR values");

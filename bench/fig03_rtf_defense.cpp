@@ -20,6 +20,7 @@
 #include "nn/loss.h"
 #include "nn/model_io.h"
 #include "nn/pooling.h"
+#include "runtime/parallel.h"
 
 namespace {
 
@@ -153,7 +154,9 @@ int main(int argc, char** argv) {
   cli.add_bool("full", "paper-scale batches/datasets");
   cli.add_bool("ablations", "run the extra ablation studies");
   cli.add_flag("seed", "experiment seed", "303");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const bool full = cli.get_bool("full");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 

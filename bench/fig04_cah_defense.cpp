@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
+#include "runtime/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace oasis;
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
                         "Reproduces Figure 4 (CAH vs OASIS transforms)");
   cli.add_bool("full", "paper-scale batches/datasets");
   cli.add_flag("seed", "experiment seed", "404");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const bool full = cli.get_bool("full");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 

@@ -10,6 +10,7 @@
 #include "bench_common.h"
 #include "data/image.h"
 #include "metrics/stats.h"
+#include "runtime/parallel.h"
 
 namespace {
 
@@ -53,7 +54,9 @@ int main(int argc, char** argv) {
   common::CliParser cli("fig05_08_visuals",
                         "Reproduces Figures 5-8 (visual reconstructions)");
   cli.add_flag("seed", "experiment seed", "508");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   print_banner("Figures 5-8", "visual reconstructions under OASIS");

@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
+#include "runtime/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace oasis;
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
                         "Reproduces Figure 9 (RTF batch × neurons sweep)");
   cli.add_bool("full", "paper-scale grid");
   cli.add_flag("seed", "experiment seed", "909");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const bool full = cli.get_bool("full");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 

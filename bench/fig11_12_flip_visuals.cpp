@@ -6,6 +6,7 @@
 #include "bench_common.h"
 #include "data/image.h"
 #include "metrics/stats.h"
+#include "runtime/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace oasis;
@@ -15,7 +16,9 @@ int main(int argc, char** argv) {
   common::CliParser cli("fig11_12_flip_visuals",
                         "Reproduces Figures 11-12 (flip reconstructions)");
   cli.add_flag("seed", "experiment seed", "1112");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   print_banner("Figures 11-12",

@@ -2,17 +2,33 @@
 // experiments lean on: matmul variants, im2col, affine warps, PSNR, and the
 // attack implant/reconstruct paths. Not a paper figure — an engineering
 // baseline for regressions.
+//
+// Before the google-benchmark suite runs, a serial-vs-parallel thread sweep
+// times the pool-dispatched kernels (GEMM, conv forward/backward) at several
+// thread counts and writes the speedup table to
+// bench_out/micro_kernels_threads.json. `--threads N` selects the pool size
+// for the benchmark suite itself and is swept as the top count.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "attack/cah.h"
 #include "attack/rtf.h"
 #include "augment/affine.h"
+#include "bench_common.h"
 #include "common/rng.h"
 #include "data/synthetic.h"
 #include "metrics/psnr.h"
+#include "nn/conv2d.h"
 #include "nn/loss.h"
 #include "nn/model_io.h"
 #include "nn/models.h"
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -134,6 +150,71 @@ void BM_CahCalibration(benchmark::State& state) {
 }
 BENCHMARK(BM_CahCalibration);
 
+// Extracts `--threads N` / `--threads=N` from argv (google-benchmark rejects
+// flags it does not know) and returns the requested count, 0 = automatic.
+index_t take_threads_flag(int& argc, char** argv) {
+  index_t threads = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(std::strlen("--threads="));
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    threads = static_cast<index_t>(std::strtoul(value.c_str(), nullptr, 10));
+  }
+  argc = out;
+  return threads;
+}
+
+void run_thread_sweeps(index_t top) {
+  using bench::ThreadSweepRow;
+  std::vector<index_t> counts{1};
+  for (index_t t = 2; t <= std::max<index_t>(top, 4); t *= 2) {
+    counts.push_back(t);
+  }
+  if (top > 1 && std::find(counts.begin(), counts.end(), top) == counts.end()) {
+    counts.push_back(top);
+  }
+
+  common::Rng rng(42);
+  const tensor::Tensor a = tensor::Tensor::randn({192, 192}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({192, 192}, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({8, 3, 32, 32}, rng);
+  nn::Conv2d conv(3, 16, 3, 1, 1, rng);
+  const tensor::Tensor y = conv.forward(x, true);
+  tensor::Tensor gy(y.shape());
+  for (auto& g : gy.data()) g = 1.0;
+
+  std::printf("serial-vs-parallel thread sweep (pool dispatched kernels)\n");
+  std::vector<std::pair<std::string, std::vector<ThreadSweepRow>>> sweeps;
+  sweeps.emplace_back("gemm_192", bench::run_thread_sweep(
+      "gemm_192", counts, [&] { tensor::matmul(a, b); }));
+  sweeps.emplace_back("conv2d_forward", bench::run_thread_sweep(
+      "conv2d_forward", counts, [&] { conv.forward(x, true); }));
+  sweeps.emplace_back("conv2d_backward", bench::run_thread_sweep(
+      "conv2d_backward", counts, [&] {
+        conv.zero_grad();
+        conv.backward(gy);
+      }));
+  bench::write_thread_sweep_json(
+      bench::ensure_output_dir() + "/micro_kernels_threads.json", sweeps);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const index_t threads = take_threads_flag(argc, argv);
+  run_thread_sweeps(threads);
+  runtime::set_num_threads(threads);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "core/trainer.h"
 #include "nn/models.h"
+#include "runtime/parallel.h"
 
 namespace {
 
@@ -100,7 +101,9 @@ int main(int argc, char** argv) {
   cli.add_bool("full", "larger datasets and more epochs");
   cli.add_flag("model", "convnet|resnet", "convnet");
   cli.add_flag("seed", "experiment seed", "111");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
   const bool full = cli.get_bool("full");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI entry point: Release build + full test suite, then a ThreadSanitizer
+# build exercising the concurrency-heavy tests (runtime pool + FL rounds).
+#
+#   ./ci.sh            # both stages
+#   ./ci.sh release    # Release + ctest only
+#   ./ci.sh tsan       # TSan stage only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+stage="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_release() {
+  echo "==> [ci] Release build + ctest"
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "${jobs}"
+  ctest --test-dir build-ci --output-on-failure -j "${jobs}"
+}
+
+run_tsan() {
+  echo "==> [ci] ThreadSanitizer build (runtime_test + fl_test)"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
+  cmake --build build-tsan -j "${jobs}" --target runtime_test fl_test
+  ./build-tsan/tests/runtime_test
+  ./build-tsan/tests/fl_test
+}
+
+case "${stage}" in
+  release) run_release ;;
+  tsan) run_tsan ;;
+  all)
+    run_release
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [release|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> [ci] OK"

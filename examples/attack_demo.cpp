@@ -11,6 +11,7 @@
 #include "data/image.h"
 #include "data/synthetic.h"
 #include "metrics/stats.h"
+#include "runtime/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace oasis;
@@ -18,7 +19,9 @@ int main(int argc, char** argv) {
   common::CliParser cli("attack_demo",
                         "RTF / CAH / linear inversion, with & without OASIS");
   cli.add_flag("defense", "transform for the defended run", "MR");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
 
   const std::string dir = "example_out";
   std::filesystem::create_directories(dir);

@@ -16,6 +16,7 @@
 #include "fl/simulation.h"
 #include "metrics/accuracy.h"
 #include "nn/models.h"
+#include "runtime/parallel.h"
 
 int main(int argc, char** argv) {
   using namespace oasis;
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
   cli.add_flag("per-round", "clients selected per round M (0=all)", "4");
   cli.add_flag("transform", "OASIS transform (none|MR|mR|SH|HFlip|VFlip)",
                "MR");
+  runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
 
   const auto rounds = static_cast<index_t>(cli.get_int("rounds"));
   const auto n_clients = static_cast<index_t>(cli.get_int("clients"));

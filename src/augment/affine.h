@@ -1,13 +1,20 @@
 // Image-plane warps: the geometric kernels behind every OASIS transform.
 //
-// Two implementation classes, chosen deliberately:
+// Three implementation classes, chosen deliberately:
 //   * Exact index permutations for 90°-multiples and flips. These preserve
 //     the multiset of pixel values — and therefore the image mean — exactly,
 //     which is the property that makes major rotation defeat RTF's
 //     mean-brightness binning (the original and its rotations land in the
 //     same bin bit-for-bit).
-//   * Inverse-mapped bilinear resampling for arbitrary rotations and shears
-//     (matching torchvision semantics, zero fill outside the source frame).
+//   * Circular sinc (Dirichlet-kernel) shears for rotate()/shear(). A
+//     rotation is decomposed into three shears (Unser/Paeth), each an
+//     exactly invertible circular shift of rows or columns, so
+//     rotate(-θ)∘rotate(θ) and shear(-μ)∘shear(μ) are near-identities even
+//     on broadband (noise) images — a property no local resampling kernel
+//     can offer. Rotation then zero-masks pixels whose source falls outside
+//     the frame, keeping the conventional corner-mass loss.
+//   * Inverse-mapped Lanczos-3 resampling in warp_affine() for arbitrary
+//     matrices (zero fill outside the source frame).
 #pragma once
 
 #include <array>
@@ -28,7 +35,7 @@ AffineMatrix rotation_matrix(real theta, index_t height, index_t width);
 /// (Appendix B, Eq. 8).
 AffineMatrix shear_matrix(real mu, index_t height, index_t width);
 
-/// Samples `image` ([C,H,W]) through the inverse map with bilinear
+/// Samples `image` ([C,H,W]) through the inverse map with Lanczos-3
 /// interpolation; out-of-frame reads produce `fill`.
 tensor::Tensor warp_affine(const tensor::Tensor& image,
                            const AffineMatrix& inverse_map, real fill = 0.0);
@@ -42,10 +49,13 @@ tensor::Tensor rotate270(const tensor::Tensor& image);
 tensor::Tensor flip_horizontal(const tensor::Tensor& image);
 tensor::Tensor flip_vertical(const tensor::Tensor& image);
 
-/// Arbitrary-angle rotation (radians) via bilinear warp, zero fill.
+/// Arbitrary-angle rotation (radians) via three circular sinc shears;
+/// quarter turns snap to the exact permutations; pixels whose inverse-map
+/// source falls outside the frame are zeroed.
 tensor::Tensor rotate(const tensor::Tensor& image, real theta);
 
-/// Shear with factor `mu` via bilinear warp, zero fill.
+/// Shear with factor `mu` via one exactly invertible circular sinc shift
+/// per row (content wraps around instead of vanishing).
 tensor::Tensor shear(const tensor::Tensor& image, real mu);
 
 }  // namespace oasis::augment

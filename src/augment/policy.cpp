@@ -1,6 +1,7 @@
 #include "augment/policy.h"
 
 #include "common/error.h"
+#include "runtime/parallel.h"
 
 namespace oasis::augment {
 
@@ -29,10 +30,24 @@ data::Batch AugmentationPolicy::augment(const data::Batch& batch,
                                         common::Rng& rng) const {
   if (transforms_.empty()) return batch;
   std::vector<tensor::Tensor> images = data::unstack_images(batch.images);
+  const index_t n = images.size();
+  // Split one child stream per image up front (the parent rng advances by
+  // exactly n draws, independent of thread count), then expand images in
+  // parallel. Variant content and ordering are a pure function of the
+  // incoming rng state, so serial and parallel runs agree byte for byte.
+  std::vector<common::Rng> streams;
+  streams.reserve(n);
+  for (index_t i = 0; i < n; ++i) streams.push_back(rng.split(i));
+  std::vector<std::vector<tensor::Tensor>> expanded(n);
+  runtime::parallel_for(0, n, 1, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      expanded[i] = variants(images[i], streams[i]);
+    }
+  });
   std::vector<tensor::Tensor> all = images;
   std::vector<index_t> labels = batch.labels;
-  for (index_t i = 0; i < images.size(); ++i) {
-    for (auto& v : variants(images[i], rng)) {
+  for (index_t i = 0; i < n; ++i) {
+    for (auto& v : expanded[i]) {
       all.push_back(std::move(v));
       labels.push_back(batch.labels[i]);
     }

@@ -1,5 +1,7 @@
 #include "fl/simulation.h"
 
+#include "runtime/parallel.h"
+
 namespace oasis::fl {
 
 Simulation::Simulation(std::unique_ptr<Server> server,
@@ -28,14 +30,26 @@ std::vector<std::uint64_t> Simulation::run_round() {
   const auto selected = rng_.sample_without_replacement(clients_.size(), m);
 
   server_->begin_round();
-  std::vector<ClientUpdateMessage> updates;
+  // Dispatch serially: a (possibly malicious) server may build per-client
+  // payloads from mutable state, so only the training itself fans out.
+  std::vector<GlobalModelMessage> dispatched;
   std::vector<std::uint64_t> ids;
-  updates.reserve(m);
+  dispatched.reserve(m);
+  ids.reserve(m);
   for (const auto idx : selected) {
-    updates.push_back(clients_[idx]->handle_round(
-        server_->dispatch_to(clients_[idx]->id())));
+    dispatched.push_back(server_->dispatch_to(clients_[idx]->id()));
     ids.push_back(clients_[idx]->id());
   }
+  // Selected clients train concurrently — each touches only its own model
+  // replica, rng, and dataset shard. Updates land at their selection index,
+  // so finish_round() aggregates in the same fixed order as a serial run
+  // and FedAvg results are identical at any thread count.
+  std::vector<ClientUpdateMessage> updates(m);
+  runtime::parallel_for(0, m, 1, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      updates[i] = clients_[selected[i]]->handle_round(dispatched[i]);
+    }
+  });
   server_->finish_round(updates);
   return ids;
 }

@@ -1,6 +1,7 @@
 #include "nn/conv2d.h"
 
 #include "nn/init.h"
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 namespace oasis::nn {
@@ -28,21 +29,24 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& x, bool /*training*/) {
   cached_h_ = h;
   cached_w_ = w;
   cached_batch_ = batch;
-  cached_cols_.clear();
-  cached_cols_.reserve(batch);
+  cached_cols_.assign(batch, tensor::Tensor());
 
   tensor::Tensor y({batch, out_ch_, oh, ow});
-  for (index_t n = 0; n < batch; ++n) {
-    tensor::Tensor cols = tensor::im2col(x.slice(n), k_, k_, stride_, pad_);
-    tensor::Tensor out = tensor::matmul(weight_.value, cols);  // [out_ch, oh*ow]
-    for (index_t c = 0; c < out_ch_; ++c) {
-      const real b = bias_.value[c];
-      for (index_t p = 0; p < oh * ow; ++p) {
-        y.data()[((n * out_ch_ + c) * oh * ow) + p] = out.at2(c, p) + b;
+  // Samples are independent: each writes its own output slice and im2col
+  // cache slot, so the batch loop parallelizes with no ordering effects.
+  runtime::parallel_for(0, batch, 1, [&](index_t n0, index_t n1) {
+    for (index_t n = n0; n < n1; ++n) {
+      tensor::Tensor cols = tensor::im2col(x.slice(n), k_, k_, stride_, pad_);
+      tensor::Tensor out = tensor::matmul(weight_.value, cols);  // [out_ch, oh*ow]
+      for (index_t c = 0; c < out_ch_; ++c) {
+        const real b = bias_.value[c];
+        for (index_t p = 0; p < oh * ow; ++p) {
+          y.data()[((n * out_ch_ + c) * oh * ow) + p] = out.at2(c, p) + b;
+        }
       }
+      cached_cols_[n] = std::move(cols);
     }
-    cached_cols_.push_back(std::move(cols));
-  }
+  });
   return y;
 }
 
@@ -52,24 +56,50 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
                   "Conv2d backward: bad grad "
                       << tensor::to_string(grad_out.shape()));
   const index_t oh = grad_out.dim(2), ow = grad_out.dim(3);
-  tensor::Tensor grad_x({cached_batch_, in_ch_, cached_h_, cached_w_});
-  for (index_t n = 0; n < cached_batch_; ++n) {
-    // [out_ch, oh*ow] view of this sample's output gradient.
-    tensor::Tensor gy = grad_out.slice(n).reshaped({out_ch_, oh * ow});
-    weight_.grad += tensor::matmul_nt(gy, cached_cols_[n]);
-    for (index_t c = 0; c < out_ch_; ++c) {
-      real s = 0.0;
-      for (index_t p = 0; p < oh * ow; ++p) s += gy.at2(c, p);
-      bias_.grad[c] += s;
+  const index_t pix = oh * ow;
+  const index_t cols_rows = in_ch_ * k_ * k_;
+  const real* gy_base = grad_out.data().data();
+  real* gw = weight_.grad.data().data();
+  real* gb = bias_.grad.data().data();
+
+  // Weight/bias gradients, parallel over output channels: row c of the
+  // weight gradient only ever receives contributions computed in its own
+  // chunk, accumulated over samples in ascending order — so the result is
+  // bit-identical for any thread count (no shared accumulators, no partials).
+  runtime::parallel_for(0, out_ch_, 1, [&](index_t c0, index_t c1) {
+    for (index_t n = 0; n < cached_batch_; ++n) {
+      const real* gy_n = gy_base + n * out_ch_ * pix;
+      const real* cols = cached_cols_[n].data().data();  // [cols_rows, pix]
+      for (index_t c = c0; c < c1; ++c) {
+        const real* gy_row = gy_n + c * pix;
+        real* gw_row = gw + c * cols_rows;
+        for (index_t i = 0; i < cols_rows; ++i) {
+          const real* col_row = cols + i * pix;
+          real s = 0.0;
+          for (index_t p = 0; p < pix; ++p) s += gy_row[p] * col_row[p];
+          gw_row[i] += s;
+        }
+        real s = 0.0;
+        for (index_t p = 0; p < pix; ++p) s += gy_row[p];
+        gb[c] += s;
+      }
     }
-    tensor::Tensor gcols = tensor::matmul_tn(weight_.value, gy);
-    tensor::Tensor gx = tensor::col2im(gcols, in_ch_, cached_h_, cached_w_,
-                                       k_, k_, stride_, pad_);
-    auto dst = grad_x.data();
-    auto src = gx.data();
-    const index_t sz = src.size();
-    for (index_t i = 0; i < sz; ++i) dst[n * sz + i] = src[i];
-  }
+  });
+
+  // Input gradient, parallel over samples: each writes its own slice.
+  tensor::Tensor grad_x({cached_batch_, in_ch_, cached_h_, cached_w_});
+  runtime::parallel_for(0, cached_batch_, 1, [&](index_t n0, index_t n1) {
+    for (index_t n = n0; n < n1; ++n) {
+      tensor::Tensor gy = grad_out.slice(n).reshaped({out_ch_, pix});
+      tensor::Tensor gcols = tensor::matmul_tn(weight_.value, gy);
+      tensor::Tensor gx = tensor::col2im(gcols, in_ch_, cached_h_, cached_w_,
+                                         k_, k_, stride_, pad_);
+      auto dst = grad_x.data();
+      auto src = gx.data();
+      const index_t sz = src.size();
+      for (index_t i = 0; i < sz; ++i) dst[n * sz + i] = src[i];
+    }
+  });
   return grad_x;
 }
 

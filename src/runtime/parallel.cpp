@@ -1,0 +1,160 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "runtime/thread_pool.h"
+
+namespace oasis::runtime {
+namespace {
+
+std::mutex g_config_mutex;
+index_t g_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+index_t resolve_default() {
+  if (const char* env = std::getenv("OASIS_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<index_t>(v);
+    OASIS_LOG_WARN << "ignoring invalid OASIS_THREADS='" << env << "'";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<index_t>(hw) : 1;
+}
+
+// Callers must hold g_config_mutex.
+index_t threads_locked() {
+  if (g_threads == 0) g_threads = resolve_default();
+  return g_threads;
+}
+
+}  // namespace
+
+index_t num_threads() {
+  std::lock_guard lock(g_config_mutex);
+  return threads_locked();
+}
+
+void set_num_threads(index_t n) {
+  std::unique_ptr<ThreadPool> doomed;
+  {
+    std::lock_guard lock(g_config_mutex);
+    doomed = std::move(g_pool);  // joined outside the lock
+    g_threads = n == 0 ? resolve_default() : n;
+  }
+}
+
+ThreadPool* global_pool() {
+  std::lock_guard lock(g_config_mutex);
+  const index_t n = threads_locked();
+  if (n <= 1) return nullptr;
+  // The caller of a parallel region always participates, so the pool holds
+  // n-1 workers for a total concurrency of n.
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(n - 1);
+  return g_pool.get();
+}
+
+void add_cli_flag(common::CliParser& cli) {
+  cli.add_flag("threads", "worker threads (0 = OASIS_THREADS env or all cores)",
+               "0");
+}
+
+void apply_cli_flag(const common::CliParser& cli) {
+  const auto n = cli.get_int("threads");
+  OASIS_CHECK_MSG(n >= 0, "--threads must be >= 0, got " << n);
+  set_num_threads(static_cast<index_t>(n));
+}
+
+namespace {
+
+struct ForState {
+  index_t begin = 0, end = 0, grain = 1, nchunks = 0;
+  std::function<void(index_t, index_t)> body;
+  std::atomic<index_t> next{0};
+  std::atomic<index_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure; guarded by mutex
+  bool finished = false;     // guarded by mutex
+};
+
+// Claims chunks off the shared counter until none remain. Run by the caller
+// and by up to num_workers helper tasks; which thread claims which chunk is
+// scheduling noise, the chunk bounds themselves are fixed.
+void run_chunks(const std::shared_ptr<ForState>& state) {
+  while (true) {
+    const index_t c = state->next.fetch_add(1);
+    if (c >= state->nchunks) return;
+    const index_t lo = state->begin + c * state->grain;
+    const index_t hi =
+        lo + state->grain < state->end ? lo + state->grain : state->end;
+    try {
+      state->body(lo, hi);
+    } catch (...) {
+      std::lock_guard lock(state->mutex);
+      if (!state->error) state->error = std::current_exception();
+    }
+    if (state->done.fetch_add(1) + 1 == state->nchunks) {
+      std::lock_guard lock(state->mutex);
+      state->finished = true;
+      state->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_for(index_t begin, index_t end, index_t grain,
+                  const std::function<void(index_t, index_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const index_t n = end - begin;
+  const index_t nchunks = (n + grain - 1) / grain;
+  ThreadPool* pool = nchunks > 1 ? global_pool() : nullptr;
+  if (pool == nullptr) {
+    // Serial mode: same chunk partition, ascending order, no pool involved.
+    for (index_t c = 0; c < nchunks; ++c) {
+      const index_t lo = begin + c * grain;
+      body(lo, lo + grain < end ? lo + grain : end);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->nchunks = nchunks;
+  state->body = body;
+
+  const index_t helpers =
+      std::min<index_t>(pool->num_workers(), nchunks - 1);
+  for (index_t i = 0; i < helpers; ++i) {
+    pool->submit([state] { run_chunks(state); });
+  }
+  run_chunks(state);  // the caller always helps — nesting cannot deadlock
+
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->finished; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void parallel_for(index_t begin, index_t end,
+                  const std::function<void(index_t, index_t)>& body) {
+  if (end <= begin) return;
+  const index_t n = end - begin;
+  // ~4 chunks per thread balances stealing freedom against chunk overhead.
+  const index_t grain = std::max<index_t>(1, n / (num_threads() * 4));
+  parallel_for(begin, end, grain, body);
+}
+
+}  // namespace oasis::runtime

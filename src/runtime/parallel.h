@@ -1,0 +1,96 @@
+// Deterministic data-parallel primitives over the global thread pool.
+//
+// Determinism contract: the partitioning of [begin, end) into chunks depends
+// ONLY on (begin, end, grain) — never on the thread count or on scheduling —
+// and `parallel_reduce` combines per-chunk partials serially in ascending
+// chunk order. A computation expressed through these primitives therefore
+// produces bit-identical results whether it runs on 1 thread or 64, which is
+// what lets the FL determinism tests compare serial and parallel gradients
+// byte for byte.
+//
+// Thread count resolution order: set_num_threads() > OASIS_THREADS env var >
+// std::thread::hardware_concurrency(). A count of 1 bypasses the pool
+// entirely (no threads are ever created) and runs chunks inline, in order.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oasis::common {
+class CliParser;
+}  // namespace oasis::common
+
+namespace oasis::runtime {
+
+class ThreadPool;
+
+/// Currently configured worker count (>= 1). First call resolves the
+/// OASIS_THREADS environment variable / hardware concurrency.
+index_t num_threads();
+
+/// Reconfigures the global pool; `n == 0` re-resolves the automatic default.
+/// Tears down the old pool (joining its workers) and lazily builds the new
+/// one on the next parallel call. Not safe to call concurrently with running
+/// parallel regions — configure at startup or between them.
+void set_num_threads(index_t n);
+
+/// The shared pool, or nullptr when num_threads() == 1 (serial mode).
+ThreadPool* global_pool();
+
+/// Registers the standard `--threads` flag on a bench/example CLI.
+void add_cli_flag(common::CliParser& cli);
+
+/// Applies a parsed `--threads` value (after CliParser::parse).
+void apply_cli_flag(const common::CliParser& cli);
+
+/// Splits [begin, end) into ceil(n / grain) contiguous chunks of at most
+/// `grain` indices and invokes `body(chunk_begin, chunk_end)` once per chunk,
+/// in parallel. Every index is covered exactly once. Exceptions thrown by
+/// `body` are captured and the first one is re-thrown here after all chunks
+/// finish. Safe to call from inside another parallel_for (the caller helps
+/// execute chunks instead of blocking, so nesting cannot deadlock).
+void parallel_for(index_t begin, index_t end, index_t grain,
+                  const std::function<void(index_t, index_t)>& body);
+
+/// Convenience overload: grain chosen so each thread gets ~4 chunks.
+void parallel_for(index_t begin, index_t end,
+                  const std::function<void(index_t, index_t)>& body);
+
+/// Deterministic tree-free reduction: folds each fixed chunk with `chunk_fn`
+/// (starting from a copy of `identity`), then combines the per-chunk
+/// partials serially in ascending chunk order. The float summation order is
+/// therefore a pure function of (begin, end, grain) — independent of thread
+/// count — at the cost of one `combine` per chunk.
+///
+///   chunk_fn(chunk_begin, chunk_end, T acc) -> T   folds a chunk
+///   combine(T a, T b) -> T                         merges two partials
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(index_t begin, index_t end, index_t grain, T identity,
+                  ChunkFn&& chunk_fn, CombineFn&& combine) {
+  if (end <= begin) return identity;
+  if (grain < 1) grain = 1;
+  const index_t n = end - begin;
+  const index_t nchunks = (n + grain - 1) / grain;
+  if (nchunks == 1) {
+    return chunk_fn(begin, end, std::move(identity));
+  }
+  std::vector<T> partials(nchunks, identity);
+  parallel_for(0, nchunks, 1, [&](index_t c0, index_t c1) {
+    for (index_t c = c0; c < c1; ++c) {
+      const index_t lo = begin + c * grain;
+      const index_t hi = lo + grain < end ? lo + grain : end;
+      partials[c] = chunk_fn(lo, hi, std::move(partials[c]));
+    }
+  });
+  T result = std::move(partials[0]);
+  for (index_t c = 1; c < nchunks; ++c) {
+    result = combine(std::move(result), std::move(partials[c]));
+  }
+  return result;
+}
+
+}  // namespace oasis::runtime

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel.h"
+
 namespace oasis::tensor {
 namespace {
 
@@ -11,6 +13,21 @@ void check_rank2(const Tensor& t, const char* op) {
     throw ShapeError(std::string(op) + ": expected rank-2, got " +
                      to_string(t.shape()));
   }
+}
+
+// Below this many multiply-adds a GEMM runs serially: the parallel_for
+// dispatch costs more than the arithmetic it would split.
+constexpr index_t kParallelGemmFlops = index_t{1} << 15;
+
+// Output rows are written disjointly and each row's k-accumulation order is
+// fixed, so row-parallel GEMMs are bit-identical at any thread count.
+void for_each_output_row(index_t rows, index_t flops,
+                         const std::function<void(index_t, index_t)>& body) {
+  if (flops < kParallelGemmFlops) {
+    body(0, rows);
+    return;
+  }
+  runtime::parallel_for(0, rows, body);
 }
 
 }  // namespace
@@ -25,16 +42,18 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const real* pa = a.data().data();
   const real* pb = b.data().data();
   real* pc = c.data().data();
-  for (index_t i = 0; i < m; ++i) {
-    const real* arow = pa + i * k;
-    real* crow = pc + i * n;
-    for (index_t kk = 0; kk < k; ++kk) {
-      const real av = arow[kk];
-      if (av == 0.0) continue;
-      const real* brow = pb + kk * n;
-      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      const real* arow = pa + i * k;
+      real* crow = pc + i * n;
+      for (index_t kk = 0; kk < k; ++kk) {
+        const real av = arow[kk];
+        if (av == 0.0) continue;
+        const real* brow = pb + kk * n;
+        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -49,17 +68,21 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const real* pb = b.data().data();
   real* pc = c.data().data();
   // c[i,j] = Σ_kk a[kk,i] * b[kk,j]; iterate kk outermost so both reads are
-  // row-contiguous.
-  for (index_t kk = 0; kk < k; ++kk) {
-    const real* arow = pa + kk * m;
-    const real* brow = pb + kk * n;
-    for (index_t i = 0; i < m; ++i) {
-      const real av = arow[i];
-      if (av == 0.0) continue;
-      real* crow = pc + i * n;
-      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // row-contiguous. Each parallel chunk owns output rows [i0, i1) and runs
+  // the full kk sweep over them, so per-element accumulation order is the
+  // serial one.
+  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
+    for (index_t kk = 0; kk < k; ++kk) {
+      const real* arow = pa + kk * m;
+      const real* brow = pb + kk * n;
+      for (index_t i = i0; i < i1; ++i) {
+        const real av = arow[i];
+        if (av == 0.0) continue;
+        real* crow = pc + i * n;
+        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -74,16 +97,18 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const real* pb = b.data().data();
   real* pc = c.data().data();
   // c[i,j] = Σ_kk a[i,kk] * b[j,kk]: dot of two contiguous rows.
-  for (index_t i = 0; i < m; ++i) {
-    const real* arow = pa + i * k;
-    real* crow = pc + i * n;
-    for (index_t j = 0; j < n; ++j) {
-      const real* brow = pb + j * k;
-      real s = 0.0;
-      for (index_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      crow[j] = s;
+  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      const real* arow = pa + i * k;
+      real* crow = pc + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        const real* brow = pb + j * k;
+        real s = 0.0;
+        for (index_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+        crow[j] = s;
+      }
     }
-  }
+  });
   return c;
 }
 

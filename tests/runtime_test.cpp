@@ -1,0 +1,224 @@
+// oasis::runtime tests: pool stress, parallel_for coverage and exception
+// semantics, and the determinism contract — parallel FL training must be
+// byte-identical to serial.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "fl/simulation.h"
+#include "nn/models.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace oasis::runtime {
+namespace {
+
+// The container may expose a single hardware thread; force a real pool so
+// the concurrency machinery is actually exercised.
+constexpr index_t kTestThreads = 4;
+
+struct ThreadCountGuard {
+  ThreadCountGuard() { set_num_threads(kTestThreads); }
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+TEST(ThreadPool, RunsEverySubmittedTaskIncludingNestedOnes) {
+  constexpr int kOuter = 200;
+  // Declared before the pool: workers may still touch these while the pool
+  // destructor drains, so they must outlive it.
+  std::atomic<int> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  const auto bump = [&] {
+    if (done.fetch_add(1) + 1 == 2 * kOuter) {
+      std::lock_guard lock(mutex);
+      cv.notify_all();
+    }
+  };
+  for (int i = 0; i < kOuter; ++i) {
+    pool.submit([&] {
+      // Workers submitting follow-up work is the pattern parallel_for's
+      // helper tasks rely on; both parent and child must run.
+      pool.submit(bump);
+      bump();
+    });
+  }
+  std::unique_lock lock(mutex);
+  const bool ok = cv.wait_for(lock, std::chrono::seconds(30),
+                              [&] { return done.load() == 2 * kOuter; });
+  EXPECT_TRUE(ok) << "only " << done.load() << " of " << 2 * kOuter
+                  << " tasks ran";
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queues empty
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (const index_t grain : {index_t{1}, index_t{3}, index_t{7},
+                              index_t{64}, index_t{10000}}) {
+    constexpr index_t kBegin = 13, kEnd = 1301;
+    std::vector<std::atomic<int>> hits(kEnd);
+    for (auto& h : hits) h.store(0);
+    parallel_for(kBegin, kEnd, grain, [&](index_t lo, index_t hi) {
+      ASSERT_LE(lo, hi);
+      ASSERT_LE(hi - lo, grain);
+      for (index_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (index_t i = 0; i < kEnd; ++i) {
+      ASSERT_EQ(hits[i].load(), i >= kBegin ? 1 : 0)
+          << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  ThreadCountGuard guard;
+  parallel_for(5, 5, 1, [](index_t, index_t) { FAIL(); });
+  parallel_for(9, 3, 1, [](index_t, index_t) { FAIL(); });
+}
+
+TEST(ParallelFor, NestedParallelismDoesNotDeadlock) {
+  ThreadCountGuard guard;
+  constexpr index_t kOuter = 8, kInner = 512;
+  std::vector<long> sums(kOuter, 0);
+  parallel_for(0, kOuter, 1, [&](index_t o0, index_t o1) {
+    for (index_t o = o0; o < o1; ++o) {
+      // More inner chunks than pool slots: the caller must help execute
+      // them instead of blocking on a saturated pool.
+      std::atomic<long> sum{0};
+      parallel_for(0, kInner, 8, [&](index_t lo, index_t hi) {
+        long s = 0;
+        for (index_t i = lo; i < hi; ++i) s += static_cast<long>(i);
+        sum.fetch_add(s);
+      });
+      sums[o] = sum.load();
+    }
+  });
+  const long expected = static_cast<long>(kInner) * (kInner - 1) / 2;
+  for (const long s : sums) EXPECT_EQ(s, expected);
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesAndPoolSurvives) {
+  ThreadCountGuard guard;
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [](index_t lo, index_t) {
+                     if (lo == 42) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay serviceable after a failed region.
+  std::atomic<int> count{0};
+  parallel_for(0, 64, 1,
+               [&](index_t lo, index_t hi) {
+                 count.fetch_add(static_cast<int>(hi - lo));
+               });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  // Floating-point sums depend on association order; the contract is that
+  // the order is a pure function of (begin, end, grain), so serial and
+  // parallel runs agree to the last bit.
+  common::Rng rng(7);
+  std::vector<real> values(4097);
+  for (auto& v : values) v = rng.uniform() * 2.0 - 1.0;
+  const auto sum_with = [&](index_t threads) {
+    set_num_threads(threads);
+    return parallel_reduce(
+        index_t{0}, values.size(), index_t{97}, real{0.0},
+        [&](index_t lo, index_t hi, real acc) {
+          for (index_t i = lo; i < hi; ++i) acc += values[i];
+          return acc;
+        },
+        [](real a, real b) { return a + b; });
+  };
+  const real serial = sum_with(1);
+  const real parallel = sum_with(kTestThreads);
+  set_num_threads(0);
+  EXPECT_EQ(std::memcmp(&serial, &parallel, sizeof(real)), 0)
+      << "serial=" << serial << " parallel=" << parallel;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: a 2-round FL simulation — client training (conv /
+// dense kernels, augmentation) fanned out over the pool — must leave the
+// global model byte-identical to a serial run.
+
+data::InMemoryDataset tiny_dataset(index_t n, index_t classes,
+                                   std::uint64_t seed) {
+  data::SynthConfig cfg;
+  cfg.num_classes = classes;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = n;
+  cfg.test_per_class = 0;
+  cfg.seed = seed;
+  return data::generate(cfg).train;
+}
+
+fl::ModelFactory tiny_factory(std::uint64_t seed) {
+  return [seed] {
+    common::Rng rng(seed);
+    return nn::make_mlp({3, 8, 8}, {16}, 4, rng);
+  };
+}
+
+std::vector<real> run_two_rounds(index_t threads) {
+  set_num_threads(threads);
+  auto dataset = tiny_dataset(8, 4, 21);
+  const auto shards = dataset.shard(4);
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  for (index_t i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<fl::Client>(
+        i, shards[i], tiny_factory(77), 4,
+        std::make_shared<fl::IdentityPreprocessor>(), common::Rng(300 + i)));
+  }
+  auto server = std::make_unique<fl::Server>(tiny_factory(77)(), 0.1);
+  fl::Simulation sim(std::move(server), std::move(clients),
+                     fl::SimulationConfig{/*clients_per_round=*/3, /*seed=*/9});
+  sim.run_round();
+  sim.run_round();
+  std::vector<real> flat;
+  for (auto* p : sim.server().global_model().parameters()) {
+    const auto span = p->value.data();
+    flat.insert(flat.end(), span.begin(), span.end());
+  }
+  return flat;
+}
+
+TEST(Determinism, TwoRoundSimulationIsByteIdenticalSerialVsParallel) {
+  const auto serial = run_two_rounds(1);
+  const auto parallel = run_two_rounds(kTestThreads);
+  set_num_threads(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                        serial.size() * sizeof(real)),
+            0);
+}
+
+}  // namespace
+}  // namespace oasis::runtime

@@ -127,7 +127,9 @@ int main(int argc, char** argv) {
   cli.add_bool("full", "more rounds");
   cli.add_flag("seed", "experiment seed", "888");
   runtime::add_cli_flag(cli);
+  bench::add_metrics_flag(cli);
   cli.parse(argc, argv);
+  const bench::MetricsExport metrics_export(cli);
   runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const index_t rounds = cli.get_bool("full") ? 8 : 3;

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "data/cifar_io.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 
 namespace oasis::bench {
@@ -110,6 +111,26 @@ void flush_report(const metrics::ExperimentReport& report) {
   report.write_json(base + ".json");
   std::cout << "\n[report] " << base << ".csv / .json (" << report.rows()
             << " rows)\n";
+}
+
+void add_metrics_flag(common::CliParser& cli) {
+  cli.add_flag("metrics-out",
+               "write obs metrics/trace JSON to this file on exit", "");
+}
+
+MetricsExport::MetricsExport(const common::CliParser& cli)
+    : path_(cli.get("metrics-out")) {}
+
+MetricsExport::MetricsExport(std::string path) : path_(std::move(path)) {}
+
+MetricsExport::~MetricsExport() {
+  if (path_.empty()) return;
+  try {
+    obs::dump(path_);
+    std::cout << "[metrics] " << path_ << "\n";
+  } catch (const Error& e) {
+    std::cerr << "[metrics] dump failed: " << e.what() << "\n";
+  }
 }
 
 void print_banner(const std::string& figure, const std::string& description) {

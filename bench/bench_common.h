@@ -66,6 +66,29 @@ std::vector<real> run_and_print_rows(
 /// Writes `report` as both CSV and JSON under bench_out/ and prints where.
 void flush_report(const metrics::ExperimentReport& report);
 
+/// Registers the standard `--metrics-out <file>` flag (empty = disabled).
+void add_metrics_flag(common::CliParser& cli);
+
+/// Dumps the global obs registry to the file `--metrics-out` named (no-op
+/// when the flag is empty). Declared as an RAII guard so every exit path of
+/// a bench main flushes:
+///
+///   bench::add_metrics_flag(cli);
+///   cli.parse(argc, argv);
+///   const bench::MetricsExport metrics(cli);   // dumps on scope exit
+class MetricsExport {
+ public:
+  explicit MetricsExport(const common::CliParser& cli);
+  explicit MetricsExport(std::string path);  // direct path, "" = disabled
+  ~MetricsExport();
+
+  MetricsExport(const MetricsExport&) = delete;
+  MetricsExport& operator=(const MetricsExport&) = delete;
+
+ private:
+  std::string path_;
+};
+
 /// Prints the standard figure banner.
 void print_banner(const std::string& figure, const std::string& description);
 

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   cli.add_bool("full", "paper-scale batches/datasets");
   cli.add_flag("seed", "experiment seed", "404");
   runtime::add_cli_flag(cli);
+  bench::add_metrics_flag(cli);
   cli.parse(argc, argv);
+  const bench::MetricsExport metrics_export(cli);
   runtime::apply_cli_flag(cli);
   const bool full = cli.get_bool("full");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -55,7 +55,9 @@ int main(int argc, char** argv) {
                         "Reproduces Figures 5-8 (visual reconstructions)");
   cli.add_flag("seed", "experiment seed", "508");
   runtime::add_cli_flag(cli);
+  bench::add_metrics_flag(cli);
   cli.parse(argc, argv);
+  const bench::MetricsExport metrics_export(cli);
   runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 

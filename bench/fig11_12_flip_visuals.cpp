@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
                         "Reproduces Figures 11-12 (flip reconstructions)");
   cli.add_flag("seed", "experiment seed", "1112");
   runtime::add_cli_flag(cli);
+  bench::add_metrics_flag(cli);
   cli.parse(argc, argv);
+  const bench::MetricsExport metrics_export(cli);
   runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 

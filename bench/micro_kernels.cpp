@@ -28,6 +28,7 @@
 #include "nn/loss.h"
 #include "nn/model_io.h"
 #include "nn/models.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "tensor/ops.h"
 
@@ -172,6 +173,24 @@ index_t take_threads_flag(int& argc, char** argv) {
   return threads;
 }
 
+// Extracts `--metrics-out PATH` / `--metrics-out=PATH`; "" = disabled.
+std::string take_metrics_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      path = arg.substr(std::strlen("--metrics-out="));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
 void run_thread_sweeps(index_t top) {
   using bench::ThreadSweepRow;
   std::vector<index_t> counts{1};
@@ -192,16 +211,29 @@ void run_thread_sweeps(index_t top) {
   for (auto& g : gy.data()) g = 1.0;
 
   std::printf("serial-vs-parallel thread sweep (pool dispatched kernels)\n");
+  // One span per sweep phase; the workload per phase is fixed (counts ×
+  // reps), so every counter the kernels bump below is thread-count
+  // invariant even though the span nanoseconds are not.
+  const obs::ScopedTimer sweep_span("micro.sweep");
   std::vector<std::pair<std::string, std::vector<ThreadSweepRow>>> sweeps;
-  sweeps.emplace_back("gemm_192", bench::run_thread_sweep(
-      "gemm_192", counts, [&] { tensor::matmul(a, b); }));
-  sweeps.emplace_back("conv2d_forward", bench::run_thread_sweep(
-      "conv2d_forward", counts, [&] { conv.forward(x, true); }));
-  sweeps.emplace_back("conv2d_backward", bench::run_thread_sweep(
-      "conv2d_backward", counts, [&] {
-        conv.zero_grad();
-        conv.backward(gy);
-      }));
+  {
+    const obs::ScopedTimer s("gemm_192");
+    sweeps.emplace_back("gemm_192", bench::run_thread_sweep(
+        "gemm_192", counts, [&] { tensor::matmul(a, b); }));
+  }
+  {
+    const obs::ScopedTimer s("conv2d_forward");
+    sweeps.emplace_back("conv2d_forward", bench::run_thread_sweep(
+        "conv2d_forward", counts, [&] { conv.forward(x, true); }));
+  }
+  {
+    const obs::ScopedTimer s("conv2d_backward");
+    sweeps.emplace_back("conv2d_backward", bench::run_thread_sweep(
+        "conv2d_backward", counts, [&] {
+          conv.zero_grad();
+          conv.backward(gy);
+        }));
+  }
   bench::write_thread_sweep_json(
       bench::ensure_output_dir() + "/micro_kernels_threads.json", sweeps);
 }
@@ -210,7 +242,18 @@ void run_thread_sweeps(index_t top) {
 
 int main(int argc, char** argv) {
   const index_t threads = take_threads_flag(argc, argv);
+  const std::string metrics_path = take_metrics_flag(argc, argv);
+  // The sweep workload is fixed, so its counters (kernel flops/calls) are
+  // identical at any --threads value; record it with kernel metrics forced
+  // on and dump BEFORE the google-benchmark suite, whose adaptive iteration
+  // counts would make the totals run-dependent.
+  obs::set_kernel_metrics(true);
   run_thread_sweeps(threads);
+  if (!metrics_path.empty()) {
+    obs::dump(metrics_path);
+    std::printf("[metrics] %s\n", metrics_path.c_str());
+  }
+  obs::set_kernel_metrics(false);
   runtime::set_num_threads(threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

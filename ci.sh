@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: Release build + full test suite, then a ThreadSanitizer
-# build exercising the concurrency-heavy tests (runtime pool + FL rounds).
+# CI entry point: Release build + full test suite, an AddressSanitizer build
+# running the unit + golden labels, then a ThreadSanitizer build exercising
+# the concurrency-heavy tests (runtime pool + FL rounds).
 #
-#   ./ci.sh            # both stages
-#   ./ci.sh release    # Release + ctest only
+# Every test carries a ctest LABEL (unit | integration | sanitizer |
+# property | golden) and a hard 30 s per-test TIMEOUT — a test that exceeds
+# it fails the suite.
+#
+#   ./ci.sh            # all three stages
+#   ./ci.sh release    # Release + full ctest only
+#   ./ci.sh asan       # ASan build + unit/golden labels only
 #   ./ci.sh tsan       # TSan stage only
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -18,6 +24,14 @@ run_release() {
   ctest --test-dir build-ci --output-on-failure -j "${jobs}"
 }
 
+run_asan() {
+  echo "==> [ci] AddressSanitizer build (unit + golden labels)"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}"
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" \
+    -L 'unit|golden'
+}
+
 run_tsan() {
   echo "==> [ci] ThreadSanitizer build (runtime_test + fl_test)"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
@@ -28,13 +42,15 @@ run_tsan() {
 
 case "${stage}" in
   release) run_release ;;
+  asan) run_asan ;;
   tsan) run_tsan ;;
   all)
     run_release
+    run_asan
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|tsan|all]" >&2
+    echo "usage: $0 [release|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

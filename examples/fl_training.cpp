@@ -7,6 +7,7 @@
 // that leaves the protocol and convergence intact.
 //
 //   $ ./fl_training [--rounds 150] [--clients 8] [--transform MR]
+//                   [--metrics-out metrics.json]
 #include <iostream>
 #include <memory>
 
@@ -16,6 +17,7 @@
 #include "fl/simulation.h"
 #include "metrics/accuracy.h"
 #include "nn/models.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 
 int main(int argc, char** argv) {
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
   cli.add_flag("per-round", "clients selected per round M (0=all)", "4");
   cli.add_flag("transform", "OASIS transform (none|MR|mR|SH|HFlip|VFlip)",
                "MR");
+  cli.add_flag("metrics-out", "write obs metrics/trace JSON to this file", "");
   runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
   runtime::apply_cli_flag(cli);
@@ -75,9 +78,14 @@ int main(int argc, char** argv) {
     if ((r + 1) % 25 == 0 || r + 1 == rounds) {
       const real acc =
           metrics::accuracy(server_ptr->global_model(), dataset.test);
+      obs::gauge("fl.global_test_accuracy").set(acc);
       std::cout << "round " << (r + 1) << ": global test accuracy "
                 << acc * 100.0 << "%\n";
     }
+  }
+  if (const std::string path = cli.get("metrics-out"); !path.empty()) {
+    obs::dump(path);
+    std::cout << "[metrics] " << path << "\n" << obs::summary();
   }
   return 0;
 }

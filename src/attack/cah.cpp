@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/dense.h"
+#include "obs/obs.h"
 
 namespace oasis::attack {
 
@@ -106,6 +107,14 @@ std::vector<tensor::Tensor> CahAttack::reconstruct(
     for (index_t j = 0; j < d; ++j) out[j] = wr[i * d + j] / gb[i];
     candidates.push_back(std::move(img));
   }
+  // A fired trap is a neuron whose bias gradient carries mass — the CAH
+  // analogue of RTF's leaked bin (Fig. 4/10 activation-hit accounting).
+  static obs::Counter& calls = obs::counter("attack.cah.reconstruct_calls");
+  static obs::Counter& fired = obs::counter("attack.cah.traps_fired");
+  static obs::Counter& total = obs::counter("attack.cah.traps_total");
+  calls.add(1);
+  fired.add(candidates.size());
+  total.add(neurons_);
   return candidates;
 }
 

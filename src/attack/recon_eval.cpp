@@ -5,8 +5,15 @@
 #include "common/error.h"
 #include "data/image.h"
 #include "metrics/psnr.h"
+#include "obs/obs.h"
 
 namespace oasis::attack {
+
+/// A best-match PSNR at or above this is a verbatim pixel copy (the paper's
+/// 130–145 dB signature, with headroom for small batches): the structured
+/// counterpart of the old printf tallies.
+constexpr real kVerbatimLeakDb = 90.0;
+
 namespace {
 
 bool all_finite(const tensor::Tensor& t) {
@@ -33,6 +40,13 @@ std::vector<ImageScore> best_match_psnr(
     candidate_ids.push_back(i);
   }
 
+  static obs::Counter& images = obs::counter("attack.recon.images_scored");
+  static obs::Counter& cands = obs::counter("attack.recon.candidates_valid");
+  static obs::Counter& dropped = obs::counter("attack.recon.candidates_dropped");
+  static obs::Counter& verbatim = obs::counter("attack.recon.leaks_verbatim");
+  cands.add(clamped.size());
+  dropped.add(candidates.size() - clamped.size());
+
   std::vector<ImageScore> scores;
   scores.reserve(originals.size());
   for (index_t o = 0; o < originals.size(); ++o) {
@@ -46,6 +60,8 @@ std::vector<ImageScore> best_match_psnr(
         score.best_candidate = candidate_ids[c];
       }
     }
+    images.add(1);
+    if (score.best_psnr >= kVerbatimLeakDb) verbatim.add(1);
     scores.push_back(score);
   }
   return scores;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/dense.h"
+#include "obs/obs.h"
 
 namespace oasis::attack {
 namespace detail {
@@ -116,6 +117,15 @@ std::vector<tensor::Tensor> RtfAttack::reconstruct(
     }
     candidates.push_back(std::move(img));
   }
+  // Attack-success accounting: a "leaked bin" is an adjacent-bin difference
+  // with non-vanishing gradient mass — the unit the paper's Fig. 3/9 rates
+  // are counted over.
+  static obs::Counter& calls = obs::counter("attack.rtf.reconstruct_calls");
+  static obs::Counter& leaked = obs::counter("attack.rtf.bins_leaked");
+  static obs::Counter& total = obs::counter("attack.rtf.bins_total");
+  calls.add(1);
+  leaked.add(candidates.size());
+  total.add(neurons_);
   return candidates;
 }
 

@@ -1,5 +1,6 @@
 #include "fl/simulation.h"
 
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 
 namespace oasis::fl {
@@ -25,6 +26,12 @@ Client& Simulation::client(index_t i) {
 }
 
 std::vector<std::uint64_t> Simulation::run_round() {
+  const obs::ScopedTimer round_span("fl.round");
+  static obs::Counter& rounds = obs::counter("fl.rounds");
+  static obs::Counter& trained = obs::counter("fl.clients_trained");
+  static obs::Counter& bytes_down = obs::counter("fl.bytes_dispatched");
+  static obs::Counter& bytes_up = obs::counter("fl.bytes_uploaded");
+
   const index_t m = config_.clients_per_round == 0 ? clients_.size()
                                                    : config_.clients_per_round;
   const auto selected = rng_.sample_without_replacement(clients_.size(), m);
@@ -36,9 +43,13 @@ std::vector<std::uint64_t> Simulation::run_round() {
   std::vector<std::uint64_t> ids;
   dispatched.reserve(m);
   ids.reserve(m);
-  for (const auto idx : selected) {
-    dispatched.push_back(server_->dispatch_to(clients_[idx]->id()));
-    ids.push_back(clients_[idx]->id());
+  {
+    const obs::ScopedTimer dispatch_span("dispatch");
+    for (const auto idx : selected) {
+      dispatched.push_back(server_->dispatch_to(clients_[idx]->id()));
+      ids.push_back(clients_[idx]->id());
+      bytes_down.add(dispatched.back().model_state.size());
+    }
   }
   // Selected clients train concurrently — each touches only its own model
   // replica, rng, and dataset shard. Updates land at their selection index,
@@ -47,10 +58,20 @@ std::vector<std::uint64_t> Simulation::run_round() {
   std::vector<ClientUpdateMessage> updates(m);
   runtime::parallel_for(0, m, 1, [&](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
+      // kRoot: the span path must not depend on whether this chunk runs
+      // inline (threads=1) or on a pool worker.
+      const obs::ScopedTimer client_span("fl.client_round",
+                                         obs::ScopedTimer::kRoot);
       updates[i] = clients_[selected[i]]->handle_round(dispatched[i]);
     }
   });
-  server_->finish_round(updates);
+  for (const auto& u : updates) bytes_up.add(u.gradients.size());
+  {
+    const obs::ScopedTimer agg_span("aggregate");
+    server_->finish_round(updates);
+  }
+  rounds.add(1);
+  trained.add(m);
   return ids;
 }
 

@@ -1,6 +1,7 @@
 #include "nn/conv2d.h"
 
 #include "nn/init.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "tensor/ops.h"
 
@@ -30,6 +31,13 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& x, bool /*training*/) {
   cached_w_ = w;
   cached_batch_ = batch;
   cached_cols_.assign(batch, tensor::Tensor());
+  if (obs::kernel_metrics_enabled()) {
+    static obs::Counter& calls = obs::counter("kernel.conv2d.forward.calls");
+    static obs::Counter& flops = obs::counter("kernel.conv2d.forward.flops");
+    calls.add(1);
+    flops.add(static_cast<std::uint64_t>(2 * batch * out_ch_ * in_ch_ * k_ *
+                                         k_ * oh * ow));
+  }
 
   tensor::Tensor y({batch, out_ch_, oh, ow});
   // Samples are independent: each writes its own output slice and im2col
@@ -58,6 +66,14 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
   const index_t oh = grad_out.dim(2), ow = grad_out.dim(3);
   const index_t pix = oh * ow;
   const index_t cols_rows = in_ch_ * k_ * k_;
+  if (obs::kernel_metrics_enabled()) {
+    static obs::Counter& calls = obs::counter("kernel.conv2d.backward.calls");
+    static obs::Counter& flops = obs::counter("kernel.conv2d.backward.flops");
+    calls.add(1);
+    // Weight-gradient and input-gradient GEMMs, 2 flops per multiply-add.
+    flops.add(static_cast<std::uint64_t>(4 * cached_batch_ * out_ch_ *
+                                         cols_rows * pix));
+  }
   const real* gy_base = grad_out.data().data();
   real* gw = weight_.grad.data().data();
   real* gb = bias_.grad.data().data();

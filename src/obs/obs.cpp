@@ -1,0 +1,459 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace oasis::obs {
+
+namespace detail {
+
+std::atomic<int> g_kernel_metrics{-1};
+
+index_t shard_index() {
+  static std::atomic<index_t> next{0};
+  thread_local index_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+int resolve_kernel_metrics() {
+  int v = 0;
+  if (const char* env = std::getenv("OASIS_OBS_KERNELS")) {
+    v = (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0)
+            ? 1
+            : 0;
+  }
+  int expected = -1;
+  g_kernel_metrics.compare_exchange_strong(expected, v,
+                                           std::memory_order_relaxed);
+  return g_kernel_metrics.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+thread_local ScopedTimer* t_open_span = nullptr;
+
+}  // namespace
+}  // namespace detail
+
+void set_kernel_metrics(bool on) {
+  detail::g_kernel_metrics.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---- Counter ----------------------------------------------------------------
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  OASIS_CHECK_MSG(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+                  "histogram boundaries must be ascending");
+  for (auto& shard : shards_) {
+    shard.buckets =
+        std::vector<std::atomic<std::uint64_t>>(boundaries_.size() + 1);
+  }
+}
+
+index_t Histogram::bucket_of(double v) const noexcept {
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+  return static_cast<index_t>(it - boundaries_.begin());
+}
+
+void Histogram::record(double v) noexcept {
+  Shard& shard = shards_[detail::shard_index()];
+  shard.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add_double(shard.sum, v);
+  if (!shard.touched.load(std::memory_order_relaxed)) {
+    // First sample of this shard seeds min/max; exchange keeps one winner.
+    bool expected = false;
+    if (shard.touched.compare_exchange_strong(expected, true,
+                                              std::memory_order_relaxed)) {
+      shard.min.store(v, std::memory_order_relaxed);
+      shard.max.store(v, std::memory_order_relaxed);
+      return;
+    }
+  }
+  detail::atomic_min_double(shard.min, v);
+  detail::atomic_max_double(shard.max, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.boundaries = boundaries_;
+  snap.buckets.assign(boundaries_.size() + 1, 0);
+  bool any = false;
+  for (const auto& shard : shards_) {
+    const std::uint64_t c = shard.count.load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    snap.count += c;
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    const double mn = shard.min.load(std::memory_order_relaxed);
+    const double mx = shard.max.load(std::memory_order_relaxed);
+    if (!any || mn < snap.min) snap.min = mn;
+    if (!any || mx > snap.max) snap.max = mx;
+    any = true;
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(0.0, std::memory_order_relaxed);
+    shard.max.store(0.0, std::memory_order_relaxed);
+    shard.touched.store(false, std::memory_order_relaxed);
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> exponential_boundaries(index_t count) {
+  std::vector<double> b;
+  b.reserve(count);
+  double v = 1.0;
+  for (index_t i = 0; i < count; ++i, v *= 2.0) b.push_back(v);
+  return b;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map keeps iteration (and therefore every dump) name-sorted. Values
+  // are heap-allocated and never freed before the registry itself dies, so
+  // references handed out stay valid across reset().
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, SpanStats> spans;
+
+  void check_unique(const std::string& name, const char* kind) const {
+    const bool taken = (counters.count(name) != 0) + (gauges.count(name) != 0) +
+                       (histograms.count(name) != 0);
+    if (taken) {
+      throw ConfigError("obs: instrument '" + name +
+                        "' already registered with a different kind (wanted " +
+                        kind + ")");
+    }
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked on purpose: instruments may be touched from static destructors.
+  static Registry* g = new Registry;
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    impl_->check_unique(name, "counter");
+    it = impl_->counters.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    impl_->check_unique(name, "gauge");
+    it = impl_->gauges.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> boundaries) {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    impl_->check_unique(name, "histogram");
+    if (boundaries.empty()) boundaries = exponential_boundaries();
+    it = impl_->histograms
+             .emplace(name, std::make_unique<Histogram>(std::move(boundaries)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::record_span(const std::string& path, std::uint64_t inclusive_ns,
+                           std::uint64_t exclusive_ns) {
+  std::lock_guard lock(impl_->mutex);
+  SpanStats& s = impl_->spans[path];
+  s.count += 1;
+  s.inclusive_ns += inclusive_ns;
+  s.exclusive_ns += exclusive_ns;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+  impl_->spans.clear();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms()
+    const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, SpanStats>> Registry::spans() const {
+  std::lock_guard lock(impl_->mutex);
+  return {impl_->spans.begin(), impl_->spans.end()};
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+Gauge& gauge(const std::string& name) { return Registry::global().gauge(name); }
+Histogram& histogram(const std::string& name, std::vector<double> boundaries) {
+  return Registry::global().histogram(name, std::move(boundaries));
+}
+
+// ---- ScopedTimer ------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(std::string_view name, Nesting nesting) {
+  ScopedTimer* parent = detail::t_open_span;
+  if (nesting == kInherit && parent != nullptr) {
+    path_.reserve(parent->path_.size() + 1 + name.size());
+    path_.append(parent->path_).append("/").append(name);
+    parent_ = parent;
+    attach_to_parent_ = true;
+  } else {
+    path_.assign(name);
+    parent_ = parent;  // restored on close, but no time attribution
+    attach_to_parent_ = false;
+  }
+  detail::t_open_span = this;
+  start_ns_ = detail::now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  const std::uint64_t inclusive = detail::now_ns() - start_ns_;
+  const std::uint64_t exclusive =
+      inclusive >= child_ns_ ? inclusive - child_ns_ : 0;
+  detail::t_open_span = parent_;
+  if (attach_to_parent_ && parent_ != nullptr) {
+    parent_->child_ns_ += inclusive;
+  }
+  Registry::global().record_span(path_, inclusive, exclusive);
+}
+
+// ---- Sinks ------------------------------------------------------------------
+
+namespace {
+
+// %.17g round-trips doubles and prints integers without an exponent for the
+// common counter-sized magnitudes — a stable, locale-independent encoding.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Registry& registry, const DumpOptions& options) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"oasis.obs/v1\",\n";
+
+  os << "  \"counters\": {";
+  const auto counters = registry.counters();
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << escape(counters[i].first)
+       << "\": " << counters[i].second;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  const auto gauges = registry.gauges();
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << escape(gauges[i].first)
+       << "\": " << fmt_double(gauges[i].second);
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  const auto histograms = registry.histograms();
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& [name, h] = histograms[i];
+    os << (i ? "," : "") << "\n    \"" << escape(name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
+       << ", \"min\": " << fmt_double(h.min)
+       << ", \"max\": " << fmt_double(h.max) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << "{\"le\": "
+         << (b < h.boundaries.size() ? fmt_double(h.boundaries[b])
+                                     : std::string("\"inf\""))
+         << ", \"count\": " << h.buckets[b] << "}";
+    }
+    os << "]}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"spans\": {";
+  const auto spans = registry.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& [path, s] = spans[i];
+    os << (i ? "," : "") << "\n    \"" << escape(path)
+       << "\": {\"count\": " << s.count;
+    if (options.include_timings) {
+      os << ", \"inclusive_ns\": " << s.inclusive_ns
+         << ", \"exclusive_ns\": " << s.exclusive_ns;
+    }
+    os << "}";
+  }
+  os << (spans.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void dump(const std::string& path, const DumpOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw Error("obs::dump: cannot open " + path);
+  out << to_json(Registry::global(), options);
+}
+
+std::string summary() {
+  const Registry& reg = Registry::global();
+  std::ostringstream os;
+  const auto counters = reg.counters();
+  const auto gauges = reg.gauges();
+  const auto histograms = reg.histograms();
+  const auto spans = reg.spans();
+  if (!counters.empty()) {
+    os << "counters\n";
+    for (const auto& [name, v] : counters) {
+      os << "  " << name << " = " << v << "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    os << "gauges\n";
+    for (const auto& [name, v] : gauges) {
+      os << "  " << name << " = " << fmt_double(v) << "\n";
+    }
+  }
+  if (!histograms.empty()) {
+    os << "histograms\n";
+    for (const auto& [name, h] : histograms) {
+      os << "  " << name << ": count=" << h.count
+         << " sum=" << fmt_double(h.sum) << " min=" << fmt_double(h.min)
+         << " max=" << fmt_double(h.max) << "\n";
+    }
+  }
+  if (!spans.empty()) {
+    os << "spans (count, inclusive ms, exclusive ms)\n";
+    for (const auto& [path, s] : spans) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  %-40s %8llu %10.3f %10.3f\n",
+                    path.c_str(), static_cast<unsigned long long>(s.count),
+                    static_cast<double>(s.inclusive_ns) * 1e-6,
+                    static_cast<double>(s.exclusive_ns) * 1e-6);
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace oasis::obs

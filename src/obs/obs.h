@@ -1,0 +1,256 @@
+// oasis::obs — metrics and tracing for the FL round loop and kernels.
+//
+// Three instrument kinds live in a process-global Registry:
+//   Counter   — monotone uint64, lock-free per-thread shards. Integer
+//               addition is order-independent, so combined values are
+//               bit-identical at any thread count (the runtime's
+//               determinism contract extends to metrics).
+//   Gauge     — last-written double (loss, accuracy, config echoes).
+//   Histogram — bucketed distribution with count/sum/min/max, sharded
+//               like Counter. Bucket counts are deterministic; `sum` is
+//               deterministic whenever the recorded values are exactly
+//               representable (integers < 2^53) because double addition
+//               is commutative and those sums are exact.
+//
+// ScopedTimer spans nest through a thread-local stack (round → client →
+// train-step → kernel) and aggregate per dotted path: count, inclusive
+// nanoseconds, and exclusive nanoseconds (inclusive minus same-thread
+// children). Spans opened inside runtime::parallel_for bodies must use
+// kRoot so their path does not depend on whether the chunk ran inline
+// (threads=1) or on a worker — keeping the span *structure* identical at
+// any thread count even though timings differ.
+//
+// obs::dump(path) writes a stable, schema-versioned JSON document
+// ("oasis.obs/v1", keys sorted); obs::summary() renders a human table.
+// Kernel-level instrumentation (GEMM/conv flop counters) is compiled in
+// but gated behind OASIS_OBS_KERNELS / set_kernel_metrics() so the hot
+// path pays one relaxed atomic load when disabled.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oasis::obs {
+
+/// Number of cache-line-padded slots a sharded instrument spreads its
+/// updates over. Threads hash to a slot on first use; collisions only cost
+/// contention, never correctness.
+inline constexpr index_t kShards = 64;
+
+namespace detail {
+/// Slot index of the calling thread (assigned round-robin on first use).
+index_t shard_index();
+
+extern std::atomic<int> g_kernel_metrics;  // -1 unresolved, else 0/1
+int resolve_kernel_metrics();
+}  // namespace detail
+
+/// True when kernel counters (GEMM/conv flops) should be recorded.
+/// Resolution order: set_kernel_metrics() > OASIS_OBS_KERNELS env (1/on/true)
+/// > off. The check is one relaxed atomic load — cheap enough for per-call
+/// (not per-element) use in kernels.
+inline bool kernel_metrics_enabled() {
+  const int v = detail::g_kernel_metrics.load(std::memory_order_relaxed);
+  return (v < 0 ? detail::resolve_kernel_metrics() : v) != 0;
+}
+
+/// Overrides the OASIS_OBS_KERNELS environment resolution.
+void set_kernel_metrics(bool on);
+
+/// Monotone counter. add() touches only the calling thread's shard.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[detail::shard_index()].v.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+
+  /// Combined value over all shards (exact — integer addition commutes).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+  void reset() noexcept;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins scalar. Intended for values produced at deterministic
+/// points of serial code (per-round loss, final accuracy).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Snapshot of a histogram's combined state.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+  std::vector<double> boundaries;       // ascending upper bounds
+  std::vector<std::uint64_t> buckets;   // boundaries.size() + 1 (last = +inf)
+};
+
+/// Bucketed distribution. `boundaries` are ascending inclusive upper bounds;
+/// value v lands in the first bucket with v <= boundary, else the overflow
+/// bucket. All mutation is per-shard relaxed atomics (CAS loops for the
+/// double-valued sum/min/max).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void record(double v) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] const std::vector<double>& boundaries() const {
+    return boundaries_;
+  }
+  /// Index of the bucket `v` falls into (exposed for the bucket-math tests).
+  [[nodiscard]] index_t bucket_of(double v) const noexcept;
+
+  void reset() noexcept;
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::atomic<bool> touched{false};
+    std::vector<std::atomic<std::uint64_t>> buckets;
+  };
+  std::vector<double> boundaries_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Aggregated statistics of one span path.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+};
+
+/// Default exponential bucket boundaries 1, 2, 4, ..., 2^29 (~0.5s in ns at
+/// microsecond granularity, ~500M as a raw magnitude ladder).
+std::vector<double> exponential_boundaries(index_t count = 30);
+
+class Registry;
+
+/// RAII span. Nests under the innermost open span on the same thread
+/// (kInherit) or starts a fresh root path (kRoot — required inside parallel
+/// regions, see file comment).
+class ScopedTimer {
+ public:
+  enum Nesting { kInherit, kRoot };
+
+  explicit ScopedTimer(std::string_view name, Nesting nesting = kInherit);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string path_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;   // accumulated by directly nested children
+  ScopedTimer* parent_ = nullptr;
+  bool attach_to_parent_ = false;
+};
+
+/// Span is the tracing vocabulary name; the implementation is the timer.
+using Span = ScopedTimer;
+
+/// Named-instrument registry. Instruments are created once and never
+/// destroyed (references stay valid for the process lifetime; reset() zeroes
+/// values without invalidating anything). Requesting an existing name as a
+/// different kind throws ConfigError.
+class Registry {
+ public:
+  /// The process-global registry every free-function helper uses.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `boundaries` applies on first creation only (defaults to
+  /// exponential_boundaries()); later lookups ignore it.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> boundaries = {});
+
+  /// Adds one finished span occurrence (called by ~ScopedTimer).
+  void record_span(const std::string& path, std::uint64_t inclusive_ns,
+                   std::uint64_t exclusive_ns);
+
+  /// Zeroes every instrument and forgets span stats. Registered instruments
+  /// survive (cached references stay valid).
+  void reset();
+
+  /// Sorted snapshots for sinks/tests.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+  histograms() const;
+  [[nodiscard]] std::vector<std::pair<std::string, SpanStats>> spans() const;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience lookups on the global registry. Hot paths should cache:
+///   static obs::Counter& c = obs::counter("kernel.gemm.calls");
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     std::vector<double> boundaries = {});
+
+/// Controls what dump()/to_json() emit. Excluding timings yields a document
+/// that is byte-identical at any thread count for a deterministic workload
+/// (span/histogram *counts* are kept; nanosecond fields are dropped).
+struct DumpOptions {
+  bool include_timings = true;
+};
+
+/// The stable JSON document ("oasis.obs/v1"): keys sorted, doubles printed
+/// round-trippably. See DESIGN.md §Observability for the schema.
+std::string to_json(const Registry& registry, const DumpOptions& options = {});
+
+/// Writes to_json(global()) to `path` (creating parent dirs is the caller's
+/// job; the path's directory must exist).
+void dump(const std::string& path, const DumpOptions& options = {});
+
+/// Human-readable table of the global registry's contents.
+std::string summary();
+
+}  // namespace oasis::obs

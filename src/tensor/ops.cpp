@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 
 namespace oasis::tensor {
 namespace {
+
+// Per-call (never per-element) kernel accounting, gated so the fast path
+// pays one relaxed atomic load when OASIS_OBS_KERNELS is off.
+void count_gemm(index_t flops) {
+  if (!obs::kernel_metrics_enabled()) return;
+  static obs::Counter& calls = obs::counter("kernel.gemm.calls");
+  static obs::Counter& total = obs::counter("kernel.gemm.flops");
+  calls.add(1);
+  total.add(static_cast<std::uint64_t>(flops));
+}
 
 void check_rank2(const Tensor& t, const char* op) {
   if (t.rank() != 2) {
@@ -38,6 +49,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   OASIS_CHECK_MSG(b.dim(0) == k, "matmul: " << to_string(a.shape()) << " · "
                                             << to_string(b.shape()));
+  count_gemm(2 * m * k * n);
   Tensor c({m, n});
   const real* pa = a.data().data();
   const real* pb = b.data().data();
@@ -63,6 +75,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   OASIS_CHECK_MSG(b.dim(0) == k, "matmul_tn: " << to_string(a.shape()) << "ᵀ · "
                                                << to_string(b.shape()));
+  count_gemm(2 * m * k * n);
   Tensor c({m, n});
   const real* pa = a.data().data();
   const real* pb = b.data().data();
@@ -92,6 +105,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   OASIS_CHECK_MSG(b.dim(1) == k, "matmul_nt: " << to_string(a.shape()) << " · "
                                                << to_string(b.shape()) << "ᵀ");
+  count_gemm(2 * m * k * n);
   Tensor c({m, n});
   const real* pa = a.data().data();
   const real* pb = b.data().data();
@@ -231,6 +245,10 @@ Tensor im2col(const Tensor& image, index_t kh, index_t kw, index_t stride,
   const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
   const index_t oh = conv_out_extent(h, kh, stride, pad);
   const index_t ow = conv_out_extent(w, kw, stride, pad);
+  if (obs::kernel_metrics_enabled()) {
+    static obs::Counter& calls = obs::counter("kernel.im2col.calls");
+    calls.add(1);
+  }
   Tensor cols({c * kh * kw, oh * ow});
   const real* src = image.data().data();
   real* dst = cols.data().data();
@@ -271,6 +289,10 @@ Tensor col2im(const Tensor& cols, index_t channels, index_t height,
   OASIS_CHECK_MSG(cols.rank() == 2 && cols.dim(0) == channels * kh * kw &&
                       cols.dim(1) == oh * ow,
                   "col2im: bad cols shape " << to_string(cols.shape()));
+  if (obs::kernel_metrics_enabled()) {
+    static obs::Counter& calls = obs::counter("kernel.col2im.calls");
+    calls.add(1);
+  }
   Tensor image({channels, height, width});
   const real* src = cols.data().data();
   real* dst = image.data().data();

@@ -1,0 +1,188 @@
+// Golden-fixture replay: one fully seeded FL round under the RTF attack,
+// compared field-by-field against tests/fixtures/golden_round.json.
+//
+// The run is deterministic by construction (seeded RNGs everywhere, and the
+// runtime's parallel_for/parallel_reduce contract makes float results
+// independent of thread count), so the tolerances are tight: they only
+// absorb the %.17g round-trip through the fixture file.
+//
+// Regenerate after an intentional numerics change with
+//   OASIS_GOLDEN_REGEN=1 ./build/tests/golden_test
+// and commit the rewritten fixture.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "attack/rtf.h"
+#include "core/experiment.h"
+#include "core/oasis.h"
+#include "data/image.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "fl/simulation.h"
+#include "nn/models.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+#include "tensor/serialize.h"
+
+namespace oasis {
+namespace {
+
+constexpr const char* kFixturePath = OASIS_FIXTURE_DIR "/golden_round.json";
+
+struct GoldenRound {
+  double loss = 0.0;       // victim's local loss for the round
+  double grad_norm = 0.0;  // L2 norm of the uploaded (serialized) gradients
+  double mean_psnr = 0.0;  // best-match PSNR mean over the victim batch
+  std::uint64_t rtf_leaked = 0;  // obs counter attack.rtf.bins_leaked
+  std::uint64_t rtf_total = 0;   // obs counter attack.rtf.bins_total
+};
+
+/// Runs THE seeded round: 1 victim client, malicious RTF server, undefended
+/// (WO) so the attack has a reconstruction signal worth pinning down.
+GoldenRound run_golden_round() {
+  obs::Registry::global().reset();
+
+  data::SynthConfig cfg;
+  cfg.num_classes = 10;
+  cfg.height = cfg.width = 16;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 0;
+  cfg.seed = 4242;
+  const data::InMemoryDataset victim_data = data::generate(cfg).train;
+  cfg.seed = 2424;
+  const data::InMemoryDataset aux_data = data::generate(cfg).train;
+
+  const nn::ImageSpec spec{3, 16, 16};
+  const index_t neurons = 64;
+  const index_t classes = 10;
+  const std::uint64_t seed = 7;
+
+  auto atk = std::make_unique<attack::RtfAttack>(spec, neurons, aux_data);
+
+  common::Rng model_rng(seed ^ 0x5EED);
+  const fl::ModelFactory factory = [&] {
+    return nn::make_attack_host(spec, neurons, classes, model_rng);
+  };
+  auto server = std::make_unique<fl::MaliciousServer>(
+      factory(), /*learning_rate=*/1e-3, atk->manipulator());
+  auto* malicious_server = server.get();
+
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  clients.push_back(std::make_unique<fl::Client>(
+      /*id=*/0, victim_data, factory, /*batch_size=*/8,
+      core::make_preprocessor({}), common::Rng(seed ^ 0xC11E)));
+  auto* victim = clients.front().get();
+
+  fl::Simulation sim(std::move(server), std::move(clients),
+                     fl::SimulationConfig{/*clients_per_round=*/1, seed});
+  sim.run_round();
+
+  GoldenRound out;
+  out.loss = victim->last_loss();
+
+  const auto grads =
+      tensor::deserialize_tensors(malicious_server->captured().back().gradients);
+  double sq = 0.0;
+  for (const auto& g : grads) {
+    for (const auto v : g.data()) sq += v * v;
+  }
+  out.grad_norm = std::sqrt(sq);
+
+  const auto candidates = atk->reconstruct(grads);
+  const auto originals = data::unstack_images(victim->last_raw_batch().images);
+  const auto scores = attack::best_match_psnr(candidates, originals);
+  double psnr_sum = 0.0;
+  for (const auto& s : scores) psnr_sum += s.best_psnr;
+  out.mean_psnr = psnr_sum / static_cast<double>(scores.size());
+
+  out.rtf_leaked = obs::counter("attack.rtf.bins_leaked").value();
+  out.rtf_total = obs::counter("attack.rtf.bins_total").value();
+  return out;
+}
+
+std::string format_fixture(const GoldenRound& g) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"schema\": \"oasis.golden/v1\",\n"
+                "  \"loss\": %.17g,\n"
+                "  \"grad_norm\": %.17g,\n"
+                "  \"mean_psnr\": %.17g,\n"
+                "  \"rtf_leaked\": %llu,\n"
+                "  \"rtf_total\": %llu\n"
+                "}\n",
+                g.loss, g.grad_norm, g.mean_psnr,
+                static_cast<unsigned long long>(g.rtf_leaked),
+                static_cast<unsigned long long>(g.rtf_total));
+  return buf;
+}
+
+/// Minimal field extraction for the fixture we write ourselves ("key": value
+/// pairs, one per line) — no JSON parser dependency.
+double fixture_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "fixture missing key " << key;
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(GoldenRoundTest, MatchesCheckedInFixture) {
+  const GoldenRound g = run_golden_round();
+
+  if (std::getenv("OASIS_GOLDEN_REGEN")) {
+    std::ofstream out(kFixturePath);
+    ASSERT_TRUE(out) << "cannot write " << kFixturePath;
+    out << format_fixture(g);
+    GTEST_SKIP() << "fixture regenerated at " << kFixturePath;
+  }
+
+  std::ifstream in(kFixturePath);
+  ASSERT_TRUE(in) << "missing fixture " << kFixturePath
+                  << " — run with OASIS_GOLDEN_REGEN=1 to create it";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  ASSERT_NE(text.find("oasis.golden/v1"), std::string::npos);
+
+  // Doubles only pass through a %.17g round trip, which is exact; the
+  // tolerance guards against last-bit libm differences, nothing more.
+  const double rel = 1e-12;
+  const double loss = fixture_number(text, "loss");
+  const double grad_norm = fixture_number(text, "grad_norm");
+  const double mean_psnr = fixture_number(text, "mean_psnr");
+  EXPECT_NEAR(g.loss, loss, rel * std::abs(loss) + 1e-15);
+  EXPECT_NEAR(g.grad_norm, grad_norm, rel * std::abs(grad_norm) + 1e-15);
+  EXPECT_NEAR(g.mean_psnr, mean_psnr, rel * std::abs(mean_psnr) + 1e-15);
+  EXPECT_EQ(g.rtf_leaked,
+            static_cast<std::uint64_t>(fixture_number(text, "rtf_leaked")));
+  EXPECT_EQ(g.rtf_total,
+            static_cast<std::uint64_t>(fixture_number(text, "rtf_total")));
+
+  // The leak counters are only meaningful if the attack actually ran.
+  EXPECT_GT(g.rtf_total, 0u);
+}
+
+TEST(GoldenRoundTest, RoundIsDeterministicAcrossThreadCounts) {
+  runtime::set_num_threads(1);
+  const GoldenRound serial = run_golden_round();
+  runtime::set_num_threads(4);
+  const GoldenRound parallel = run_golden_round();
+  runtime::set_num_threads(0);
+  EXPECT_EQ(serial.loss, parallel.loss);
+  EXPECT_EQ(serial.grad_norm, parallel.grad_norm);
+  EXPECT_EQ(serial.mean_psnr, parallel.mean_psnr);
+  EXPECT_EQ(serial.rtf_leaked, parallel.rtf_leaked);
+  EXPECT_EQ(serial.rtf_total, parallel.rtf_total);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -161,6 +161,22 @@ TEST(Pooling, GlobalAvgPoolGradient) {
   EXPECT_LT(testutil::check_gradients(pool, x, rng), kGradTol);
 }
 
+TEST(Pooling, OverlappingMaxPoolGradient) {
+  // kernel > stride: windows overlap, so one input pixel can be the argmax
+  // of several windows and must accumulate gradient from each.
+  common::Rng rng(31);
+  MaxPool2d pool(3, 2);
+  tensor::Tensor x = tensor::Tensor::randn({2, 2, 7, 7}, rng);
+  EXPECT_LT(testutil::check_gradients(pool, x, rng), kGradTol);
+}
+
+TEST(Pooling, OverlappingAvgPoolGradient) {
+  common::Rng rng(32);
+  AvgPool2d pool(3, 2);
+  tensor::Tensor x = tensor::Tensor::randn({2, 2, 7, 7}, rng);
+  EXPECT_LT(testutil::check_gradients(pool, x, rng), kGradTol);
+}
+
 TEST(Pooling, FlattenRoundTrip) {
   common::Rng rng(14);
   Flatten flatten;
@@ -202,6 +218,21 @@ TEST(BatchNorm, GradientsMatchFiniteDifferences) {
   EXPECT_LT(testutil::check_gradients(bn, x, rng), kGradTol);
 }
 
+TEST(BatchNorm, EvalModeGradientsMatchFiniteDifferences) {
+  // Eval mode normalizes with the (frozen) running statistics, which makes
+  // the layer affine in x — the backward pass must use those same stats,
+  // not the batch stats. A few training passes first so the running stats
+  // are non-trivial.
+  common::Rng rng(33);
+  BatchNorm2d bn(2);
+  for (int i = 0; i < 5; ++i) {
+    bn.forward(tensor::Tensor::randn({4, 2, 3, 3}, rng, 1.5, 2.0), true);
+  }
+  tensor::Tensor x = tensor::Tensor::randn({3, 2, 3, 3}, rng);
+  EXPECT_LT(testutil::check_gradients(bn, x, rng, /*training=*/false),
+            kGradTol);
+}
+
 TEST(BatchNorm, EvalUsesRunningStats) {
   common::Rng rng(17);
   BatchNorm2d bn(1);
@@ -225,6 +256,19 @@ TEST(Residual, IdentityShortcutGradients) {
   ResidualBlock block(3, 3, 1, rng);
   tensor::Tensor x = tensor::Tensor::randn({2, 3, 4, 4}, rng);
   EXPECT_LT(testutil::check_gradients(block, x, rng), 5e-4);
+}
+
+TEST(Residual, EvalModeGradients) {
+  // The block's inner BatchNorms switch to running stats in eval mode; the
+  // composed backward must stay consistent with that forward.
+  common::Rng rng(34);
+  ResidualBlock block(2, 2, 1, rng);
+  for (int i = 0; i < 5; ++i) {
+    block.forward(tensor::Tensor::randn({4, 2, 4, 4}, rng), true);
+  }
+  tensor::Tensor x = tensor::Tensor::randn({2, 2, 4, 4}, rng);
+  EXPECT_LT(testutil::check_gradients(block, x, rng, /*training=*/false),
+            5e-4);
 }
 
 TEST(Sequential, ForwardBackwardComposition) {

@@ -1,0 +1,288 @@
+// oasis::obs unit tests: registry semantics, histogram bucket math, span
+// nesting/exclusive-time invariants, and the determinism contract — the JSON
+// dump (timings excluded) must be byte-identical at 1 and 8 threads for a
+// fixed parallel workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace oasis {
+namespace {
+
+/// Every test starts from a clean global registry. Instruments created by
+/// other tests survive (by design) but are zeroed, so tests assert on the
+/// instruments they own, never on global emptiness.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Registry::global().reset(); }
+  void TearDown() override { obs::Registry::global().reset(); }
+};
+
+// ---- Registry semantics -----------------------------------------------------
+
+TEST_F(ObsTest, CounterCreateOnceReturnsSameInstrument) {
+  obs::Counter& a = obs::counter("test.registry.counter");
+  obs::Counter& b = obs::counter("test.registry.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST_F(ObsTest, TypedLookupMismatchThrowsConfigError) {
+  obs::counter("test.registry.kinds");
+  EXPECT_THROW(obs::gauge("test.registry.kinds"), ConfigError);
+  EXPECT_THROW(obs::histogram("test.registry.kinds"), ConfigError);
+
+  obs::gauge("test.registry.kinds.gauge");
+  EXPECT_THROW(obs::counter("test.registry.kinds.gauge"), ConfigError);
+}
+
+TEST_F(ObsTest, ResetZeroesValuesButKeepsReferencesValid) {
+  obs::Counter& c = obs::counter("test.registry.reset");
+  obs::Gauge& g = obs::gauge("test.registry.reset.gauge");
+  c.add(10);
+  g.set(2.5);
+  obs::Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  c.add(1);  // the cached reference still points at the live instrument
+  EXPECT_EQ(obs::counter("test.registry.reset").value(), 1u);
+}
+
+TEST_F(ObsTest, RegistrySnapshotsAreNameSorted) {
+  obs::counter("test.sort.zz").add(1);
+  obs::counter("test.sort.aa").add(1);
+  obs::counter("test.sort.mm").add(1);
+  const auto counters = obs::Registry::global().counters();
+  for (std::size_t i = 1; i < counters.size(); ++i) {
+    EXPECT_LT(counters[i - 1].first, counters[i].first);
+  }
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  obs::Gauge& g = obs::gauge("test.gauge.lww");
+  g.set(1.0);
+  g.set(-3.25);
+  EXPECT_EQ(g.value(), -3.25);
+}
+
+// ---- Histogram bucket math --------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketOfUsesInclusiveUpperBounds) {
+  obs::Histogram& h = obs::histogram("test.hist.bounds", {1.0, 10.0, 100.0});
+  // v <= boundary lands in that bucket; above every boundary -> overflow.
+  EXPECT_EQ(h.bucket_of(0.0), 0u);
+  EXPECT_EQ(h.bucket_of(1.0), 0u);   // inclusive upper bound
+  EXPECT_EQ(h.bucket_of(1.5), 1u);
+  EXPECT_EQ(h.bucket_of(10.0), 1u);
+  EXPECT_EQ(h.bucket_of(99.9), 2u);
+  EXPECT_EQ(h.bucket_of(100.0), 2u);
+  EXPECT_EQ(h.bucket_of(100.1), 3u);  // overflow bucket
+}
+
+TEST_F(ObsTest, HistogramSnapshotAggregates) {
+  obs::Histogram& h = obs::histogram("test.hist.agg", {2.0, 4.0});
+  for (const double v : {1.0, 2.0, 3.0, 5.0, 9.0}) h.record(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 20.0);  // integer-valued samples: double sum is exact
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_EQ(s.buckets[0], 2u);  // 1, 2  (<= 2)
+  EXPECT_EQ(s.buckets[1], 1u);  // 3     (<= 4)
+  EXPECT_EQ(s.buckets[2], 2u);  // 5, 9  (overflow)
+}
+
+TEST_F(ObsTest, HistogramBucketCountsMatchBucketOf) {
+  obs::Histogram& h = obs::histogram("test.hist.cross", {3.0, 7.0, 20.0});
+  std::vector<std::uint64_t> expected(4, 0);
+  for (int v = 0; v <= 30; ++v) {
+    h.record(static_cast<double>(v));
+    expected[h.bucket_of(static_cast<double>(v))] += 1;
+  }
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), expected.size());
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    EXPECT_EQ(s.buckets[b], expected[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(s.count, 31u);
+  EXPECT_EQ(s.sum, 465.0);
+}
+
+TEST_F(ObsTest, ExponentialBoundariesArePowersOfTwo) {
+  const auto b = obs::exponential_boundaries(8);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.front(), 1.0);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_EQ(b[i], 2.0 * b[i - 1]);
+}
+
+TEST_F(ObsTest, HistogramRejectsUnsortedBoundaries) {
+  EXPECT_THROW(obs::Histogram({3.0, 1.0, 2.0}), Error);
+}
+
+// ---- Span nesting and exclusive time ----------------------------------------
+
+TEST_F(ObsTest, SpansNestIntoSlashPaths) {
+  {
+    const obs::Span outer("test.span.outer");
+    {
+      const obs::Span inner("inner");
+      { const obs::Span leaf("leaf"); }
+    }
+    { const obs::Span inner("inner"); }
+  }
+  const auto spans = obs::Registry::global().spans();
+  auto count_of = [&](const std::string& path) -> std::uint64_t {
+    for (const auto& [p, s] : spans) {
+      if (p == path) return s.count;
+    }
+    return 0;
+  };
+  EXPECT_EQ(count_of("test.span.outer"), 1u);
+  EXPECT_EQ(count_of("test.span.outer/inner"), 2u);
+  EXPECT_EQ(count_of("test.span.outer/inner/leaf"), 1u);
+}
+
+TEST_F(ObsTest, RootSpanIgnoresOpenParent) {
+  {
+    const obs::Span outer("test.span.ctx");
+    const obs::Span detached("test.span.detached", obs::Span::kRoot);
+    const obs::Span child("child");  // nests under the innermost open span
+  }
+  const auto spans = obs::Registry::global().spans();
+  bool saw_detached = false, saw_child_under_detached = false;
+  for (const auto& [p, s] : spans) {
+    if (p == "test.span.detached") saw_detached = true;
+    if (p == "test.span.detached/child") saw_child_under_detached = true;
+  }
+  EXPECT_TRUE(saw_detached);
+  // kRoot still participates in the open-span stack, so children of the
+  // detached span nest under its (root) path.
+  EXPECT_TRUE(saw_child_under_detached);
+}
+
+TEST_F(ObsTest, ExclusiveTimeSubtractsDirectChildren) {
+  {
+    const obs::Span outer("test.span.time");
+    for (int i = 0; i < 3; ++i) {
+      const obs::Span inner("busy");
+      volatile double sink = 0;
+      for (int k = 0; k < 20000; ++k) sink = sink + static_cast<double>(k);
+    }
+  }
+  const auto spans = obs::Registry::global().spans();
+  obs::SpanStats outer_stats{}, inner_stats{};
+  for (const auto& [p, s] : spans) {
+    if (p == "test.span.time") outer_stats = s;
+    if (p == "test.span.time/busy") inner_stats = s;
+  }
+  ASSERT_EQ(outer_stats.count, 1u);
+  ASSERT_EQ(inner_stats.count, 3u);
+  // Parent inclusive covers the children; parent exclusive excludes them.
+  EXPECT_GE(outer_stats.inclusive_ns,
+            inner_stats.inclusive_ns);  // children ran inside the parent
+  EXPECT_EQ(outer_stats.exclusive_ns,
+            outer_stats.inclusive_ns -
+                std::min(inner_stats.inclusive_ns, outer_stats.inclusive_ns));
+  // A leaf span's exclusive time is its inclusive time.
+  EXPECT_EQ(inner_stats.exclusive_ns, inner_stats.inclusive_ns);
+}
+
+// ---- Determinism across thread counts ---------------------------------------
+
+/// A fixed parallel workload: counters bumped per element, a histogram of
+/// integer values, and a kRoot span per chunk. Counter totals, bucket
+/// counts, and span counts must not depend on the pool size.
+void run_fixed_workload() {
+  obs::Counter& items = obs::counter("test.det.items");
+  obs::Counter& weight = obs::counter("test.det.weight");
+  obs::Histogram& hist = obs::histogram("test.det.hist", {10.0, 100.0, 500.0});
+  runtime::parallel_for(0, 1000, 16, [&](index_t b, index_t e) {
+    const obs::Span chunk("test.det.chunk", obs::Span::kRoot);
+    for (index_t i = b; i < e; ++i) {
+      items.add(1);
+      weight.add(i);
+      hist.record(static_cast<double>(i % 700));
+    }
+  });
+  obs::gauge("test.det.done").set(1.0);
+}
+
+std::string dump_after_workload(index_t threads) {
+  runtime::set_num_threads(threads);
+  obs::Registry::global().reset();
+  run_fixed_workload();
+  const std::string json =
+      obs::to_json(obs::Registry::global(), {/*include_timings=*/false});
+  runtime::set_num_threads(0);
+  return json;
+}
+
+TEST_F(ObsTest, DumpWithoutTimingsIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = dump_after_workload(1);
+  const std::string parallel = dump_after_workload(8);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the document actually contains the workload's instruments.
+  EXPECT_NE(serial.find("\"test.det.items\": 1000"), std::string::npos);
+  EXPECT_NE(serial.find("\"test.det.weight\": 499500"), std::string::npos);
+  EXPECT_NE(serial.find("test.det.chunk"), std::string::npos);
+  EXPECT_EQ(serial.find("inclusive_ns"), std::string::npos);
+}
+
+TEST_F(ObsTest, CounterTotalsExactUnderParallelMutation) {
+  obs::Counter& c = obs::counter("test.det.hammer");
+  runtime::set_num_threads(8);
+  runtime::parallel_for(0, 100000, 128,
+                        [&](index_t b, index_t e) { c.add(e - b); });
+  runtime::set_num_threads(0);
+  EXPECT_EQ(c.value(), 100000u);
+}
+
+// ---- JSON shape -------------------------------------------------------------
+
+TEST_F(ObsTest, JsonDocumentHasSchemaAndSections) {
+  obs::counter("test.json.c").add(2);
+  obs::gauge("test.json.g").set(0.5);
+  obs::histogram("test.json.h", {1.0}).record(0.5);
+  const std::string json = obs::to_json(obs::Registry::global());
+  EXPECT_NE(json.find("\"schema\": \"oasis.obs/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.c\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+  // Balanced braces (cheap well-formedness probe without a JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ObsTest, SummaryMentionsEveryInstrument) {
+  obs::counter("test.summary.c").add(1);
+  obs::gauge("test.summary.g").set(3.0);
+  { const obs::Span s("test.summary.span"); }
+  const std::string text = obs::summary();
+  EXPECT_NE(text.find("test.summary.c"), std::string::npos);
+  EXPECT_NE(text.find("test.summary.g"), std::string::npos);
+  EXPECT_NE(text.find("test.summary.span"), std::string::npos);
+}
+
+// ---- Kernel-metrics gate ----------------------------------------------------
+
+TEST_F(ObsTest, KernelMetricsToggle) {
+  obs::set_kernel_metrics(true);
+  EXPECT_TRUE(obs::kernel_metrics_enabled());
+  obs::set_kernel_metrics(false);
+  EXPECT_FALSE(obs::kernel_metrics_enabled());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -3,9 +3,11 @@
 // algebraic identities, and defense-invariant batch properties.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
+#include "attack/calibration.h"
 #include "augment/affine.h"
 #include "augment/policy.h"
 #include "fl/aggregation.h"
@@ -170,6 +172,115 @@ TEST(DefenseInvariants, EveryVariantSharesItsOriginalsMean) {
     for (const auto& v : policy.variants(img, rng)) {
       EXPECT_NEAR(v.mean(), img.mean(), 1e-12) << policy.label();
     }
+  }
+}
+
+// ---- FedAvg order/scale properties ------------------------------------------
+
+std::vector<fl::ClientUpdateMessage> random_updates(std::uint64_t seed,
+                                                    index_t clients,
+                                                    index_t dim) {
+  common::Rng rng(seed);
+  std::vector<fl::ClientUpdateMessage> updates(clients);
+  for (index_t i = 0; i < clients; ++i) {
+    updates[i].client_id = i;
+    updates[i].num_examples =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 16));
+    updates[i].gradients = tensor::serialize_tensors(
+        {tensor::Tensor::randn({dim}, rng),
+         tensor::Tensor::randn({dim / 2}, rng)});
+  }
+  return updates;
+}
+
+TEST(FedAvgAlgebra, AverageIsInvariantUnderClientOrderPermutation) {
+  // FedAvg is a weighted mean — a set operation. Reordering the client
+  // updates permutes the float accumulation order, so the results may
+  // differ in the last bits but never beyond.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto updates = random_updates(seed, 5, 8);
+    const auto base = fl::fedavg(updates);
+
+    auto reversed = updates;
+    std::reverse(reversed.begin(), reversed.end());
+    auto rotated = updates;
+    std::rotate(rotated.begin(), rotated.begin() + 2, rotated.end());
+
+    for (const auto& permuted : {reversed, rotated}) {
+      const auto avg = fl::fedavg(permuted);
+      ASSERT_EQ(avg.size(), base.size());
+      for (std::size_t t = 0; t < base.size(); ++t) {
+        EXPECT_TRUE(tensor::allclose(avg[t], base[t], 1e-12, 1e-12))
+            << "seed " << seed << " tensor " << t;
+      }
+    }
+  }
+}
+
+TEST(FedAvgAlgebra, AverageIsHomogeneousInExampleWeights) {
+  // Scaling every client's num_examples by the same factor cancels in
+  // Eq. 1: sum(c*w_i*g_i) / sum(c*w_i) = sum(w_i*g_i) / sum(w_i).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto updates = random_updates(seed ^ 0xABCD, 4, 6);
+    auto scaled = updates;
+    for (auto& u : scaled) u.num_examples *= 3;
+    const auto base = fl::fedavg(updates);
+    const auto avg = fl::fedavg(scaled);
+    for (std::size_t t = 0; t < base.size(); ++t) {
+      EXPECT_TRUE(tensor::allclose(avg[t], base[t], 1e-12, 1e-12))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(FedAvgAlgebra, UniformWeightsMatchUnweightedAverage) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto updates = random_updates(seed ^ 0x77, 6, 5);
+    for (auto& u : updates) u.num_examples = 7;
+    const auto weighted = fl::fedavg(updates);
+    const auto unweighted = fl::fedavg_unweighted(updates);
+    for (std::size_t t = 0; t < weighted.size(); ++t) {
+      EXPECT_TRUE(tensor::allclose(weighted[t], unweighted[t], 1e-12, 1e-12))
+          << "seed " << seed;
+    }
+  }
+}
+
+// ---- RTF calibration cutoffs ------------------------------------------------
+
+TEST(RtfCalibration, QuantileCutoffsAreMonotoneForRandomSamples) {
+  // The RTF bin boundaries are empirical quantiles at increasing levels;
+  // they must be ascending (and inside the sample's range) for every
+  // sample, otherwise the bin logic would assign one gradient difference
+  // to two bins.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    common::Rng rng(seed);
+    std::vector<real> sample;
+    const index_t size = 16 + (seed % 50);
+    sample.reserve(size);
+    for (index_t i = 0; i < size; ++i) {
+      sample.push_back(rng.normal() * (1.0 + static_cast<real>(seed % 7)));
+    }
+    const index_t bins = 2 + (seed % 30);
+    const auto cutoffs = attack::quantile_cutoffs(sample, bins);
+    ASSERT_EQ(cutoffs.size(), bins) << "seed " << seed;
+    EXPECT_TRUE(std::is_sorted(cutoffs.begin(), cutoffs.end()))
+        << "seed " << seed;
+    const auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+    EXPECT_GE(cutoffs.front(), *mn) << "seed " << seed;
+    EXPECT_LE(cutoffs.back(), *mx) << "seed " << seed;
+  }
+}
+
+TEST(RtfCalibration, QuantileCutoffsRefineMonotonically) {
+  // The empirical CDF is monotone: raising the level never lowers the
+  // cutoff. Checked across the quantile levels the attack actually uses.
+  common::Rng rng(321);
+  std::vector<real> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.normal());
+  for (real lo = 0.05; lo < 0.9; lo += 0.05) {
+    EXPECT_LE(attack::empirical_quantile(sample, lo),
+              attack::empirical_quantile(sample, lo + 0.05) + 1e-15);
   }
 }
 

@@ -1,0 +1,156 @@
+// Round-engine fault-tolerance overhead: FedAvg round throughput with the
+// fault machinery off (legacy path) and at dropout rates {0, 0.1, 0.3} with
+// a 0.5 quorum. The dropout-0 row exercises the full fault-tolerant path
+// (virtual clock, deadlines, model snapshot) on an all-honest cohort and
+// should sit within noise of the legacy baseline — the machinery is free
+// until faults actually occur.
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "data/synthetic.h"
+#include "fl/fault.h"
+#include "fl/preprocessor.h"
+#include "fl/simulation.h"
+#include "nn/models.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace {
+
+using namespace oasis;
+
+struct RoundBenchResult {
+  double seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  std::uint64_t aborted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t clients_lost = 0;
+};
+
+fl::Simulation make_simulation(const data::SynthDataset& dataset,
+                               index_t n_clients, real dropout, real quorum) {
+  const auto shards = dataset.train.shard(n_clients);
+  const nn::ImageSpec spec{3, 12, 12};
+  common::Rng init_rng(7);
+  const index_t classes = dataset.train.num_classes();
+  const fl::ModelFactory factory = [&spec, &init_rng, classes]() {
+    return nn::make_mini_convnet(spec, classes, init_rng, 4);
+  };
+  auto server = std::make_unique<fl::Server>(factory(), /*learning_rate=*/0.1);
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  for (index_t i = 0; i < n_clients; ++i) {
+    clients.push_back(std::make_unique<fl::Client>(
+        i, shards[i], factory, /*batch_size=*/8,
+        std::make_shared<fl::IdentityPreprocessor>(), common::Rng(1000 + i)));
+  }
+  fl::SimulationConfig cfg{/*clients_per_round=*/4, /*seed=*/3};
+  cfg.quorum_fraction = quorum;
+  fl::Simulation sim(std::move(server), std::move(clients), cfg);
+  if (dropout > 0.0 || quorum > 0.0) {
+    fl::FaultConfig faults;
+    faults.dropout_prob = dropout;
+    faults.seed = 677200;
+    if (faults.any()) sim.set_fault_plan(fl::FaultPlan(faults));
+  }
+  return sim;
+}
+
+RoundBenchResult run_rounds(const data::SynthDataset& dataset,
+                            index_t n_clients, index_t rounds, real dropout,
+                            real quorum) {
+  obs::Registry::global().reset();
+  fl::Simulation sim = make_simulation(dataset, n_clients, dropout, quorum);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (index_t r = 0; r < rounds; ++r) {
+    try {
+      sim.run_round();
+    } catch (const QuorumError&) {
+      // Rolled back bit-exactly by the engine; keep going.
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  RoundBenchResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.rounds_per_sec = static_cast<double>(rounds) / out.seconds;
+  out.aborted = obs::counter("fl.rounds_aborted").value();
+  out.rejected = obs::counter("fl.validate.rejected").value();
+  out.clients_lost = obs::counter("fl.clients_lost").value();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oasis;
+  using namespace oasis::bench;
+
+  common::CliParser cli("fault_rounds",
+                        "FL round throughput under injected client faults");
+  cli.add_flag("rounds", "rounds per configuration", "40");
+  cli.add_flag("clients", "number of clients N", "8");
+  cli.add_flag("reps", "repetitions (best-of)", "3");
+  runtime::add_cli_flag(cli);
+  bench::add_metrics_flag(cli);
+  cli.parse(argc, argv);
+  const bench::MetricsExport metrics_export(cli);
+  runtime::apply_cli_flag(cli);
+
+  const auto rounds = static_cast<index_t>(cli.get_int("rounds"));
+  const auto n_clients = static_cast<index_t>(cli.get_int("clients"));
+  const auto reps = static_cast<int>(cli.get_int("reps"));
+
+  print_banner("fault_rounds",
+               "Round throughput: legacy engine vs fault-tolerant engine at "
+               "dropout {0, 0.1, 0.3}, quorum 0.5");
+
+  data::SynthConfig cfg = data::synth_imagenet_config();
+  cfg.height = cfg.width = 12;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 2;
+  const data::SynthDataset dataset = data::generate(cfg);
+
+  struct Row {
+    const char* label;
+    real dropout;
+    real quorum;
+  };
+  const Row rows[] = {
+      {"legacy (no fault machinery)", 0.0, 0.0},
+      {"fault-tolerant, dropout 0.0", 0.0, 0.5},
+      {"fault-tolerant, dropout 0.1", 0.1, 0.5},
+      {"fault-tolerant, dropout 0.3", 0.3, 0.5},
+  };
+
+  std::cout << std::left << std::setw(30) << "configuration" << std::right
+            << std::setw(10) << "rounds/s" << std::setw(10) << "overhead"
+            << std::setw(9) << "aborted" << std::setw(9) << "rejected"
+            << std::setw(7) << "lost" << "\n";
+
+  double baseline_rps = 0.0;
+  for (const Row& row : rows) {
+    RoundBenchResult best;
+    for (int rep = 0; rep < reps; ++rep) {
+      RoundBenchResult r =
+          run_rounds(dataset, n_clients, rounds, row.dropout, row.quorum);
+      if (rep == 0 || r.seconds < best.seconds) best = r;
+    }
+    if (baseline_rps == 0.0) baseline_rps = best.rounds_per_sec;
+    const double overhead = baseline_rps / best.rounds_per_sec - 1.0;
+    std::cout << std::left << std::setw(30) << row.label << std::right
+              << std::fixed << std::setprecision(1) << std::setw(10)
+              << best.rounds_per_sec << std::setprecision(1) << std::setw(9)
+              << overhead * 100.0 << "%" << std::setw(9) << best.aborted
+              << std::setw(9) << best.rejected << std::setw(7)
+              << best.clients_lost << "\n";
+    obs::gauge(std::string("bench.fault_rounds.rps.dropout_") +
+               std::to_string(row.dropout).substr(0, 3) +
+               (row.quorum > 0.0 ? "" : ".legacy"))
+        .set(best.rounds_per_sec);
+  }
+  return 0;
+}

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # CI entry point: Release build + full test suite, an AddressSanitizer build
-# running the unit + golden labels, then a ThreadSanitizer build exercising
-# the concurrency-heavy tests (runtime pool + FL rounds).
+# running the unit + golden labels, a chaos stage running the randomized
+# fault-injection suite under ASan/UBSan, then a ThreadSanitizer build
+# exercising the concurrency-heavy tests (runtime pool + FL rounds + chaos).
 #
 # Every test carries a ctest LABEL (unit | integration | sanitizer |
-# property | golden) and a hard 30 s per-test TIMEOUT — a test that exceeds
-# it fails the suite.
+# property | golden | chaos) and a hard 30 s per-test TIMEOUT — a test that
+# exceeds it fails the suite.
 #
-#   ./ci.sh            # all three stages
+#   ./ci.sh            # all four stages
 #   ./ci.sh release    # Release + full ctest only
 #   ./ci.sh asan       # ASan build + unit/golden labels only
+#   ./ci.sh chaos      # ASan build + chaos label only
 #   ./ci.sh tsan       # TSan stage only
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -32,25 +34,38 @@ run_asan() {
     -L 'unit|golden'
 }
 
+run_chaos() {
+  # Fault injection exercises the nastiest paths (truncated payloads, bit
+  # flips, aborted rounds), so it runs under ASan/UBSan, reusing the asan
+  # build tree when it exists.
+  echo "==> [ci] Chaos stage: fault-injection suite under ASan/UBSan"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}" --target chaos_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L chaos
+}
+
 run_tsan() {
-  echo "==> [ci] ThreadSanitizer build (runtime_test + fl_test)"
+  echo "==> [ci] ThreadSanitizer build (runtime_test + fl_test + chaos_test)"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
-  cmake --build build-tsan -j "${jobs}" --target runtime_test fl_test
+  cmake --build build-tsan -j "${jobs}" --target runtime_test fl_test     chaos_test
   ./build-tsan/tests/runtime_test
   ./build-tsan/tests/fl_test
+  ./build-tsan/tests/chaos_test
 }
 
 case "${stage}" in
   release) run_release ;;
   asan) run_asan ;;
+  chaos) run_chaos ;;
   tsan) run_tsan ;;
   all)
     run_release
     run_asan
+    run_chaos
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|tsan|all]" >&2
+    echo "usage: $0 [release|asan|chaos|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -8,10 +8,19 @@
 //
 //   $ ./fl_training [--rounds 150] [--clients 8] [--transform MR]
 //                   [--metrics-out metrics.json]
+//
+// The round engine's fault machinery is exposed too, so a lossy deployment
+// can be rehearsed from the command line:
+//
+//   $ ./fl_training --fault-dropout 0.2 --quorum 0.5
+//
+// Faulty rounds that miss quorum abort with a bit-exact model rollback and
+// training simply continues with the next round's cohort.
 #include <iostream>
 #include <memory>
 
 #include "common/cli.h"
+#include "common/error.h"
 #include "core/oasis.h"
 #include "data/synthetic.h"
 #include "fl/simulation.h"
@@ -31,6 +40,14 @@ int main(int argc, char** argv) {
   cli.add_flag("transform", "OASIS transform (none|MR|mR|SH|HFlip|VFlip)",
                "MR");
   cli.add_flag("metrics-out", "write obs metrics/trace JSON to this file", "");
+  cli.add_flag("fault-dropout", "per-client dropout probability", "0");
+  cli.add_flag("fault-straggler", "per-client straggler probability", "0");
+  cli.add_flag("fault-corrupt", "per-client payload corruption probability",
+               "0");
+  cli.add_flag("fault-poison", "per-client numeric poison probability", "0");
+  cli.add_flag("fault-seed", "fault plan seed", "677200");
+  cli.add_flag("quorum", "fraction of selected clients required to commit "
+               "a round (0=disabled)", "0");
   runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
   runtime::apply_cli_flag(cli);
@@ -68,13 +85,43 @@ int main(int argc, char** argv) {
         i, shards[i], factory, /*batch_size=*/16, defense,
         common::Rng(1000 + i)));
   }
-  fl::Simulation sim(
-      std::move(server), std::move(clients),
-      fl::SimulationConfig{static_cast<index_t>(cli.get_int("per-round")),
-                           /*seed=*/3});
+  fl::SimulationConfig sim_cfg{static_cast<index_t>(cli.get_int("per-round")),
+                               /*seed=*/3};
+  sim_cfg.quorum_fraction = cli.get_real("quorum");
+  fl::Simulation sim(std::move(server), std::move(clients), sim_cfg);
 
+  fl::FaultConfig faults;
+  faults.dropout_prob = cli.get_real("fault-dropout");
+  faults.straggler_prob = cli.get_real("fault-straggler");
+  faults.corrupt_prob = cli.get_real("fault-corrupt");
+  faults.poison_prob = cli.get_real("fault-poison");
+  faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+  if (faults.any()) {
+    sim.set_fault_plan(fl::FaultPlan(faults));
+    // This federation runs without secure aggregation, so the norm screen
+    // is safe to arm; without it one accepted norm-scaled poison would blow
+    // up the global model and taint every later round.
+    fl::ValidationConfig validation;
+    validation.max_grad_norm = 1e4;
+    server_ptr->set_validation(validation);
+    std::cout << "fault plan: dropout " << faults.dropout_prob
+              << ", straggler " << faults.straggler_prob << ", corrupt "
+              << faults.corrupt_prob << ", poison " << faults.poison_prob
+              << " (seed " << faults.seed << ", quorum "
+              << sim_cfg.quorum_fraction << ")\n";
+  }
+
+  index_t aborted = 0;
   for (index_t r = 0; r < rounds; ++r) {
-    sim.run_round();
+    try {
+      sim.run_round();
+    } catch (const QuorumError& e) {
+      // The engine already rolled the model back bit-exactly; skip to the
+      // next round's cohort.
+      ++aborted;
+      std::cout << "round " << (r + 1) << ": aborted (" << e.what() << ")\n";
+      continue;
+    }
     if ((r + 1) % 25 == 0 || r + 1 == rounds) {
       const real acc =
           metrics::accuracy(server_ptr->global_model(), dataset.test);
@@ -82,6 +129,9 @@ int main(int argc, char** argv) {
       std::cout << "round " << (r + 1) << ": global test accuracy "
                 << acc * 100.0 << "%\n";
     }
+  }
+  if (aborted > 0) {
+    std::cout << aborted << "/" << rounds << " rounds aborted on quorum\n";
   }
   if (const std::string path = cli.get("metrics-out"); !path.empty()) {
     obs::dump(path);

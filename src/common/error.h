@@ -35,6 +35,27 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when gradient aggregation is impossible (empty or fully rejected
+/// update set, zero total weight).
+class AggregationError : public Error {
+ public:
+  explicit AggregationError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an FL round cannot reach its configured quorum of valid
+/// client updates. The round is aborted and the global model rolled back.
+class QuorumError : public Error {
+ public:
+  explicit QuorumError(const std::string& what) : Error(what) {}
+};
+
+/// Raised in strict collection mode when clients are lost to dropout or
+/// missed deadlines after all retry attempts.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,

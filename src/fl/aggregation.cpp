@@ -8,14 +8,21 @@ namespace {
 
 std::vector<tensor::Tensor> weighted_average(
     std::span<const ClientUpdateMessage> updates, bool weight_by_examples) {
-  OASIS_CHECK_MSG(!updates.empty(), "aggregating zero updates");
+  if (updates.empty()) {
+    // Typed so the round engine can distinguish "nothing valid survived
+    // screening" from a programming error (and never divides by the zero
+    // total weight below).
+    throw AggregationError("FedAvg over an empty update set");
+  }
   std::vector<tensor::Tensor> total;
   real total_weight = 0.0;
   for (const auto& update : updates) {
     const real weight =
         weight_by_examples ? static_cast<real>(update.num_examples) : 1.0;
-    OASIS_CHECK_MSG(weight > 0.0, "client " << update.client_id
-                                            << " reported zero examples");
+    if (weight <= 0.0) {
+      throw AggregationError("client " + std::to_string(update.client_id) +
+                             " reported zero examples");
+    }
     auto grads = tensor::deserialize_tensors(update.gradients);
     if (total.empty()) {
       total = std::move(grads);

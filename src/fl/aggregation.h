@@ -11,7 +11,8 @@ namespace oasis::fl {
 
 /// FedAvg (paper Eq. 1): example-weighted average of client gradients.
 /// All updates must deserialize to identically-shaped tensor lists.
-/// Throws Error on empty input or shape/count mismatch.
+/// Throws AggregationError on an empty update set or a zero example count,
+/// and Error on shape/count mismatch.
 std::vector<tensor::Tensor> fedavg(
     std::span<const ClientUpdateMessage> updates);
 

@@ -1,0 +1,148 @@
+#include "fl/fault.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "tensor/serialize.h"
+
+namespace oasis::fl {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kPoison: return "poison";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(config) {
+  const real probs[] = {config.dropout_prob, config.straggler_prob,
+                        config.corrupt_prob, config.poison_prob};
+  real sum = 0.0;
+  for (const real p : probs) {
+    if (p < 0.0 || p > 1.0) {
+      throw ConfigError("fault probability outside [0, 1]");
+    }
+    sum += p;
+  }
+  if (sum > 1.0 + 1e-12) {
+    throw ConfigError("fault probabilities sum past 1");
+  }
+  if (config.straggler_min_ticks > config.straggler_max_ticks) {
+    throw ConfigError("straggler tick range inverted");
+  }
+}
+
+common::Rng FaultPlan::stream(std::uint64_t ticket, std::uint64_t attempt,
+                              std::uint64_t client_id,
+                              std::uint64_t salt) const {
+  // Fresh root each call keeps this a pure function of the tuple: split()
+  // consumes parent state, but the parent is rebuilt from the seed here.
+  common::Rng root(config_.seed);
+  common::Rng per_round = root.split(ticket * 0x9E3779B97F4A7C15ULL + attempt);
+  return per_round.split(client_id * 2 + salt);
+}
+
+ClientFault FaultPlan::decide(std::uint64_t ticket, std::uint64_t attempt,
+                              std::uint64_t client_id) const {
+  ClientFault fault;
+  if (!active()) return fault;
+  common::Rng rng = stream(ticket, attempt, client_id, /*salt=*/0);
+  // One uniform draw partitioned by the (mutually exclusive) class probs so
+  // a config's rates compose exactly.
+  const real u = rng.uniform();
+  real edge = config_.dropout_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kDropout;
+    return fault;
+  }
+  edge += config_.straggler_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kStraggler;
+    fault.delay_ticks = static_cast<std::uint64_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config_.straggler_min_ticks),
+        static_cast<std::int64_t>(config_.straggler_max_ticks)));
+    return fault;
+  }
+  edge += config_.corrupt_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kCorrupt;
+    fault.corruption =
+        static_cast<CorruptionKind>(rng.uniform_int(0, 3));
+    return fault;
+  }
+  edge += config_.poison_prob;
+  if (u < edge) {
+    fault.kind = FaultKind::kPoison;
+    fault.poison = static_cast<PoisonKind>(rng.uniform_int(0, 2));
+    return fault;
+  }
+  return fault;
+}
+
+void FaultPlan::apply(ClientUpdateMessage& update, const ClientFault& fault,
+                      std::uint64_t ticket, std::uint64_t attempt,
+                      std::uint64_t client_id) const {
+  if (fault.kind != FaultKind::kCorrupt && fault.kind != FaultKind::kPoison) {
+    return;
+  }
+  common::Rng rng = stream(ticket, attempt, client_id, /*salt=*/1);
+  if (fault.kind == FaultKind::kCorrupt) {
+    auto& bytes = update.gradients;
+    switch (fault.corruption) {
+      case CorruptionKind::kTruncate: {
+        if (bytes.empty()) return;
+        bytes.resize(static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(bytes.size()) - 1)));
+        return;
+      }
+      case CorruptionKind::kBitFlip: {
+        if (bytes.empty()) return;
+        const std::int64_t flips = rng.uniform_int(1, 8);
+        for (std::int64_t f = 0; f < flips; ++f) {
+          const auto pos = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(bytes.size()) - 1));
+          bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+        }
+        return;
+      }
+      case CorruptionKind::kWrongRound:
+        update.round += static_cast<std::uint64_t>(rng.uniform_int(1, 4));
+        return;
+      case CorruptionKind::kDuplicate:
+        return;  // delivery-level: the engine posts the update twice
+    }
+    return;
+  }
+  // Poison: mutate through the typed layer so the payload stays well-formed
+  // and reaches the server's numeric screens rather than the parser.
+  auto grads = tensor::deserialize_tensors(update.gradients);
+  if (grads.empty()) return;
+  switch (fault.poison) {
+    case PoisonKind::kNaN:
+    case PoisonKind::kInf: {
+      const real bad = fault.poison == PoisonKind::kNaN
+                           ? std::numeric_limits<real>::quiet_NaN()
+                           : std::numeric_limits<real>::infinity();
+      const std::int64_t hits = rng.uniform_int(1, 4);
+      for (std::int64_t h = 0; h < hits; ++h) {
+        auto& t = grads[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(grads.size()) - 1))];
+        if (t.size() == 0) continue;
+        t[static_cast<index_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(t.size()) - 1))] = bad;
+      }
+      break;
+    }
+    case PoisonKind::kNormScale:
+      for (auto& t : grads) t *= config_.poison_scale;
+      break;
+  }
+  update.gradients = tensor::serialize_tensors(grads);
+}
+
+}  // namespace oasis::fl

@@ -1,0 +1,118 @@
+// Seeded fault injection for the FL round engine.
+//
+// A FaultPlan decides, for every (round ticket, attempt, client) tuple,
+// whether that client's reply is dropped, delayed past the deadline,
+// corrupted on the wire, or numerically poisoned. Decisions are a pure
+// function of (plan seed, ticket, attempt, client id) — derived through
+// common::Rng split streams, never from shared mutable state — so a chaos
+// run reproduces bit-identically at any thread count (the PR-1 determinism
+// contract) and a single client's fault history can be queried without
+// simulating anyone else.
+//
+// Fault taxonomy (motivated by the Carletti et al. detectability study and
+// the Pasquini et al. inconsistent-model primitive already in
+// fl/inconsistent_server.h — both argue the server must screen updates):
+//   dropout    client never replies (crash / network partition)
+//   straggler  reply delayed by a uniform tick count on the virtual clock;
+//              delays past the per-attempt deadline become timeouts
+//   corrupt    wire-level damage: payload truncation, random bit flips,
+//              a stale/wrong round id, or duplicate delivery
+//   poison     well-formed payload with hostile numerics: NaN/Inf values or
+//              gradients scaled far outside the plausible norm band
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "fl/message.h"
+
+namespace oasis::fl {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDropout,
+  kStraggler,
+  kCorrupt,
+  kPoison,
+};
+
+enum class CorruptionKind : std::uint8_t {
+  kTruncate = 0,  // payload cut short at a random byte offset
+  kBitFlip,       // 1-8 random bits flipped anywhere in the payload
+  kWrongRound,    // round id bumped: stale or replayed message
+  kDuplicate,     // the (valid) update is delivered twice
+};
+
+enum class PoisonKind : std::uint8_t {
+  kNaN = 0,    // a handful of gradient values replaced with quiet NaN
+  kInf,        // ...or with ±infinity
+  kNormScale,  // all gradients multiplied by `poison_scale`
+};
+
+const char* to_string(FaultKind kind);
+
+/// Per-fault-class injection probabilities plus shape parameters. The four
+/// probabilities partition a single uniform draw, so they are mutually
+/// exclusive per (ticket, attempt, client) and must sum to at most 1.
+struct FaultConfig {
+  real dropout_prob = 0.0;
+  real straggler_prob = 0.0;
+  real corrupt_prob = 0.0;
+  real poison_prob = 0.0;
+  /// Straggler delay drawn uniformly from [min, max] virtual-clock ticks.
+  std::uint64_t straggler_min_ticks = 50;
+  std::uint64_t straggler_max_ticks = 400;
+  /// Gradient multiplier for PoisonKind::kNormScale.
+  real poison_scale = 1e9;
+  std::uint64_t seed = 0x0A5150;
+
+  [[nodiscard]] bool any() const {
+    return dropout_prob > 0.0 || straggler_prob > 0.0 || corrupt_prob > 0.0 ||
+           poison_prob > 0.0;
+  }
+};
+
+/// The fault decided for one delivery attempt of one client's update.
+struct ClientFault {
+  FaultKind kind = FaultKind::kNone;
+  CorruptionKind corruption = CorruptionKind::kTruncate;  // when kCorrupt
+  PoisonKind poison = PoisonKind::kNaN;                   // when kPoison
+  std::uint64_t delay_ticks = 0;                          // when kStraggler
+};
+
+/// Deterministic fault schedule. Default-constructed plans are inert
+/// (active() == false, every decision kNone) so the honest path carries no
+/// fault machinery.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  /// Throws ConfigError when the probabilities are invalid (negative or
+  /// summing past 1) or the straggler tick range is inverted.
+  explicit FaultPlan(FaultConfig config);
+
+  [[nodiscard]] bool active() const { return config_.any(); }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Pure function of (seed, ticket, attempt, client_id); safe to call from
+  /// any thread in any order. `ticket` is the engine's monotone round-start
+  /// counter (not the protocol round id, which repeats after an abort).
+  [[nodiscard]] ClientFault decide(std::uint64_t ticket, std::uint64_t attempt,
+                                   std::uint64_t client_id) const;
+
+  /// Applies a kCorrupt/kPoison fault to a collected update in place, using
+  /// the same split-stream derivation as decide() so the damage bytes are
+  /// reproducible. kDuplicate is a delivery-level fault — the engine posts
+  /// the update twice — so apply() leaves the payload intact for it.
+  void apply(ClientUpdateMessage& update, const ClientFault& fault,
+             std::uint64_t ticket, std::uint64_t attempt,
+             std::uint64_t client_id) const;
+
+ private:
+  [[nodiscard]] common::Rng stream(std::uint64_t ticket, std::uint64_t attempt,
+                                   std::uint64_t client_id,
+                                   std::uint64_t salt) const;
+
+  FaultConfig config_;
+};
+
+}  // namespace oasis::fl

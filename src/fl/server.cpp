@@ -1,9 +1,28 @@
 #include "fl/server.h"
 
+#include <cmath>
+#include <unordered_set>
+
 #include "fl/aggregation.h"
 #include "nn/model_io.h"
+#include "obs/obs.h"
+#include "tensor/serialize.h"
 
 namespace oasis::fl {
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kAccepted: return "accepted";
+    case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kWrongRound: return "wrong_round";
+    case RejectReason::kDuplicate: return "duplicate";
+    case RejectReason::kZeroExamples: return "zero_examples";
+    case RejectReason::kShapeMismatch: return "shape_mismatch";
+    case RejectReason::kNonFinite: return "non_finite";
+    case RejectReason::kNormTooLarge: return "norm_too_large";
+  }
+  return "?";
+}
 
 Server::Server(std::unique_ptr<nn::Sequential> global_model,
                real learning_rate)
@@ -24,8 +43,111 @@ GlobalModelMessage Server::dispatch_to(std::uint64_t /*client_id*/) {
   return current_dispatch_;
 }
 
-void Server::finish_round(std::span<const ClientUpdateMessage> updates) {
-  const auto average = fedavg(updates);
+RoundOutcome Server::validate_updates(
+    std::span<const ClientUpdateMessage> updates) {
+  static obs::Counter& accepted_c = obs::counter("fl.validate.accepted");
+  static obs::Counter& rejected_c = obs::counter("fl.validate.rejected");
+  static obs::Counter& malformed_c =
+      obs::counter("fl.validate.reject.malformed");
+  static obs::Counter& wrong_round_c =
+      obs::counter("fl.validate.reject.wrong_round");
+  static obs::Counter& duplicate_c =
+      obs::counter("fl.validate.reject.duplicate");
+  static obs::Counter& zero_examples_c =
+      obs::counter("fl.validate.reject.zero_examples");
+  static obs::Counter& shape_c = obs::counter("fl.validate.reject.shape");
+  static obs::Counter& non_finite_c =
+      obs::counter("fl.validate.reject.non_finite");
+  static obs::Counter& norm_c = obs::counter("fl.validate.reject.norm");
+
+  std::vector<tensor::Shape> expected;
+  for (auto* p : model_->parameters()) expected.push_back(p->value.shape());
+
+  RoundOutcome outcome;
+  outcome.reasons.reserve(updates.size());
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& update : updates) {
+    RejectReason reason = RejectReason::kAccepted;
+    if (validation_.check_round_id && update.round != round_) {
+      reason = RejectReason::kWrongRound;
+    } else if (validation_.check_duplicates &&
+               !seen.insert(update.client_id).second) {
+      reason = RejectReason::kDuplicate;
+    } else if (update.num_examples == 0) {
+      reason = RejectReason::kZeroExamples;
+    } else {
+      // Structural walk + numeric screens without materialising tensors; a
+      // hostile payload must fail HERE, inside the catch boundary, never in
+      // the aggregation hot loop.
+      try {
+        const tensor::TensorScan scan = tensor::scan_tensors(update.gradients);
+        if (scan.shapes != expected) {
+          reason = RejectReason::kShapeMismatch;
+        } else if (validation_.check_finite && !scan.all_finite) {
+          reason = RejectReason::kNonFinite;
+        } else if (validation_.max_grad_norm > 0.0 &&
+                   std::sqrt(scan.sum_squares) > validation_.max_grad_norm) {
+          reason = RejectReason::kNormTooLarge;
+        }
+      } catch (const SerializationError&) {
+        reason = RejectReason::kMalformed;
+      }
+    }
+    outcome.reasons.push_back(reason);
+    if (reason == RejectReason::kAccepted) {
+      ++outcome.accepted;
+      accepted_c.add(1);
+    } else {
+      ++outcome.rejected;
+      rejected_c.add(1);
+      switch (reason) {
+        case RejectReason::kMalformed: malformed_c.add(1); break;
+        case RejectReason::kWrongRound: wrong_round_c.add(1); break;
+        case RejectReason::kDuplicate: duplicate_c.add(1); break;
+        case RejectReason::kZeroExamples: zero_examples_c.add(1); break;
+        case RejectReason::kShapeMismatch: shape_c.add(1); break;
+        case RejectReason::kNonFinite: non_finite_c.add(1); break;
+        case RejectReason::kNormTooLarge: norm_c.add(1); break;
+        case RejectReason::kAccepted: break;
+      }
+    }
+  }
+  return outcome;
+}
+
+RoundOutcome Server::finish_round(std::span<const ClientUpdateMessage> updates,
+                                  index_t min_valid) {
+  static obs::Counter& skipped = obs::counter("fl.rounds_skipped");
+  RoundOutcome outcome = validate_updates(updates);
+  if (outcome.accepted < min_valid) {
+    // Thrown before the model is touched: abort is side-effect free here and
+    // the round engine's rollback only has to undo subclass bookkeeping.
+    throw QuorumError("round " + std::to_string(round_) + ": " +
+                      std::to_string(outcome.accepted) + " valid updates < " +
+                      std::to_string(min_valid) + " required for quorum");
+  }
+  if (outcome.accepted == 0) {
+    // Nothing to aggregate; skip the SGD step instead of dividing by a zero
+    // example count, but still advance the protocol round.
+    skipped.add(1);
+    ++round_;
+    return outcome;
+  }
+  // Common case first: everything accepted aggregates straight off the input
+  // span (no copies on the honest path).
+  std::vector<tensor::Tensor> average;
+  if (outcome.rejected == 0) {
+    average = fedavg(updates);
+  } else {
+    std::vector<ClientUpdateMessage> kept;
+    kept.reserve(outcome.accepted);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (outcome.reasons[i] == RejectReason::kAccepted) {
+        kept.push_back(updates[i]);
+      }
+    }
+    average = fedavg(kept);
+  }
   auto params = model_->parameters();
   OASIS_CHECK_MSG(average.size() == params.size(),
                   "aggregated " << average.size() << " tensors for "
@@ -34,6 +156,8 @@ void Server::finish_round(std::span<const ClientUpdateMessage> updates) {
     params[i]->value.add_scaled_(average[i], -learning_rate_);
   }
   ++round_;
+  outcome.applied = true;
+  return outcome;
 }
 
 MaliciousServer::MaliciousServer(std::unique_ptr<nn::Sequential> global_model,
@@ -52,10 +176,10 @@ GlobalModelMessage MaliciousServer::begin_round() {
   return Server::begin_round();
 }
 
-void MaliciousServer::finish_round(
-    std::span<const ClientUpdateMessage> updates) {
+RoundOutcome MaliciousServer::finish_round(
+    std::span<const ClientUpdateMessage> updates, index_t min_valid) {
   captured_.insert(captured_.end(), updates.begin(), updates.end());
-  Server::finish_round(updates);
+  return Server::finish_round(updates, min_valid);
 }
 
 }  // namespace oasis::fl

@@ -1,5 +1,14 @@
 // FL servers: honest FedAvg coordinator and the dishonest variant the
 // paper's threat model assumes.
+//
+// finish_round() runs every incoming ClientUpdateMessage through a
+// validation pipeline before any of it can touch the global model:
+// structural deserialization checks (SerializationError caught at the
+// boundary), protocol checks (round id, duplicate client ids, zero example
+// counts), and numeric plausibility screens (NaN/Inf, gradient-norm band —
+// the server-side detectability angle of Carletti et al.). Rejected updates
+// are tallied per reason through oasis::obs counters and excluded from
+// FedAvg; the model advances over the valid subset only.
 #pragma once
 
 #include <functional>
@@ -13,8 +22,41 @@
 
 namespace oasis::fl {
 
+/// Why an update was excluded from aggregation (kAccepted = it was not).
+enum class RejectReason : std::uint8_t {
+  kAccepted = 0,
+  kMalformed,     // gradients failed to deserialize (truncation, bit flips)
+  kWrongRound,    // stale or replayed round id
+  kDuplicate,     // a second update from the same client this round
+  kZeroExamples,  // FedAvg weight would be zero
+  kShapeMismatch, // tensor count/shapes differ from the global model's
+  kNonFinite,     // NaN/Inf anywhere in the gradients
+  kNormTooLarge,  // gradient L2 norm outside the configured band
+};
+
+const char* to_string(RejectReason reason);
+
+/// Which screens finish_round() applies. Defaults keep every structural and
+/// protocol check on; the norm screen is opt-in because legitimate workloads
+/// (e.g. secure-aggregation masked updates, which look like white noise)
+/// have no universal norm band.
+struct ValidationConfig {
+  bool check_round_id = true;
+  bool check_duplicates = true;
+  bool check_finite = true;
+  real max_grad_norm = 0.0;  // 0 disables the norm screen
+};
+
+/// What finish_round() did with one round's updates.
+struct RoundOutcome {
+  index_t accepted = 0;
+  index_t rejected = 0;
+  bool applied = false;                // global model was advanced
+  std::vector<RejectReason> reasons;   // one per input update, input order
+};
+
 /// Honest central server: owns the global model, dispatches it each round,
-/// aggregates client gradients with FedAvg and applies them with SGD
+/// aggregates valid client gradients with FedAvg and applies them with SGD
 /// (w ← w − η·Ḡ, paper Eq. 1).
 class Server {
  public:
@@ -31,15 +73,36 @@ class Server {
   /// behind the secure-aggregation circumvention of Pasquini et al. (2022).
   virtual GlobalModelMessage dispatch_to(std::uint64_t client_id);
 
-  /// Consumes the round's client updates and advances the global model.
-  virtual void finish_round(std::span<const ClientUpdateMessage> updates);
+  /// Validates the round's client updates, aggregates the accepted subset
+  /// with FedAvg, and advances the global model. Throws QuorumError — before
+  /// touching the model — when fewer than `min_valid` updates survive
+  /// validation; with zero valid updates (and min_valid == 0) the SGD step
+  /// is skipped rather than dividing by a zero example count.
+  virtual RoundOutcome finish_round(std::span<const ClientUpdateMessage> updates,
+                                    index_t min_valid);
+
+  /// Legacy entry point: no quorum requirement.
+  RoundOutcome finish_round(std::span<const ClientUpdateMessage> updates) {
+    return finish_round(updates, 0);
+  }
+
+  void set_validation(const ValidationConfig& config) { validation_ = config; }
+  [[nodiscard]] const ValidationConfig& validation() const {
+    return validation_;
+  }
 
   [[nodiscard]] std::uint64_t round() const { return round_; }
   nn::Sequential& global_model() { return *model_; }
 
  protected:
+  /// The validation pipeline: per-update accept/reject with obs tallies
+  /// (fl.validate.accepted / fl.validate.reject.<reason>).
+  [[nodiscard]] RoundOutcome validate_updates(
+      std::span<const ClientUpdateMessage> updates);
+
   std::unique_ptr<nn::Sequential> model_;
   real learning_rate_;
+  ValidationConfig validation_;
   std::uint64_t round_ = 0;
   GlobalModelMessage current_dispatch_;  // built by begin_round()
 };
@@ -61,7 +124,9 @@ class MaliciousServer : public Server {
                   real learning_rate, ModelManipulator manipulator);
 
   GlobalModelMessage begin_round() override;
-  void finish_round(std::span<const ClientUpdateMessage> updates) override;
+  using Server::finish_round;
+  RoundOutcome finish_round(std::span<const ClientUpdateMessage> updates,
+                            index_t min_valid) override;
 
   /// All updates captured so far (most recent round last).
   [[nodiscard]] const std::vector<ClientUpdateMessage>& captured() const {

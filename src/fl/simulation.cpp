@@ -1,5 +1,9 @@
 #include "fl/simulation.h"
 
+#include <cmath>
+#include <unordered_set>
+
+#include "nn/model_io.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
 
@@ -14,10 +18,19 @@ Simulation::Simulation(std::unique_ptr<Server> server,
       rng_(config.seed) {
   OASIS_CHECK(server_ != nullptr);
   OASIS_CHECK_MSG(!clients_.empty(), "simulation needs at least one client");
-  for (const auto& c : clients_) OASIS_CHECK(c != nullptr);
+  std::unordered_set<std::uint64_t> ids;
+  for (const auto& c : clients_) {
+    OASIS_CHECK(c != nullptr);
+    OASIS_CHECK_MSG(ids.insert(c->id()).second,
+                    "duplicate client id " << c->id());
+  }
   OASIS_CHECK_MSG(config_.clients_per_round <= clients_.size(),
                   "M=" << config_.clients_per_round << " > N="
                        << clients_.size());
+  OASIS_CHECK_MSG(config_.max_attempts >= 1, "max_attempts must be >= 1");
+  OASIS_CHECK_MSG(
+      config_.quorum_fraction >= 0.0 && config_.quorum_fraction <= 1.0,
+      "quorum_fraction " << config_.quorum_fraction << " outside [0, 1]");
 }
 
 Client& Simulation::client(index_t i) {
@@ -31,10 +44,25 @@ std::vector<std::uint64_t> Simulation::run_round() {
   static obs::Counter& trained = obs::counter("fl.clients_trained");
   static obs::Counter& bytes_down = obs::counter("fl.bytes_dispatched");
   static obs::Counter& bytes_up = obs::counter("fl.bytes_uploaded");
+  static obs::Counter& dropouts = obs::counter("fl.fault.dropout");
+  static obs::Counter& stragglers = obs::counter("fl.fault.straggler");
+  static obs::Counter& corrupted = obs::counter("fl.fault.corrupt");
+  static obs::Counter& poisoned = obs::counter("fl.fault.poison");
+  static obs::Counter& duplicates = obs::counter("fl.fault.duplicate");
+  static obs::Counter& timeouts = obs::counter("fl.timeouts");
+  static obs::Counter& retries = obs::counter("fl.retries");
+  static obs::Counter& lost_c = obs::counter("fl.clients_lost");
+  static obs::Counter& aborted = obs::counter("fl.rounds_aborted");
 
   const index_t m = config_.clients_per_round == 0 ? clients_.size()
                                                    : config_.clients_per_round;
   const auto selected = rng_.sample_without_replacement(clients_.size(), m);
+  // The fault plan's ticket is the engine's own monotone counter, NOT the
+  // protocol round id: an aborted round leaves the server's round id in
+  // place, and keying faults on it would replay the identical failure.
+  const std::uint64_t ticket = round_tickets_++;
+  const bool ft_active =
+      fault_plan_.active() || config_.quorum_fraction > 0.0;
 
   server_->begin_round();
   // Dispatch serially: a (possibly malicious) server may build per-client
@@ -51,27 +79,126 @@ std::vector<std::uint64_t> Simulation::run_round() {
       bytes_down.add(dispatched.back().model_state.size());
     }
   }
-  // Selected clients train concurrently — each touches only its own model
-  // replica, rng, and dataset shard. Updates land at their selection index,
-  // so finish_round() aggregates in the same fixed order as a serial run
-  // and FedAvg results are identical at any thread count.
-  std::vector<ClientUpdateMessage> updates(m);
-  runtime::parallel_for(0, m, 1, [&](index_t i0, index_t i1) {
-    for (index_t i = i0; i < i1; ++i) {
-      // kRoot: the span path must not depend on whether this chunk runs
-      // inline (threads=1) or on a pool worker.
-      const obs::ScopedTimer client_span("fl.client_round",
-                                         obs::ScopedTimer::kRoot);
-      updates[i] = clients_[selected[i]]->handle_round(dispatched[i]);
+
+  // Collection: bounded attempts against per-client deadlines in virtual
+  // time. Faults are decided serially (pure functions of the plan), only the
+  // training fans out — each responder touches its own model replica, rng,
+  // and dataset shard, and updates land at a fixed slot, so collection order
+  // (and therefore aggregation) is identical at any thread count.
+  struct PendingReply {
+    index_t sel = 0;  // index into selected/dispatched
+    ClientFault fault;
+  };
+  std::vector<index_t> pending(m);
+  for (index_t i = 0; i < m; ++i) pending[i] = i;
+  std::vector<ClientUpdateMessage> collected;
+  collected.reserve(m);
+  for (index_t attempt = 0;
+       attempt < config_.max_attempts && !pending.empty(); ++attempt) {
+    if (attempt > 0) {
+      clock_.advance(attempt * config_.retry_backoff_ticks);
+      retries.add(pending.size());
     }
-  });
-  for (const auto& u : updates) bytes_up.add(u.gradients.size());
+    const auto t0 = clock_.now();
+    const auto deadline = t0 + config_.deadline_ticks;
+
+    std::vector<PendingReply> responders;
+    std::vector<index_t> still_pending;
+    runtime::VirtualClock::ticks last_arrival = t0;
+    for (const auto i : pending) {
+      PendingReply r;
+      r.sel = i;
+      r.fault = fault_plan_.decide(ticket, attempt, ids[i]);
+      if (r.fault.kind == FaultKind::kDropout) {
+        dropouts.add(1);
+        still_pending.push_back(i);
+        continue;
+      }
+      const auto arrival =
+          t0 + config_.base_latency_ticks + r.fault.delay_ticks;
+      if (r.fault.kind == FaultKind::kStraggler) stragglers.add(1);
+      if (arrival > deadline) {
+        timeouts.add(1);
+        still_pending.push_back(i);
+        continue;
+      }
+      if (arrival > last_arrival) last_arrival = arrival;
+      responders.push_back(r);
+    }
+
+    std::vector<ClientUpdateMessage> updates(responders.size());
+    runtime::parallel_for(0, responders.size(), 1, [&](index_t i0,
+                                                       index_t i1) {
+      for (index_t i = i0; i < i1; ++i) {
+        // kRoot: the span path must not depend on whether this chunk runs
+        // inline (threads=1) or on a pool worker.
+        const obs::ScopedTimer client_span("fl.client_round",
+                                           obs::ScopedTimer::kRoot);
+        const index_t sel = responders[i].sel;
+        updates[i] = clients_[selected[sel]]->handle_round(dispatched[sel]);
+      }
+    });
+    trained.add(responders.size());
+
+    // Deliver serially in responder order: wire faults mutate the payload
+    // between "upload" and "receipt", duplicates arrive back to back.
+    for (index_t i = 0; i < responders.size(); ++i) {
+      const auto& r = responders[i];
+      if (r.fault.kind == FaultKind::kCorrupt) corrupted.add(1);
+      if (r.fault.kind == FaultKind::kPoison) poisoned.add(1);
+      fault_plan_.apply(updates[i], r.fault, ticket, attempt, ids[r.sel]);
+      bytes_up.add(updates[i].gradients.size());
+      collected.push_back(std::move(updates[i]));
+      if (r.fault.kind == FaultKind::kCorrupt &&
+          r.fault.corruption == CorruptionKind::kDuplicate) {
+        duplicates.add(1);
+        collected.push_back(collected.back());
+      }
+    }
+
+    pending = std::move(still_pending);
+    // Time passes: to the last arrival when everyone replied, else the full
+    // deadline we waited out before giving up on the stragglers.
+    clock_.advance_to(pending.empty() ? last_arrival : deadline);
+  }
+
+  if (!pending.empty()) {
+    lost_c.add(pending.size());
+    if (config_.fail_on_lost) {
+      throw TimeoutError("round " + std::to_string(server_->round()) + ": " +
+                         std::to_string(pending.size()) + " of " +
+                         std::to_string(m) + " clients lost after " +
+                         std::to_string(config_.max_attempts) +
+                         " attempts (" + clock_.to_string() + ")");
+    }
+  }
+
+  index_t needed = 0;
+  if (config_.quorum_fraction > 0.0) {
+    needed = static_cast<index_t>(
+        std::ceil(config_.quorum_fraction * static_cast<real>(m)));
+    if (needed < 1) needed = 1;
+  }
+
+  // Snapshot only when the engine can actually abort or drop updates — the
+  // honest path stays copy-free.
+  tensor::ByteBuffer snapshot;
+  if (ft_active) snapshot = nn::serialize_state(server_->global_model());
   {
     const obs::ScopedTimer agg_span("aggregate");
-    server_->finish_round(updates);
+    try {
+      server_->finish_round(collected, needed);
+    } catch (const QuorumError&) {
+      // finish_round throws before touching the model, but a subclass may
+      // have partially applied state — restore the pre-round snapshot so the
+      // abort is bit-exact regardless.
+      nn::deserialize_state(server_->global_model(), snapshot);
+      aborted.add(1);
+      throw;
+    }
   }
   rounds.add(1);
-  trained.add(m);
+  obs::gauge("fl.clock_ticks").set(static_cast<double>(clock_.now()));
   return ids;
 }
 

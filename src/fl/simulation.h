@@ -1,5 +1,14 @@
 // Round orchestration: wires server and clients into the iterative protocol
 // of Section 2 (random M-of-N client selection per round).
+//
+// The round engine is fault-tolerant: collection runs against per-client
+// deadlines on a deterministic virtual clock with bounded retry/backoff, an
+// optional quorum fraction decides whether a round may commit, and rounds
+// that miss quorum abort with QuorumError after rolling the global model
+// back bit-exactly. Faults (dropout, stragglers, wire corruption, numeric
+// poison) are injected between dispatch and collection by a seeded
+// fl::FaultPlan — see fault.h. With no plan and default config the engine
+// reduces exactly to the legacy always-succeeds protocol.
 #pragma once
 
 #include <functional>
@@ -7,7 +16,9 @@
 #include <vector>
 
 #include "fl/client.h"
+#include "fl/fault.h"
 #include "fl/server.h"
+#include "runtime/virtual_clock.h"
 
 namespace oasis::fl {
 
@@ -15,6 +26,25 @@ struct SimulationConfig {
   /// Clients selected per round (M ≤ N). 0 means "all clients".
   index_t clients_per_round = 0;
   std::uint64_t seed = 7;
+
+  // --- Fault-tolerant collection semantics (virtual-clock time) ---
+  /// Fraction of the M selected clients that must survive validation for
+  /// the round to commit; ceil(quorum_fraction·M), at least 1 when > 0.
+  /// 0 disables the quorum (a round with zero valid updates skips its SGD
+  /// step instead of aborting).
+  real quorum_fraction = 0.0;
+  /// Collection attempts per client (1 initial + retries). Must be ≥ 1.
+  index_t max_attempts = 3;
+  /// Per-attempt reply deadline: replies arriving later are timeouts.
+  runtime::VirtualClock::ticks deadline_ticks = 500;
+  /// Extra wait inserted before each retry attempt (linear backoff:
+  /// attempt k waits k·retry_backoff_ticks on top of the deadline).
+  runtime::VirtualClock::ticks retry_backoff_ticks = 100;
+  /// Nominal round-trip latency of a healthy reply.
+  runtime::VirtualClock::ticks base_latency_ticks = 10;
+  /// Strict mode: throw TimeoutError when any selected client is still
+  /// missing after the last attempt (before quorum/aggregation run).
+  bool fail_on_lost = false;
 };
 
 /// In-process federation of one server and N clients.
@@ -25,11 +55,22 @@ class Simulation {
              SimulationConfig config);
 
   /// Runs one protocol round; returns the ids of participating clients.
+  /// Throws QuorumError (model rolled back bit-exactly) when fewer valid
+  /// updates than the configured quorum survive collection + validation,
+  /// and TimeoutError in strict mode when clients are lost.
   std::vector<std::uint64_t> run_round();
 
   /// Runs `rounds` rounds, invoking `on_round` (if set) after each.
   void run(index_t rounds,
            const std::function<void(index_t round)>& on_round = {});
+
+  /// Installs the seeded fault schedule applied between dispatch and
+  /// collection. Replace with a default-constructed plan to disable.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// The engine's deterministic clock (advanced only by run_round).
+  [[nodiscard]] const runtime::VirtualClock& clock() const { return clock_; }
 
   Server& server() { return *server_; }
   [[nodiscard]] index_t num_clients() const { return clients_.size(); }
@@ -40,6 +81,11 @@ class Simulation {
   std::vector<std::unique_ptr<Client>> clients_;
   SimulationConfig config_;
   common::Rng rng_;
+  FaultPlan fault_plan_;
+  runtime::VirtualClock clock_;
+  /// Monotone count of rounds STARTED (aborted rounds included) — the fault
+  /// plan's ticket, so a retried protocol round sees fresh faults.
+  std::uint64_t round_tickets_ = 0;
 };
 
 }  // namespace oasis::fl

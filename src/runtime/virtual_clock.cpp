@@ -1,0 +1,9 @@
+#include "runtime/virtual_clock.h"
+
+namespace oasis::runtime {
+
+std::string VirtualClock::to_string() const {
+  return "t=" + std::to_string(now_);
+}
+
+}  // namespace oasis::runtime

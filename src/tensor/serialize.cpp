@@ -1,6 +1,8 @@
 #include "tensor/serialize.h"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace oasis::tensor {
 namespace {
@@ -11,13 +13,44 @@ void write_u64(std::uint64_t v, ByteBuffer& out) {
 }
 
 std::uint64_t read_u64(const ByteBuffer& in, std::size_t& offset) {
-  if (offset + sizeof(std::uint64_t) > in.size()) {
+  if (offset > in.size() || in.size() - offset < sizeof(std::uint64_t)) {
     throw SerializationError("truncated buffer reading u64");
   }
   std::uint64_t v = 0;
   std::memcpy(&v, in.data() + offset, sizeof(v));
   offset += sizeof(v);
   return v;
+}
+
+/// Reads a tensor header (rank + extents) and returns its shape together
+/// with the validated element count. Every check happens BEFORE allocation
+/// and is written so no intermediate product/sum can wrap: a hostile header
+/// claiming 2^62 × 2^62 elements throws instead of overflowing to a small
+/// count that would desynchronise the read cursor.
+Shape read_header(const ByteBuffer& in, std::size_t& offset,
+                  index_t& out_numel) {
+  const auto rank = read_u64(in, offset);
+  if (rank > 8) {
+    throw SerializationError("implausible tensor rank " +
+                             std::to_string(rank));
+  }
+  Shape shape(rank);
+  index_t n = 1;
+  for (auto& d : shape) {
+    d = read_u64(in, offset);
+    if (d != 0 && n > std::numeric_limits<index_t>::max() / d) {
+      throw SerializationError("tensor extent product overflows");
+    }
+    n *= d;
+  }
+  // Overflow-safe payload bound: compare element count against the bytes
+  // actually remaining rather than forming n * sizeof(real).
+  if (offset > in.size() ||
+      n > (in.size() - offset) / sizeof(real)) {
+    throw SerializationError("truncated buffer reading tensor payload");
+  }
+  out_numel = n;
+  return shape;
 }
 
 }  // namespace
@@ -31,17 +64,8 @@ void write_tensor(const Tensor& t, ByteBuffer& out) {
 }
 
 Tensor read_tensor(const ByteBuffer& in, std::size_t& offset) {
-  const auto rank = read_u64(in, offset);
-  if (rank > 8) {
-    throw SerializationError("implausible tensor rank " +
-                             std::to_string(rank));
-  }
-  Shape shape(rank);
-  for (auto& d : shape) d = read_u64(in, offset);
-  const index_t n = numel(shape);
-  if (offset + n * sizeof(real) > in.size()) {
-    throw SerializationError("truncated buffer reading tensor payload");
-  }
+  index_t n = 0;
+  Shape shape = read_header(in, offset, n);
   std::vector<real> values(n);
   std::memcpy(values.data(), in.data() + offset, n * sizeof(real));
   offset += n * sizeof(real);
@@ -71,6 +95,43 @@ std::vector<Tensor> deserialize_tensors(const ByteBuffer& in) {
     throw SerializationError("trailing bytes after tensor list");
   }
   return tensors;
+}
+
+TensorScan scan_tensors(const ByteBuffer& in) {
+  std::size_t offset = 0;
+  const auto count = read_u64(in, offset);
+  if (count > (1u << 20)) {
+    throw SerializationError("implausible tensor count " +
+                             std::to_string(count));
+  }
+  TensorScan scan;
+  scan.tensors = count;
+  scan.shapes.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    index_t n = 0;
+    scan.shapes.push_back(read_header(in, offset, n));
+    // Stream the values through a small stack buffer: the payload bytes are
+    // not guaranteed to be double-aligned inside the message.
+    constexpr index_t kChunk = 128;
+    real buf[kChunk];
+    index_t done = 0;
+    while (done < n) {
+      const index_t take = std::min(kChunk, n - done);
+      std::memcpy(buf, in.data() + offset + done * sizeof(real),
+                  take * sizeof(real));
+      for (index_t k = 0; k < take; ++k) {
+        if (!std::isfinite(buf[k])) scan.all_finite = false;
+        scan.sum_squares += buf[k] * buf[k];
+      }
+      done += take;
+    }
+    offset += n * sizeof(real);
+    scan.values += n;
+  }
+  if (offset != in.size()) {
+    throw SerializationError("trailing bytes after tensor list");
+  }
+  return scan;
 }
 
 }  // namespace oasis::tensor

@@ -5,6 +5,13 @@
 // tensor: u64 rank, u64 extents..., f64 values... (little-endian host order —
 // the simulator runs in one process, so no byte swapping is performed, but
 // the format is versioned for forward compatibility).
+//
+// Deserialization is hardened against hostile payloads: every length/extent
+// is bounds-checked (overflow-safely) against the bytes actually present
+// BEFORE any allocation, so a truncated, bit-flipped, or oversized buffer
+// throws SerializationError instead of reading past the end or attempting a
+// multi-exabyte allocation. The FL server's update-validation pipeline relies
+// on this boundary.
 #pragma once
 
 #include <cstdint>
@@ -28,5 +35,21 @@ ByteBuffer serialize_tensors(const std::vector<Tensor>& tensors);
 
 /// Inverse of serialize_tensors. Throws SerializationError on malformed input.
 std::vector<Tensor> deserialize_tensors(const ByteBuffer& in);
+
+/// Summary of a serialized tensor list produced without materialising any
+/// tensor (no allocation proportional to the payload). Used by the FL
+/// server's cheap screening pass over client updates.
+struct TensorScan {
+  std::uint64_t tensors = 0;    // list length from the count header
+  std::uint64_t values = 0;     // total scalar count across all tensors
+  double sum_squares = 0.0;     // Σ v²  (may be inf when values overflow)
+  bool all_finite = true;       // no NaN/Inf anywhere in the payload
+  std::vector<Shape> shapes;    // per-tensor shapes, list order
+};
+
+/// Walks a serialize_tensors() buffer, validating the same structural
+/// invariants as deserialize_tensors (throws SerializationError on malformed
+/// input), and returns value statistics for plausibility screening.
+TensorScan scan_tensors(const ByteBuffer& in);
 
 }  // namespace oasis::tensor

@@ -1,0 +1,308 @@
+// Chaos suite: randomized fault-injection runs against the fault-tolerant
+// round engine (ctest label "chaos", also exercised under ASan/UBSan and
+// TSan by ci.sh).
+//
+// Properties pinned here:
+//   * no FaultPlan can crash or hang the simulation — the only escapes are
+//     the typed QuorumError / TimeoutError, and global model parameters stay
+//     finite through arbitrary corruption and poisoning;
+//   * chaos runs are deterministic: identical final model bytes and
+//     identical fl.* obs counters at 1 vs 8 threads for the same plan;
+//   * quorum-met rounds commit, quorum-missed rounds abort with QuorumError
+//     and roll the global model back bit-exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/fault.h"
+#include "fl/server.h"
+#include "fl/simulation.h"
+#include "nn/model_io.h"
+#include "nn/models.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace oasis::fl {
+namespace {
+
+data::InMemoryDataset tiny_dataset(index_t per_class, std::uint64_t seed) {
+  data::SynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = per_class;
+  cfg.test_per_class = 0;
+  cfg.seed = seed;
+  return data::generate(cfg).train;
+}
+
+ModelFactory tiny_factory(std::uint64_t seed) {
+  return [seed] {
+    common::Rng rng(seed);
+    return nn::make_mlp({3, 8, 8}, {16}, 4, rng);
+  };
+}
+
+std::unique_ptr<Simulation> make_federation(const data::InMemoryDataset& data,
+                                            index_t n_clients,
+                                            SimulationConfig config) {
+  const auto shards = data.shard(n_clients);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (index_t i = 0; i < n_clients; ++i) {
+    clients.push_back(std::make_unique<Client>(
+        i, shards[i], tiny_factory(40), /*batch_size=*/3,
+        std::make_shared<IdentityPreprocessor>(), common::Rng(500 + i)));
+  }
+  auto server = std::make_unique<Server>(tiny_factory(40)(), 0.1);
+  // The norm screen is what keeps norm-scaled poison (finite but huge) out
+  // of the model; honest gradients in this federation have norm ≪ 1e4.
+  ValidationConfig vc;
+  vc.max_grad_norm = 1e4;
+  server->set_validation(vc);
+  return std::make_unique<Simulation>(std::move(server), std::move(clients),
+                                      config);
+}
+
+/// The acceptance-criteria fault mix: dropout 0.3, corruption 0.1,
+/// straggler 0.2 (some delays past the deadline), quorum 0.5.
+FaultConfig acceptance_faults(std::uint64_t seed) {
+  FaultConfig fc;
+  fc.dropout_prob = 0.3;
+  fc.corrupt_prob = 0.1;
+  fc.straggler_prob = 0.2;
+  fc.poison_prob = 0.1;
+  fc.straggler_min_ticks = 50;
+  fc.straggler_max_ticks = 900;  // deadline is 500: some delays time out
+  fc.seed = seed;
+  return fc;
+}
+
+SimulationConfig acceptance_config(real quorum) {
+  SimulationConfig sc;
+  sc.clients_per_round = 4;
+  sc.seed = 11;
+  sc.quorum_fraction = quorum;
+  sc.max_attempts = 3;
+  sc.deadline_ticks = 500;
+  sc.retry_backoff_ticks = 100;
+  sc.base_latency_ticks = 10;
+  return sc;
+}
+
+struct ChaosResult {
+  tensor::ByteBuffer final_state;
+  std::map<std::string, std::uint64_t> fl_counters;
+  index_t aborts = 0;
+  index_t completed = 0;
+};
+
+ChaosResult run_chaos(const data::InMemoryDataset& data, index_t n_clients,
+                      SimulationConfig sc, const FaultConfig& fc,
+                      index_t rounds) {
+  obs::Registry::global().reset();
+  auto sim = make_federation(data, n_clients, sc);
+  sim->set_fault_plan(FaultPlan(fc));
+  ChaosResult result;
+  for (index_t r = 0; r < rounds; ++r) {
+    try {
+      sim->run_round();
+      ++result.completed;
+    } catch (const QuorumError&) {
+      ++result.aborts;
+    }
+  }
+  result.final_state = nn::serialize_state(sim->server().global_model());
+  for (const auto& [name, value] : obs::Registry::global().counters()) {
+    if (name.rfind("fl.", 0) == 0) result.fl_counters[name] = value;
+  }
+  return result;
+}
+
+bool state_is_finite(const tensor::ByteBuffer& state) {
+  const auto tensors = tensor::deserialize_tensors(state);
+  for (const auto& t : tensors) {
+    for (const auto v : t.data()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(ChaosTest, RandomizedPlansNeverCrashAndModelStaysFinite) {
+  const auto data = tiny_dataset(6, 77);
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    common::Rng meta(seed * 7919 + 13);
+    FaultConfig fc;
+    fc.dropout_prob = meta.uniform(0.0, 0.25);
+    fc.straggler_prob = meta.uniform(0.0, 0.25);
+    fc.corrupt_prob = meta.uniform(0.0, 0.25);
+    fc.poison_prob = meta.uniform(0.0, 0.25);
+    fc.straggler_min_ticks = 10;
+    fc.straggler_max_ticks =
+        static_cast<std::uint64_t>(meta.uniform_int(20, 900));
+    fc.seed = seed;
+
+    SimulationConfig sc;
+    sc.clients_per_round = 0;  // all 3 clients
+    sc.seed = seed + 1;
+    sc.quorum_fraction = meta.bernoulli(0.5) ? 0.5 : 0.0;
+    sc.max_attempts = static_cast<index_t>(meta.uniform_int(1, 3));
+    sc.deadline_ticks = 500;
+
+    const ChaosResult r = run_chaos(data, /*n_clients=*/3, sc, fc,
+                                    /*rounds=*/3);
+    EXPECT_TRUE(state_is_finite(r.final_state)) << "seed " << seed;
+    EXPECT_EQ(r.aborts + r.completed, 3u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, SeededChaosRunIsDeterministicAcrossThreadCounts) {
+  const auto data = tiny_dataset(8, 88);
+  const FaultConfig fc = acceptance_faults(123);
+  const SimulationConfig sc = acceptance_config(0.5);
+
+  runtime::set_num_threads(1);
+  const ChaosResult serial = run_chaos(data, 8, sc, fc, /*rounds=*/20);
+  runtime::set_num_threads(8);
+  const ChaosResult parallel = run_chaos(data, 8, sc, fc, /*rounds=*/20);
+  runtime::set_num_threads(0);
+
+  // Identical final model hash (byte identity is stronger) and identical
+  // per-fault-type rejection counters — the acceptance criterion.
+  EXPECT_EQ(serial.final_state, parallel.final_state);
+  EXPECT_EQ(serial.fl_counters, parallel.fl_counters);
+  EXPECT_EQ(serial.aborts, parallel.aborts);
+  // The run must actually have exercised the fault machinery.
+  EXPECT_GT(serial.fl_counters.at("fl.fault.dropout"), 0u);
+  EXPECT_GT(serial.fl_counters.at("fl.validate.rejected"), 0u);
+  EXPECT_GT(serial.completed, 0u);
+}
+
+TEST(ChaosTest, UnmetQuorumAbortsWithTypedErrorAndRollsBackBitExactly) {
+  const auto data = tiny_dataset(8, 88);
+  SimulationConfig sc = acceptance_config(1.0);  // every client must be valid
+  auto sim = make_federation(data, 8, sc);
+  sim->set_fault_plan(FaultPlan(acceptance_faults(123)));
+
+  index_t aborts = 0;
+  for (index_t r = 0; r < 20; ++r) {
+    const auto before = nn::serialize_state(sim->server().global_model());
+    const auto round_before = sim->server().round();
+    try {
+      sim->run_round();
+    } catch (const QuorumError&) {
+      ++aborts;
+      const auto after = nn::serialize_state(sim->server().global_model());
+      EXPECT_EQ(before, after) << "abort must roll back bit-exactly";
+      EXPECT_EQ(sim->server().round(), round_before)
+          << "aborted round must not advance the protocol round";
+    }
+  }
+  EXPECT_GT(aborts, 0u) << "quorum 1.0 under this fault mix must abort";
+  EXPECT_EQ(obs::counter("fl.rounds_aborted").value() > 0, true);
+}
+
+TEST(ChaosTest, QuorumMetRoundsCommitAndTrainingProgresses) {
+  const auto data = tiny_dataset(8, 88);
+  auto sim = make_federation(data, 8, acceptance_config(0.5));
+  sim->set_fault_plan(FaultPlan(acceptance_faults(123)));
+  const auto initial = nn::serialize_state(sim->server().global_model());
+
+  obs::Registry::global().reset();
+  index_t committed = 0;
+  for (index_t r = 0; r < 20; ++r) {
+    try {
+      sim->run_round();
+      ++committed;
+    } catch (const QuorumError&) {
+    }
+  }
+  EXPECT_GT(committed, 0u);
+  EXPECT_EQ(obs::counter("fl.rounds").value(), committed);
+  EXPECT_NE(nn::serialize_state(sim->server().global_model()), initial)
+      << "committed rounds must advance the model";
+  EXPECT_GT(sim->clock().now(), 0u);
+}
+
+TEST(ChaosTest, StrictModeRaisesTimeoutErrorWhenClientsAreLost) {
+  const auto data = tiny_dataset(6, 77);
+  SimulationConfig sc;
+  sc.seed = 5;
+  sc.max_attempts = 2;
+  sc.fail_on_lost = true;
+  auto sim = make_federation(data, 3, sc);
+  FaultConfig fc;
+  fc.dropout_prob = 1.0;
+  fc.seed = 9;
+  sim->set_fault_plan(FaultPlan(fc));
+  EXPECT_THROW(sim->run_round(), TimeoutError);
+}
+
+TEST(ChaosTest, VirtualClockAdvancesWithDeadlinesAndBackoff) {
+  const auto data = tiny_dataset(6, 77);
+  // Fault-free: each round costs exactly the base round-trip latency.
+  SimulationConfig sc;
+  sc.seed = 5;
+  sc.base_latency_ticks = 10;
+  {
+    auto sim = make_federation(data, 3, sc);
+    sim->run(4);
+    EXPECT_EQ(sim->clock().now(), 4u * 10u);
+  }
+  // All-dropout: every attempt waits out the full deadline plus linear
+  // backoff before the next try — per round: 500 + (1·100 + 500) = 1100.
+  sc.max_attempts = 2;
+  sc.deadline_ticks = 500;
+  sc.retry_backoff_ticks = 100;
+  {
+    auto sim = make_federation(data, 3, sc);
+    FaultConfig fc;
+    fc.dropout_prob = 1.0;
+    fc.seed = 9;
+    sim->set_fault_plan(FaultPlan(fc));
+    sim->run_round();
+    EXPECT_EQ(sim->clock().now(), 1100u);
+  }
+}
+
+TEST(ChaosTest, FaultPlanDecisionsArePureFunctionsOfTheTuple) {
+  const FaultPlan plan(acceptance_faults(42));
+  // Same tuple twice, interleaved with other queries: identical decisions.
+  for (std::uint64_t ticket = 0; ticket < 8; ++ticket) {
+    for (std::uint64_t client = 0; client < 8; ++client) {
+      const ClientFault a = plan.decide(ticket, 0, client);
+      (void)plan.decide(ticket + 1, 1, client + 3);  // unrelated query
+      const ClientFault b = plan.decide(ticket, 0, client);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.delay_ticks, b.delay_ticks);
+      EXPECT_EQ(static_cast<int>(a.corruption), static_cast<int>(b.corruption));
+      EXPECT_EQ(static_cast<int>(a.poison), static_cast<int>(b.poison));
+    }
+  }
+  // Inert plans decide kNone everywhere.
+  const FaultPlan inert;
+  EXPECT_FALSE(inert.active());
+  EXPECT_EQ(inert.decide(3, 1, 2).kind, FaultKind::kNone);
+}
+
+TEST(ChaosTest, FaultConfigValidation) {
+  FaultConfig fc;
+  fc.dropout_prob = 0.6;
+  fc.corrupt_prob = 0.6;  // sums past 1
+  EXPECT_THROW(FaultPlan{fc}, ConfigError);
+  fc = FaultConfig{};
+  fc.dropout_prob = -0.1;
+  EXPECT_THROW(FaultPlan{fc}, ConfigError);
+  fc = FaultConfig{};
+  fc.straggler_prob = 0.2;
+  fc.straggler_min_ticks = 100;
+  fc.straggler_max_ticks = 10;  // inverted
+  EXPECT_THROW(FaultPlan{fc}, ConfigError);
+}
+
+}  // namespace
+}  // namespace oasis::fl

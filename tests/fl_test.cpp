@@ -2,6 +2,7 @@
 // gradient correctness, honest/malicious server behaviour, full rounds.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "data/synthetic.h"
@@ -314,6 +315,121 @@ TEST(Client, MultiStepFederationConverges) {
     if (r >= 35) late += avg;
   }
   EXPECT_LT(late, early * 0.8);
+}
+
+ClientUpdateMessage fake_update(std::uint64_t client_id, real value,
+                                std::uint64_t round = 0) {
+  auto ref = tiny_factory(21)();
+  std::vector<tensor::Tensor> grads;
+  for (auto* p : ref->parameters()) {
+    grads.push_back(tensor::Tensor::full(p->value.shape(), value));
+  }
+  ClientUpdateMessage u;
+  u.round = round;
+  u.client_id = client_id;
+  u.num_examples = 1;
+  u.gradients = tensor::serialize_tensors(grads);
+  return u;
+}
+
+TEST(Aggregation, EmptyUpdateSetRaisesTypedError) {
+  const std::vector<ClientUpdateMessage> none;
+  EXPECT_THROW(fedavg(none), AggregationError);
+  EXPECT_THROW(fedavg_unweighted(none), AggregationError);
+}
+
+TEST(Validation, RejectsEachFaultClassAndAggregatesTheRest) {
+  auto model = tiny_factory(21)();
+  const auto before = nn::snapshot_state(*model);
+  Server server(std::move(model), /*learning_rate=*/0.5);
+  ValidationConfig vc;
+  vc.max_grad_norm = 100.0;
+  server.set_validation(vc);
+
+  std::vector<ClientUpdateMessage> updates;
+  updates.push_back(fake_update(0, 1.0));            // the only valid one
+  updates.push_back(fake_update(1, 1.0, /*round=*/5));  // stale round id
+  updates.push_back(fake_update(0, 1.0));            // duplicate client 0
+  updates.push_back(fake_update(2, 1.0));
+  updates.back().gradients.resize(updates.back().gradients.size() / 2 + 3);
+  updates.push_back(
+      fake_update(3, std::numeric_limits<real>::quiet_NaN()));
+  updates.push_back(fake_update(4, 1e9));            // norm outside the band
+  updates.push_back(fake_update(5, 1.0));
+  updates.back().num_examples = 0;
+  updates.push_back(fake_update(6, 1.0));
+  updates.back().gradients =
+      tensor::serialize_tensors({tensor::Tensor({2}, {1.0, 2.0})});
+
+  const RoundOutcome outcome = server.finish_round(updates);
+  ASSERT_EQ(outcome.reasons.size(), 8u);
+  EXPECT_EQ(outcome.reasons[0], RejectReason::kAccepted);
+  EXPECT_EQ(outcome.reasons[1], RejectReason::kWrongRound);
+  EXPECT_EQ(outcome.reasons[2], RejectReason::kDuplicate);
+  EXPECT_EQ(outcome.reasons[3], RejectReason::kMalformed);
+  EXPECT_EQ(outcome.reasons[4], RejectReason::kNonFinite);
+  EXPECT_EQ(outcome.reasons[5], RejectReason::kNormTooLarge);
+  EXPECT_EQ(outcome.reasons[6], RejectReason::kZeroExamples);
+  EXPECT_EQ(outcome.reasons[7], RejectReason::kShapeMismatch);
+  EXPECT_EQ(outcome.accepted, 1u);
+  EXPECT_EQ(outcome.rejected, 7u);
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_EQ(server.round(), 1u);
+
+  // The model advanced by exactly the single valid all-ones update.
+  const auto after = nn::snapshot_state(server.global_model());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    tensor::Tensor expected = before[i];
+    expected += tensor::Tensor::full(before[i].shape(), -0.5);
+    EXPECT_TRUE(tensor::allclose(after[i], expected));
+  }
+}
+
+TEST(Validation, AllRejectedSkipsTheSgdStep) {
+  auto model = tiny_factory(21)();
+  const auto before = nn::snapshot_state(*model);
+  Server server(std::move(model), 0.5);
+  std::vector<ClientUpdateMessage> updates{fake_update(0, 1.0, /*round=*/9)};
+  const RoundOutcome outcome = server.finish_round(updates);
+  EXPECT_EQ(outcome.accepted, 0u);
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_EQ(server.round(), 1u);  // protocol still advances
+  const auto after = nn::snapshot_state(server.global_model());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(tensor::allclose(after[i], before[i]));
+  }
+  // Same for a fully empty round.
+  const std::vector<ClientUpdateMessage> none;
+  EXPECT_FALSE(server.finish_round(none).applied);
+}
+
+TEST(Validation, UnmetQuorumThrowsBeforeTouchingTheModel) {
+  auto model = tiny_factory(21)();
+  const auto before = nn::snapshot_state(*model);
+  Server server(std::move(model), 0.5);
+  std::vector<ClientUpdateMessage> updates{fake_update(0, 1.0)};
+  EXPECT_THROW(server.finish_round(updates, /*min_valid=*/2), QuorumError);
+  EXPECT_EQ(server.round(), 0u);
+  const auto after = nn::snapshot_state(server.global_model());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(tensor::allclose(after[i], before[i]));
+  }
+  // Quorum of 1 with one valid update commits.
+  EXPECT_TRUE(server.finish_round(updates, /*min_valid=*/1).applied);
+}
+
+TEST(Simulation, RejectsDuplicateClientIds) {
+  auto dataset = tiny_dataset(4, 4, 23);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(std::make_unique<Client>(
+        /*id=*/7, dataset, tiny_factory(61), 2,
+        std::make_shared<IdentityPreprocessor>(), common::Rng(1)));
+  }
+  auto server = std::make_unique<Server>(tiny_factory(61)(), 0.1);
+  EXPECT_THROW(
+      Simulation(std::move(server), std::move(clients), SimulationConfig{}),
+      Error);
 }
 
 TEST(Messages, MalformedModelPayloadThrows) {

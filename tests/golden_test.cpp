@@ -43,6 +43,10 @@ struct GoldenRound {
   double mean_psnr = 0.0;  // best-match PSNR mean over the victim batch
   std::uint64_t rtf_leaked = 0;  // obs counter attack.rtf.bins_leaked
   std::uint64_t rtf_total = 0;   // obs counter attack.rtf.bins_total
+  // Update-validation pipeline tallies: regressions that silently start
+  // rejecting (or waving through) updates fail the replay.
+  std::uint64_t validate_accepted = 0;   // fl.validate.accepted
+  std::uint64_t validate_rejected = 0;   // fl.validate.rejected
 };
 
 /// Runs THE seeded round: 1 victim client, malicious RTF server, undefended
@@ -105,6 +109,8 @@ GoldenRound run_golden_round() {
 
   out.rtf_leaked = obs::counter("attack.rtf.bins_leaked").value();
   out.rtf_total = obs::counter("attack.rtf.bins_total").value();
+  out.validate_accepted = obs::counter("fl.validate.accepted").value();
+  out.validate_rejected = obs::counter("fl.validate.rejected").value();
   return out;
 }
 
@@ -117,11 +123,15 @@ std::string format_fixture(const GoldenRound& g) {
                 "  \"grad_norm\": %.17g,\n"
                 "  \"mean_psnr\": %.17g,\n"
                 "  \"rtf_leaked\": %llu,\n"
-                "  \"rtf_total\": %llu\n"
+                "  \"rtf_total\": %llu,\n"
+                "  \"validate_accepted\": %llu,\n"
+                "  \"validate_rejected\": %llu\n"
                 "}\n",
                 g.loss, g.grad_norm, g.mean_psnr,
                 static_cast<unsigned long long>(g.rtf_leaked),
-                static_cast<unsigned long long>(g.rtf_total));
+                static_cast<unsigned long long>(g.rtf_total),
+                static_cast<unsigned long long>(g.validate_accepted),
+                static_cast<unsigned long long>(g.validate_rejected));
   return buf;
 }
 
@@ -166,6 +176,10 @@ TEST(GoldenRoundTest, MatchesCheckedInFixture) {
             static_cast<std::uint64_t>(fixture_number(text, "rtf_leaked")));
   EXPECT_EQ(g.rtf_total,
             static_cast<std::uint64_t>(fixture_number(text, "rtf_total")));
+  EXPECT_EQ(g.validate_accepted, static_cast<std::uint64_t>(
+                                     fixture_number(text, "validate_accepted")));
+  EXPECT_EQ(g.validate_rejected, static_cast<std::uint64_t>(
+                                     fixture_number(text, "validate_rejected")));
 
   // The leak counters are only meaningful if the attack actually ran.
   EXPECT_GT(g.rtf_total, 0u);
@@ -182,6 +196,8 @@ TEST(GoldenRoundTest, RoundIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial.mean_psnr, parallel.mean_psnr);
   EXPECT_EQ(serial.rtf_leaked, parallel.rtf_leaked);
   EXPECT_EQ(serial.rtf_total, parallel.rtf_total);
+  EXPECT_EQ(serial.validate_accepted, parallel.validate_accepted);
+  EXPECT_EQ(serial.validate_rejected, parallel.validate_rejected);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "tensor/ops.h"
@@ -246,6 +247,82 @@ TEST(Serialize, TrailingBytesThrow) {
   ByteBuffer buf = serialize_tensors({Tensor({2})});
   buf.push_back(0);
   EXPECT_THROW(deserialize_tensors(buf), SerializationError);
+}
+
+TEST(Serialize, TruncationSweepEveryByteOffsetThrows) {
+  // Malformed-payload regression: a "small model" of three mixed-rank
+  // tensors, truncated at EVERY byte offset, must throw SerializationError
+  // from both the deserializer and the scanner — never read past the buffer
+  // or attempt a hostile allocation.
+  common::Rng rng(9);
+  std::vector<Tensor> model;
+  model.push_back(Tensor::randn({4, 3}, rng));    // weight
+  model.push_back(Tensor::randn({4}, rng));       // bias
+  model.push_back(Tensor::randn({2, 4}, rng));    // head
+  const ByteBuffer full = serialize_tensors(model);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const ByteBuffer cut(full.begin(), full.begin() + len);
+    EXPECT_THROW(deserialize_tensors(cut), SerializationError) << len;
+    EXPECT_THROW(scan_tensors(cut), SerializationError) << len;
+  }
+  // The untruncated buffer still parses, so the sweep tested real prefixes.
+  EXPECT_EQ(deserialize_tensors(full).size(), 3u);
+}
+
+TEST(Serialize, OversizedExtentsThrowInsteadOfAllocating) {
+  // A header claiming 2^62 × 2^62 elements must be rejected by the
+  // overflow-safe bounds check, not wrap to a small count or reach the
+  // allocator.
+  auto put_u64 = [](ByteBuffer& b, std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    b.insert(b.end(), p, p + sizeof(v));
+  };
+  ByteBuffer evil;
+  put_u64(evil, 1);                      // one tensor
+  put_u64(evil, 2);                      // rank 2
+  put_u64(evil, std::uint64_t{1} << 62); // extents whose product wraps
+  put_u64(evil, std::uint64_t{1} << 62);
+  EXPECT_THROW(deserialize_tensors(evil), SerializationError);
+  EXPECT_THROW(scan_tensors(evil), SerializationError);
+
+  // A single huge-but-non-wrapping extent with no payload behind it.
+  ByteBuffer sparse;
+  put_u64(sparse, 1);
+  put_u64(sparse, 1);
+  put_u64(sparse, std::uint64_t{1} << 40);
+  EXPECT_THROW(deserialize_tensors(sparse), SerializationError);
+
+  // Implausible rank and implausible tensor count.
+  ByteBuffer ranky;
+  put_u64(ranky, 1);
+  put_u64(ranky, 9);  // rank cap is 8
+  EXPECT_THROW(deserialize_tensors(ranky), SerializationError);
+  ByteBuffer county;
+  put_u64(county, std::uint64_t{1} << 32);
+  EXPECT_THROW(deserialize_tensors(county), SerializationError);
+}
+
+TEST(Serialize, ScanMatchesDeserializedContents) {
+  common::Rng rng(10);
+  std::vector<Tensor> ts;
+  ts.push_back(Tensor::randn({5, 3}, rng));
+  ts.push_back(Tensor::randn({200}, rng));  // exercises the chunked walk
+  const ByteBuffer buf = serialize_tensors(ts);
+  const TensorScan scan = scan_tensors(buf);
+  EXPECT_EQ(scan.tensors, 2u);
+  EXPECT_EQ(scan.values, 215u);
+  EXPECT_TRUE(scan.all_finite);
+  ASSERT_EQ(scan.shapes.size(), 2u);
+  EXPECT_EQ(scan.shapes[0], Shape({5, 3}));
+  EXPECT_EQ(scan.shapes[1], Shape({200}));
+  double sq = 0.0;
+  for (const auto& t : ts) {
+    for (const auto v : t.data()) sq += v * v;
+  }
+  EXPECT_NEAR(scan.sum_squares, sq, 1e-12 * sq);
+
+  ts[1][7] = std::numeric_limits<real>::quiet_NaN();
+  EXPECT_FALSE(scan_tensors(serialize_tensors(ts)).all_finite);
 }
 
 TEST(Rng, DeterministicAndSplit) {

@@ -11,10 +11,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/cah.h"
@@ -30,6 +32,7 @@
 #include "nn/models.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
+#include "tensor/gemm/gemm.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -238,6 +241,95 @@ void run_thread_sweeps(index_t top) {
       bench::ensure_output_dir() + "/micro_kernels_threads.json", sweeps);
 }
 
+// Blocked-vs-naive GEMM sweep: times both kernel families on square
+// multiplies at 1 thread and at the pool size, and writes the table to
+// bench_out/BENCH_gemm.json. This is the acceptance artifact for the
+// kernel layer (DESIGN.md §5f) — the differential tests prove the bits
+// match, this records how much faster the blocked path is.
+void run_gemm_sweep(index_t top) {
+  using Clock = std::chrono::steady_clock;
+  const index_t sizes[] = {256, 512, 1024};
+  const std::pair<tensor::gemm::Variant, const char*> variants[] = {
+      {tensor::gemm::Variant::NN, "nn"},
+      {tensor::gemm::Variant::TN, "tn"},
+      {tensor::gemm::Variant::NT, "nt"},
+  };
+  std::vector<index_t> counts{1};
+  const index_t threaded = top > 1 ? top : 8;
+  if (threaded > 1) counts.push_back(threaded);
+
+  struct Row {
+    const char* variant;
+    index_t n, threads;
+    double naive_s, blocked_s;
+  };
+  std::vector<Row> rows;
+
+  common::Rng rng(4242);
+  std::printf("blocked-vs-naive GEMM sweep (square n^3 multiplies)\n");
+  std::printf("  %-3s %6s %8s %12s %12s %9s %8s\n", "var", "n", "threads",
+              "naive_s", "blocked_s", "speedup", "GF/s");
+  for (const auto& [variant, vname] : variants) {
+    for (const index_t n : sizes) {
+      std::vector<real> a(n * n), b(n * n), c(n * n);
+      for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+      for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+      const int reps = n >= 1024 ? 2 : 3;
+      auto best_of = [&](auto&& fn) {
+        double best = 1e100;
+        for (int rep = 0; rep < reps; ++rep) {
+          std::fill(c.begin(), c.end(), 0.0);
+          const auto t0 = Clock::now();
+          fn();
+          const std::chrono::duration<double> dt = Clock::now() - t0;
+          best = std::min(best, dt.count());
+        }
+        return best;
+      };
+      for (const index_t threads : counts) {
+        runtime::set_num_threads(threads);
+        const double naive_s = best_of([&] {
+          tensor::gemm::naive(variant, n, n, n, a.data(), b.data(), c.data());
+        });
+        const double blocked_s = best_of([&] {
+          tensor::gemm::blocked(variant, n, n, n, a.data(), b.data(),
+                                c.data());
+        });
+        rows.push_back({vname, n, threads, naive_s, blocked_s});
+        const double flops = 2.0 * static_cast<double>(n) * n * n;
+        std::printf("  %-3s %6zu %8zu %12.4f %12.4f %8.2fx %8.1f\n", vname,
+                    static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(threads), naive_s, blocked_s,
+                    naive_s / blocked_s, flops / blocked_s * 1e-9);
+      }
+    }
+  }
+  runtime::set_num_threads(0);
+
+  const std::string path = bench::ensure_output_dir() + "/BENCH_gemm.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"gemm_blocked_vs_naive\",\n  \"rows\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double flops = 2.0 * static_cast<double>(r.n) * r.n * r.n;
+    std::fprintf(
+        f,
+        "%s\n    {\"variant\": \"%s\", \"n\": %zu, \"threads\": %zu, "
+        "\"naive_seconds\": %.6f, \"blocked_seconds\": %.6f, "
+        "\"speedup\": %.3f, \"blocked_gflops\": %.2f}",
+        i == 0 ? "" : ",", r.variant, static_cast<std::size_t>(r.n),
+        static_cast<std::size_t>(r.threads), r.naive_s, r.blocked_s,
+        r.naive_s / r.blocked_s, flops / r.blocked_s * 1e-9);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("[bench] %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +346,7 @@ int main(int argc, char** argv) {
     std::printf("[metrics] %s\n", metrics_path.c_str());
   }
   obs::set_kernel_metrics(false);
+  run_gemm_sweep(threads);
   runtime::set_num_threads(threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

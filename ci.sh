@@ -8,11 +8,13 @@
 # property | golden | chaos) and a hard 30 s per-test TIMEOUT — a test that
 # exceeds it fails the suite.
 #
-#   ./ci.sh            # all four stages
+#   ./ci.sh            # all four default stages
 #   ./ci.sh release    # Release + full ctest only
-#   ./ci.sh asan       # ASan build + unit/golden labels only
+#   ./ci.sh asan       # ASan build + unit/golden/kernel labels only
 #   ./ci.sh chaos      # ASan build + chaos label only
 #   ./ci.sh tsan       # TSan stage only
+#   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards
+#                      # (blocked GEMM >= 1.5x naive); run on quiet hardware
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,11 +29,14 @@ run_release() {
 }
 
 run_asan() {
-  echo "==> [ci] AddressSanitizer build (unit + golden labels)"
+  # The kernel label rides along: the differential GEMM/Workspace tests are
+  # exactly the ones that would surface a packing overrun or arena misuse,
+  # which is ASan's home turf.
+  echo "==> [ci] AddressSanitizer build (unit + golden + kernel labels)"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
   cmake --build build-asan -j "${jobs}"
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" \
-    -L 'unit|golden'
+    -L 'unit|golden|kernel'
 }
 
 run_chaos() {
@@ -53,11 +58,21 @@ run_tsan() {
   ./build-tsan/tests/chaos_test
 }
 
+run_perf() {
+  # Opt-in stage, NOT in "all": wall-clock assertions are too noisy for
+  # shared CI runners. The guard tests self-skip unless OASIS_PERF_GUARD=1.
+  echo "==> [ci] Perf guard stage (blocked GEMM >= 1.5x naive)"
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "${jobs}" --target perf_guard_test
+  OASIS_PERF_GUARD=1 ctest --test-dir build-ci --output-on-failure -L perf
+}
+
 case "${stage}" in
   release) run_release ;;
   asan) run_asan ;;
   chaos) run_chaos ;;
   tsan) run_tsan ;;
+  perf) run_perf ;;
   all)
     run_release
     run_asan
@@ -65,7 +80,7 @@ case "${stage}" in
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|chaos|tsan|all]" >&2
+    echo "usage: $0 [release|asan|chaos|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

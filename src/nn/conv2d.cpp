@@ -1,8 +1,12 @@
 #include "nn/conv2d.h"
 
+#include <cstring>
+
 #include "nn/init.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
+#include "runtime/workspace.h"
+#include "tensor/gemm/gemm.h"
 #include "tensor/ops.h"
 
 namespace oasis::nn {
@@ -27,32 +31,47 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& x, bool /*training*/) {
   const index_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
   const index_t oh = tensor::conv_out_extent(h, k_, stride_, pad_);
   const index_t ow = tensor::conv_out_extent(w, k_, stride_, pad_);
+  const index_t pix = oh * ow;
+  const index_t cols_rows = in_ch_ * k_ * k_;
   cached_h_ = h;
   cached_w_ = w;
   cached_batch_ = batch;
-  cached_cols_.assign(batch, tensor::Tensor());
+  // The column cache persists across rounds; steady-state training re-fills
+  // it in place with zero allocations.
+  if (cached_cols_.rank() != 3 || cached_cols_.dim(0) != batch ||
+      cached_cols_.dim(1) != cols_rows || cached_cols_.dim(2) != pix) {
+    cached_cols_ = tensor::Tensor({batch, cols_rows, pix});
+  }
   if (obs::kernel_metrics_enabled()) {
     static obs::Counter& calls = obs::counter("kernel.conv2d.forward.calls");
     static obs::Counter& flops = obs::counter("kernel.conv2d.forward.flops");
     calls.add(1);
-    flops.add(static_cast<std::uint64_t>(2 * batch * out_ch_ * in_ch_ * k_ *
-                                         k_ * oh * ow));
+    flops.add(static_cast<std::uint64_t>(2 * batch * out_ch_ * cols_rows *
+                                         pix));
   }
 
   tensor::Tensor y({batch, out_ch_, oh, ow});
+  const real* px = x.data().data();
+  const real* pw = weight_.value.data().data();
+  real* pcols = cached_cols_.data().data();
+  real* py = y.data().data();
   // Samples are independent: each writes its own output slice and im2col
   // cache slot, so the batch loop parallelizes with no ordering effects.
   runtime::parallel_for(0, batch, 1, [&](index_t n0, index_t n1) {
     for (index_t n = n0; n < n1; ++n) {
-      tensor::Tensor cols = tensor::im2col(x.slice(n), k_, k_, stride_, pad_);
-      tensor::Tensor out = tensor::matmul(weight_.value, cols);  // [out_ch, oh*ow]
+      real* cols_n = pcols + n * cols_rows * pix;
+      tensor::im2col_into(px + n * in_ch_ * h * w, in_ch_, h, w, k_, k_,
+                          stride_, pad_, cols_n);
+      // y slice is zero-initialized, so the accumulating GEMM leaves exactly
+      // W·cols in it; the bias is then one add per output element.
+      real* y_n = py + n * out_ch_ * pix;
+      tensor::gemm::run(tensor::gemm::Variant::NN, out_ch_, cols_rows, pix, pw,
+                        cols_n, y_n);
       for (index_t c = 0; c < out_ch_; ++c) {
         const real b = bias_.value[c];
-        for (index_t p = 0; p < oh * ow; ++p) {
-          y.data()[((n * out_ch_ + c) * oh * ow) + p] = out.at2(c, p) + b;
-        }
+        real* y_row = y_n + c * pix;
+        for (index_t p = 0; p < pix; ++p) y_row[p] += b;
       }
-      cached_cols_[n] = std::move(cols);
     }
   });
   return y;
@@ -66,6 +85,8 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
   const index_t oh = grad_out.dim(2), ow = grad_out.dim(3);
   const index_t pix = oh * ow;
   const index_t cols_rows = in_ch_ * k_ * k_;
+  OASIS_CHECK_MSG(cached_cols_.rank() == 3 && cached_cols_.dim(2) == pix,
+                  "Conv2d backward: grad spatial extent mismatch");
   if (obs::kernel_metrics_enabled()) {
     static obs::Counter& calls = obs::counter("kernel.conv2d.backward.calls");
     static obs::Counter& flops = obs::counter("kernel.conv2d.backward.flops");
@@ -75,45 +96,52 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_out) {
                                          cols_rows * pix));
   }
   const real* gy_base = grad_out.data().data();
+  const real* pcols = cached_cols_.data().data();
+  const real* pw = weight_.value.data().data();
   real* gw = weight_.grad.data().data();
   real* gb = bias_.grad.data().data();
 
-  // Weight/bias gradients, parallel over output channels: row c of the
-  // weight gradient only ever receives contributions computed in its own
-  // chunk, accumulated over samples in ascending order — so the result is
-  // bit-identical for any thread count (no shared accumulators, no partials).
-  runtime::parallel_for(0, out_ch_, 1, [&](index_t c0, index_t c1) {
+  // Weight/bias gradients: per sample (ascending, so the accumulation order
+  // is fixed) one NT GEMM — grad_W += gy_n · cols_nᵀ — into a zeroed
+  // workspace tile that is then folded into the gradient. The GEMM
+  // parallelizes internally over row panels of out_ch; every per-element
+  // multiply-add chain matches the pre-blocking hand loop bit-for-bit.
+  {
+    runtime::Workspace& ws = runtime::Workspace::tls();
+    runtime::Workspace::Scope scope(ws);
+    real* tile = ws.alloc(out_ch_ * cols_rows);
     for (index_t n = 0; n < cached_batch_; ++n) {
       const real* gy_n = gy_base + n * out_ch_ * pix;
-      const real* cols = cached_cols_[n].data().data();  // [cols_rows, pix]
-      for (index_t c = c0; c < c1; ++c) {
+      const real* cols_n = pcols + n * cols_rows * pix;
+      std::memset(tile, 0, sizeof(real) * out_ch_ * cols_rows);
+      tensor::gemm::run(tensor::gemm::Variant::NT, out_ch_, pix, cols_rows,
+                        gy_n, cols_n, tile);
+      for (index_t i = 0; i < out_ch_ * cols_rows; ++i) gw[i] += tile[i];
+      for (index_t c = 0; c < out_ch_; ++c) {
         const real* gy_row = gy_n + c * pix;
-        real* gw_row = gw + c * cols_rows;
-        for (index_t i = 0; i < cols_rows; ++i) {
-          const real* col_row = cols + i * pix;
-          real s = 0.0;
-          for (index_t p = 0; p < pix; ++p) s += gy_row[p] * col_row[p];
-          gw_row[i] += s;
-        }
         real s = 0.0;
         for (index_t p = 0; p < pix; ++p) s += gy_row[p];
         gb[c] += s;
       }
     }
-  });
+  }
 
-  // Input gradient, parallel over samples: each writes its own slice.
+  // Input gradient, parallel over samples: each writes its own slice of the
+  // zero-initialized grad_x, via a per-thread workspace column buffer.
   tensor::Tensor grad_x({cached_batch_, in_ch_, cached_h_, cached_w_});
+  real* gx_base = grad_x.data().data();
+  const index_t x_size = in_ch_ * cached_h_ * cached_w_;
   runtime::parallel_for(0, cached_batch_, 1, [&](index_t n0, index_t n1) {
+    runtime::Workspace& ws = runtime::Workspace::tls();
+    runtime::Workspace::Scope scope(ws);
+    real* gcols = ws.alloc(cols_rows * pix);
     for (index_t n = n0; n < n1; ++n) {
-      tensor::Tensor gy = grad_out.slice(n).reshaped({out_ch_, pix});
-      tensor::Tensor gcols = tensor::matmul_tn(weight_.value, gy);
-      tensor::Tensor gx = tensor::col2im(gcols, in_ch_, cached_h_, cached_w_,
-                                         k_, k_, stride_, pad_);
-      auto dst = grad_x.data();
-      auto src = gx.data();
-      const index_t sz = src.size();
-      for (index_t i = 0; i < sz; ++i) dst[n * sz + i] = src[i];
+      const real* gy_n = gy_base + n * out_ch_ * pix;
+      std::memset(gcols, 0, sizeof(real) * cols_rows * pix);
+      tensor::gemm::run(tensor::gemm::Variant::TN, cols_rows, out_ch_, pix, pw,
+                        gy_n, gcols);
+      tensor::col2im_add(gcols, in_ch_, cached_h_, cached_w_, k_, k_, stride_,
+                         pad_, gx_base + n * x_size);
     }
   });
   return grad_x;

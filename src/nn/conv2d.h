@@ -1,9 +1,8 @@
-// 2-D convolution layer (im2col + matmul implementation).
+// 2-D convolution layer (im2col + blocked-GEMM implementation).
 #pragma once
 
-#include <vector>
-
 #include "nn/module.h"
+#include "tensor/tensor.h"
 
 namespace oasis::nn {
 
@@ -28,8 +27,10 @@ class Conv2d : public Module {
   index_t in_ch_, out_ch_, k_, stride_, pad_;
   Parameter weight_;  // [out_ch, in_ch*k*k]
   Parameter bias_;    // [out_ch]
-  // Cached per-sample im2col buffers and input geometry for backward.
-  std::vector<tensor::Tensor> cached_cols_;
+  // Cached im2col columns for backward, [batch, in_ch*k*k, oh*ow]. The
+  // storage persists across forward calls (re-allocated only when the input
+  // geometry changes), so the im2col hot loop is allocation-free.
+  tensor::Tensor cached_cols_;
   index_t cached_h_ = 0, cached_w_ = 0, cached_batch_ = 0;
 };
 

@@ -1,6 +1,10 @@
 #include "nn/dense.h"
 
+#include <cstring>
+
 #include "nn/init.h"
+#include "runtime/workspace.h"
+#include "tensor/gemm/gemm.h"
 #include "tensor/ops.h"
 
 namespace oasis::nn {
@@ -18,7 +22,13 @@ tensor::Tensor Dense::forward(const tensor::Tensor& x, bool /*training*/) {
                   "Dense(" << in_ << "->" << out_ << "): bad input "
                            << tensor::to_string(x.shape()));
   cached_input_ = x;
-  tensor::Tensor y = tensor::matmul_nt(x, weight_.value);  // [B, out]
+  const index_t batch = x.dim(0);
+  // y = x · Wᵀ directly from the NT kernel — W stays in its (out×in) layout,
+  // no transpose copy.
+  tensor::Tensor y({batch, out_});
+  tensor::gemm::run(tensor::gemm::Variant::NT, batch, in_, out_,
+                    x.data().data(), weight_.value.data().data(),
+                    y.data().data());
   tensor::add_row_vector(y, bias_.value);
   return y;
 }
@@ -29,12 +39,28 @@ tensor::Tensor Dense::backward(const tensor::Tensor& grad_out) {
                       << tensor::to_string(grad_out.shape()));
   OASIS_CHECK_MSG(grad_out.dim(0) == cached_input_.dim(0),
                   "Dense backward: batch mismatch");
+  const index_t batch = grad_out.dim(0);
   // grad_W[o, i] = Σ_b grad_out[b, o] * x[b, i]  — the batch-summed gradient
-  // the attacks invert.
-  weight_.grad += tensor::matmul_tn(grad_out, cached_input_);
+  // the attacks invert. TN kernel: no transpose copy of grad_out, and the
+  // temporary product lives in the per-thread workspace, not the heap.
+  {
+    runtime::Workspace& ws = runtime::Workspace::tls();
+    runtime::Workspace::Scope scope(ws);
+    real* tile = ws.alloc(out_ * in_);
+    std::memset(tile, 0, sizeof(real) * out_ * in_);
+    tensor::gemm::run(tensor::gemm::Variant::TN, out_, batch, in_,
+                      grad_out.data().data(), cached_input_.data().data(),
+                      tile);
+    real* gw = weight_.grad.data().data();
+    for (index_t i = 0; i < out_ * in_; ++i) gw[i] += tile[i];
+  }
   bias_.grad += tensor::sum_rows(grad_out);
   // grad_x = grad_out · W.
-  return tensor::matmul(grad_out, weight_.value);
+  tensor::Tensor grad_x({batch, in_});
+  tensor::gemm::run(tensor::gemm::Variant::NN, batch, out_, in_,
+                    grad_out.data().data(), weight_.value.data().data(),
+                    grad_x.data().data());
+  return grad_x;
 }
 
 }  // namespace oasis::nn

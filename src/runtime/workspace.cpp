@@ -1,0 +1,109 @@
+#include "runtime/workspace.h"
+
+#include <algorithm>
+#include <new>
+
+#include "common/error.h"
+
+namespace oasis::runtime {
+namespace {
+
+constexpr std::size_t kAlign = 64;  // cache line / widest SIMD vector
+
+real* aligned_new(std::size_t count) {
+  return static_cast<real*>(
+      ::operator new(count * sizeof(real), std::align_val_t{kAlign}));
+}
+
+void aligned_delete(real* p) {
+  ::operator delete(p, std::align_val_t{kAlign});
+}
+
+// Round block sizes up so steady-state arenas settle after few growths.
+std::size_t round_up(std::size_t n) {
+  constexpr std::size_t kQuantum = 4096 / sizeof(real);
+  return (n + kQuantum - 1) / kQuantum * kQuantum;
+}
+
+}  // namespace
+
+Workspace::Scope::Scope(Workspace& ws) : ws_(ws) {
+  block_ = ws_.cur_;
+  used_ = ws_.blocks_.empty() ? 0 : ws_.blocks_[ws_.cur_].used;
+  ++ws_.depth_;
+}
+
+Workspace::Scope::~Scope() {
+  --ws_.depth_;
+  ws_.rewind(block_, used_);
+}
+
+Workspace::~Workspace() {
+  for (auto& b : blocks_) aligned_delete(b.data);
+}
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+real* Workspace::alloc(index_t count) {
+  OASIS_CHECK_MSG(depth_ > 0, "Workspace::alloc outside a Scope");
+  const auto n = static_cast<std::size_t>(count);
+  // Find room in the current or any later block (later blocks are empty or
+  // partially used only by this same scope chain).
+  constexpr std::size_t kAlignReals = kAlign / sizeof(real);
+  while (cur_ < blocks_.size()) {
+    Block& b = blocks_[cur_];
+    // Bump from the next 64-byte boundary so every returned pointer keeps
+    // the alignment contract, not just the first one in a block.
+    const std::size_t start =
+        (b.used + kAlignReals - 1) / kAlignReals * kAlignReals;
+    if (start + n <= b.cap) {
+      real* p = b.data + start;
+      b.used = start + n;
+      return p;
+    }
+    if (cur_ + 1 == blocks_.size()) break;
+    ++cur_;
+  }
+  // Grow: one block sized to cover the request plus everything we already
+  // hold (so the post-warm-up coalesce converges to a single block).
+  std::size_t total = reserve_;
+  for (const auto& b : blocks_) total += b.cap;
+  Block nb;
+  nb.cap = round_up(std::max({n, total, std::size_t{512}}));
+  nb.data = aligned_new(nb.cap);
+  nb.used = n;
+  blocks_.push_back(nb);
+  cur_ = blocks_.size() - 1;
+  reserve_ = 0;
+  return nb.data;
+}
+
+index_t Workspace::capacity() const {
+  std::size_t total = reserve_;
+  for (const auto& b : blocks_) total += b.cap;
+  return static_cast<index_t>(total);
+}
+
+void Workspace::rewind(std::size_t block, std::size_t used) {
+  if (blocks_.empty()) return;
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  blocks_[block].used = used;
+  cur_ = block;
+  if (depth_ == 0 && blocks_.size() > 1) {
+    // Outermost scope ended while fragmented: release the blocks and let the
+    // next alloc() rebuild a single block of the combined capacity.
+    std::size_t total = reserve_;
+    for (auto& b : blocks_) {
+      total += b.cap;
+      aligned_delete(b.data);
+    }
+    blocks_.clear();
+    cur_ = 0;
+    reserve_ = total;
+  }
+}
+
+}  // namespace oasis::runtime

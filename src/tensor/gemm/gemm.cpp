@@ -1,0 +1,299 @@
+#include "tensor/gemm/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
+
+namespace oasis::tensor::gemm {
+namespace {
+
+// Below this many flops (2·m·k·n) a GEMM runs its chunks inline: the
+// parallel_for dispatch costs more than the arithmetic it would split.
+constexpr index_t kParallelGemmFlops = index_t{1} << 15;
+
+index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+// ---- Register-tiled microkernel ---------------------------------------------
+//
+// Computes a single MR×NR tile of C += Ap·Bp from packed panels:
+//   ap[kk*kMR + r]  — op(A) panel, k-major, MR rows interleaved
+//   bp[kk*kNR + j]  — op(B) micro-panel, k-major, NR columns interleaved
+// The accumulator tile is loaded from C first and the k-loop continues the
+// same multiply-add chain the naive kernels run, so a store/reload at a KC
+// boundary is exact and the final bits match the single naive sweep.
+// Rows r >= mr / columns j >= nr read packed zero padding and are simply
+// never stored.
+void micro_kernel(index_t kc, const real* __restrict ap,
+                  const real* __restrict bp, real* __restrict c, index_t ldc,
+                  index_t mr, index_t nr) {
+  real acc[kMR][kNR];
+  const bool full = (mr == kMR) & (nr == kNR);
+  if (full) {
+    for (index_t r = 0; r < kMR; ++r)
+      for (index_t j = 0; j < kNR; ++j) acc[r][j] = c[r * ldc + j];
+  } else {
+    for (index_t r = 0; r < kMR; ++r)
+      for (index_t j = 0; j < kNR; ++j)
+        acc[r][j] = (r < mr && j < nr) ? c[r * ldc + j] : 0.0;
+  }
+  // Each acc[r][j] advances one fused multiply-add per k step, in ascending
+  // k order. The `+=` form is deliberate: under -ffp-contract=fast (pinned
+  // in src/tensor/CMakeLists.txt) it contracts to a single-rounded FMA,
+  // exactly the operation the naive kernels execute per element, AND it
+  // vectorizes to broadcast+vfmadd across the NR lanes. Writing std::fma
+  // explicitly here de-vectorizes the loop (~4.5x slower), and manual
+  // unrolling makes it fall back to scalar shuffles (~5x slower) — keep the
+  // plain triple loop.
+  for (index_t kk = 0; kk < kc; ++kk) {
+    const real* __restrict arow = ap + kk * kMR;
+    const real* __restrict brow = bp + kk * kNR;
+    for (index_t r = 0; r < kMR; ++r) {
+      const real av = arow[r];
+      for (index_t j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  if (full) {
+    for (index_t r = 0; r < kMR; ++r)
+      for (index_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
+  } else {
+    for (index_t r = 0; r < mr; ++r)
+      for (index_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+// ---- Packing ----------------------------------------------------------------
+
+/// Packs op(B)[pc..pc+kc, jc..jc+nc) into NR-wide k-major micro-panels,
+/// zero-padding the ragged last panel to NR columns.
+void pack_b(Variant v, const real* __restrict b, index_t k, index_t n,
+            index_t pc, index_t kc, index_t jc, index_t nc,
+            real* __restrict bp) {
+  const index_t panels = ceil_div(nc, kNR);
+  for (index_t p = 0; p < panels; ++p) {
+    const index_t j0 = p * kNR;
+    const index_t w = std::min(kNR, nc - j0);
+    real* __restrict dst = bp + p * kc * kNR;
+    if (v == Variant::NT) {
+      // op(B)[kk, j] = B[jc+j, pc+kk] with B stored n×k.
+      for (index_t j = 0; j < w; ++j) {
+        const real* __restrict src = b + (jc + j0 + j) * k + pc;
+        for (index_t kk = 0; kk < kc; ++kk) dst[kk * kNR + j] = src[kk];
+      }
+      if (w < kNR) {
+        for (index_t kk = 0; kk < kc; ++kk)
+          for (index_t j = w; j < kNR; ++j) dst[kk * kNR + j] = 0.0;
+      }
+    } else {
+      // op(B)[kk, j] = B[pc+kk, jc+j] with B stored k×n (NN and TN share B).
+      for (index_t kk = 0; kk < kc; ++kk) {
+        const real* __restrict src = b + (pc + kk) * n + jc + j0;
+        real* __restrict row = dst + kk * kNR;
+        for (index_t j = 0; j < w; ++j) row[j] = src[j];
+        for (index_t j = w; j < kNR; ++j) row[j] = 0.0;
+      }
+    }
+  }
+}
+
+/// Packs op(A)[i0..i0+mr, pc..pc+kc) k-major with MR rows interleaved,
+/// zero-padding ragged rows to MR.
+void pack_a(Variant v, const real* __restrict a, index_t m, index_t k,
+            index_t i0, index_t mr, index_t pc, index_t kc,
+            real* __restrict ap) {
+  if (v == Variant::TN) {
+    // op(A)[i, kk] = A[pc+kk, i0+i] with A stored k×m.
+    for (index_t kk = 0; kk < kc; ++kk) {
+      const real* __restrict src = a + (pc + kk) * m + i0;
+      real* __restrict dst = ap + kk * kMR;
+      for (index_t r = 0; r < mr; ++r) dst[r] = src[r];
+      for (index_t r = mr; r < kMR; ++r) dst[r] = 0.0;
+    }
+  } else {
+    // op(A)[i, kk] = A[i0+i, pc+kk] with A stored m×k (NN and NT share A).
+    for (index_t kk = 0; kk < kc; ++kk) {
+      real* __restrict dst = ap + kk * kMR;
+      for (index_t r = 0; r < mr; ++r) dst[r] = a[(i0 + r) * k + pc + kk];
+      for (index_t r = mr; r < kMR; ++r) dst[r] = 0.0;
+    }
+  }
+}
+
+// ---- Naive oracle kernels (the pre-blocking triple loops, verbatim) ---------
+
+// Output rows are written disjointly and each row's k-accumulation order is
+// fixed, so row-parallel GEMMs are bit-identical at any thread count.
+void for_each_output_row(index_t rows, index_t flops,
+                         const std::function<void(index_t, index_t)>& body) {
+  if (flops < kParallelGemmFlops) {
+    body(0, rows);
+    return;
+  }
+  runtime::parallel_for(0, rows, body);
+}
+
+void naive_nn(index_t m, index_t k, index_t n, const real* a, const real* b,
+              real* c) {
+  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      const real* arow = a + i * k;
+      real* crow = c + i * n;
+      for (index_t kk = 0; kk < k; ++kk) {
+        const real av = arow[kk];
+        if (av == 0.0) continue;
+        const real* brow = b + kk * n;
+        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void naive_tn(index_t m, index_t k, index_t n, const real* a, const real* b,
+              real* c) {
+  // c[i,j] += Σ_kk a[kk,i] * b[kk,j]; iterate kk outermost so both reads are
+  // row-contiguous. Each parallel chunk owns output rows [i0, i1) and runs
+  // the full kk sweep over them, so per-element accumulation order is the
+  // serial one.
+  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
+    for (index_t kk = 0; kk < k; ++kk) {
+      const real* arow = a + kk * m;
+      const real* brow = b + kk * n;
+      for (index_t i = i0; i < i1; ++i) {
+        const real av = arow[i];
+        if (av == 0.0) continue;
+        real* crow = c + i * n;
+        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void naive_nt(index_t m, index_t k, index_t n, const real* a, const real* b,
+              real* c) {
+  // c[i,j] += Σ_kk a[i,kk] * b[j,kk]: dot of two contiguous rows. Two
+  // deliberate choices keep this bit-identical to the blocked path:
+  //  * the chain is seeded from c[i,j] (not summed into 0 and added at the
+  //    end), so every output element advances through the same
+  //    ascending-k multiply-add sequence as the microkernel;
+  //  * the fma is EXPLICIT. For an in-order dot-product reduction the
+  //    vectorizer refuses to contract (it emits vector multiplies plus a
+  //    serial add chain — two roundings per step), so the `+=` spelling
+  //    used by the row-sweeping kernels above would diverge by ulps here.
+  //    The scalar fma chain cannot vectorize anyway; this is the oracle,
+  //    not the fast path.
+  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      const real* arow = a + i * k;
+      real* crow = c + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        const real* brow = b + j * k;
+        real s = crow[j];
+        for (index_t kk = 0; kk < k; ++kk)
+          s = std::fma(arow[kk], brow[kk], s);
+        crow[j] = s;
+      }
+    }
+  });
+}
+
+// ---- Dispatch state ---------------------------------------------------------
+
+bool env_naive() {
+  const char* env = std::getenv("OASIS_NAIVE_GEMM");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::atomic<bool>& naive_flag() {
+  static std::atomic<bool> flag{env_naive()};
+  return flag;
+}
+
+void count_gemm(index_t flops) {
+  if (!obs::kernel_metrics_enabled()) return;
+  static obs::Counter& calls = obs::counter("kernel.gemm.calls");
+  static obs::Counter& total = obs::counter("kernel.gemm.flops");
+  calls.add(1);
+  total.add(static_cast<std::uint64_t>(flops));
+}
+
+}  // namespace
+
+bool naive_active() { return naive_flag().load(std::memory_order_relaxed); }
+
+void set_naive(bool on) {
+  naive_flag().store(on, std::memory_order_relaxed);
+}
+
+void blocked(Variant v, index_t m, index_t k, index_t n, const real* a,
+             const real* b, real* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;  // C += empty product
+  const index_t row_panels = ceil_div(m, kMR);
+  // Shape-derived chunking: aim for ~8 chunks, at most 32 MR-panels (128
+  // rows) per chunk so large GEMMs expose enough parallelism while a chunk's
+  // packed A traffic stays L2-friendly. Never depends on the thread count.
+  const index_t grain = std::max<index_t>(
+      1, std::min<index_t>(row_panels / 8, index_t{32}));
+  const bool parallel = 2 * m * k * n >= kParallelGemmFlops && row_panels > 1;
+
+  runtime::Workspace& ws = runtime::Workspace::tls();
+  runtime::Workspace::Scope scope(ws);
+  const index_t nc_max = std::min(n, kNC);
+  real* bpack = ws.alloc(kKC * ceil_div(nc_max, kNR) * kNR);
+
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min(kNC, n - jc);
+    const index_t b_panels = ceil_div(nc, kNR);
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min(kKC, k - pc);
+      // B panel packed once, serially, then read-shared by every chunk.
+      pack_b(v, b, k, n, pc, kc, jc, nc, bpack);
+      const auto body = [&](index_t p0, index_t p1) {
+        runtime::Workspace& tws = runtime::Workspace::tls();
+        runtime::Workspace::Scope tscope(tws);
+        real* apack = tws.alloc(kKC * kMR);
+        for (index_t ip = p0; ip < p1; ++ip) {
+          const index_t i0 = ip * kMR;
+          const index_t mr = std::min(kMR, m - i0);
+          pack_a(v, a, m, k, i0, mr, pc, kc, apack);
+          for (index_t p = 0; p < b_panels; ++p) {
+            const index_t j0 = jc + p * kNR;
+            const index_t nr = std::min(kNR, jc + nc - j0);
+            micro_kernel(kc, apack, bpack + p * kc * kNR, c + i0 * n + j0, n,
+                         mr, nr);
+          }
+        }
+      };
+      if (parallel) {
+        runtime::parallel_for(0, row_panels, grain, body);
+      } else {
+        body(0, row_panels);
+      }
+    }
+  }
+}
+
+void naive(Variant v, index_t m, index_t k, index_t n, const real* a,
+           const real* b, real* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  switch (v) {
+    case Variant::NN: naive_nn(m, k, n, a, b, c); break;
+    case Variant::TN: naive_tn(m, k, n, a, b, c); break;
+    case Variant::NT: naive_nt(m, k, n, a, b, c); break;
+  }
+}
+
+void run(Variant v, index_t m, index_t k, index_t n, const real* a,
+         const real* b, real* c) {
+  count_gemm(2 * m * k * n);
+  if (naive_active()) {
+    naive(v, m, k, n, a, b, c);
+  } else {
+    blocked(v, m, k, n, a, b, c);
+  }
+}
+
+}  // namespace oasis::tensor::gemm

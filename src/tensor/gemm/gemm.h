@@ -1,0 +1,59 @@
+// Blocked + packed GEMM kernel family (the hot path of every bench and
+// training loop), with the old naive triple-loop kernels retained as the
+// differential-test oracle.
+//
+// All entry points compute C += op(A)·op(B) on dense row-major double
+// buffers (the accumulate convention every call site relies on: wrappers
+// hand in zero-initialized C, Conv2d hands in zeroed workspace tiles).
+//
+// Determinism contract (see DESIGN.md §5f): for every output element the
+// k-accumulation runs in ascending k order through a single chain — the
+// blocked path's register tiles load the partial result from C and continue
+// the same fused-multiply-add chain the naive kernels execute, and memory
+// round-trips of doubles are exact — so blocked and naive results are
+// bit-identical, at any thread count, and the golden fixture is preserved
+// byte-for-byte. The one documented exception is the sign of zero when an
+// entire op(A) column is exactly 0.0 (the naive kernels skip those terms):
+// +0.0 vs -0.0 compare equal and cannot arise from continuous data.
+#pragma once
+
+#include "common/types.h"
+
+namespace oasis::tensor::gemm {
+
+/// Which operand is logically transposed. Row-major storage throughout:
+///   NN: A is m×k, B is k×n.
+///   TN: A is k×m (op(A)=Aᵀ), B is k×n — weight gradients, no transpose copy.
+///   NT: A is m×k, B is n×k (op(B)=Bᵀ) — input gradients, no transpose copy.
+enum class Variant { NN, TN, NT };
+
+// Blocking parameters (doubles). The microkernel holds an MR×NR accumulator
+// tile in registers (4×8 doubles = four 512-bit vectors) over an unrolled
+// k-loop; B is packed into NR-wide column panels of at most KC×NC (≤ 1 MiB,
+// L2-resident on the target Xeon with its 2 MiB L2; one KC×NR micro-panel is
+// 16 KiB, L1-resident); A is packed per MR-row panel (KC×MR = 8 KiB).
+inline constexpr index_t kMR = 4;
+inline constexpr index_t kNR = 8;
+inline constexpr index_t kKC = 256;
+inline constexpr index_t kNC = 512;
+
+/// True when the naive oracle kernels are active — either forced via the
+/// OASIS_NAIVE_GEMM=1 environment variable (read once) or toggled with
+/// set_naive(). Toggle only between parallel regions.
+bool naive_active();
+void set_naive(bool on);
+
+/// C(m×n) += op(A)·op(B). Dispatches naive/blocked per naive_active() and
+/// bumps the kernel.gemm.* flop counters (when kernel metrics are enabled).
+/// Parallelizes over row panels of C via runtime::parallel_for with
+/// shape-derived chunking; small products run inline.
+void run(Variant v, index_t m, index_t k, index_t n, const real* a,
+         const real* b, real* c);
+
+/// Direct entries (no dispatch, no metrics) for the differential tests.
+void blocked(Variant v, index_t m, index_t k, index_t n, const real* a,
+             const real* b, real* c);
+void naive(Variant v, index_t m, index_t k, index_t n, const real* a,
+           const real* b, real* c);
+
+}  // namespace oasis::tensor::gemm

@@ -4,41 +4,16 @@
 #include <cmath>
 
 #include "obs/obs.h"
-#include "runtime/parallel.h"
+#include "tensor/gemm/gemm.h"
 
 namespace oasis::tensor {
 namespace {
-
-// Per-call (never per-element) kernel accounting, gated so the fast path
-// pays one relaxed atomic load when OASIS_OBS_KERNELS is off.
-void count_gemm(index_t flops) {
-  if (!obs::kernel_metrics_enabled()) return;
-  static obs::Counter& calls = obs::counter("kernel.gemm.calls");
-  static obs::Counter& total = obs::counter("kernel.gemm.flops");
-  calls.add(1);
-  total.add(static_cast<std::uint64_t>(flops));
-}
 
 void check_rank2(const Tensor& t, const char* op) {
   if (t.rank() != 2) {
     throw ShapeError(std::string(op) + ": expected rank-2, got " +
                      to_string(t.shape()));
   }
-}
-
-// Below this many multiply-adds a GEMM runs serially: the parallel_for
-// dispatch costs more than the arithmetic it would split.
-constexpr index_t kParallelGemmFlops = index_t{1} << 15;
-
-// Output rows are written disjointly and each row's k-accumulation order is
-// fixed, so row-parallel GEMMs are bit-identical at any thread count.
-void for_each_output_row(index_t rows, index_t flops,
-                         const std::function<void(index_t, index_t)>& body) {
-  if (flops < kParallelGemmFlops) {
-    body(0, rows);
-    return;
-  }
-  runtime::parallel_for(0, rows, body);
 }
 
 }  // namespace
@@ -49,23 +24,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   OASIS_CHECK_MSG(b.dim(0) == k, "matmul: " << to_string(a.shape()) << " · "
                                             << to_string(b.shape()));
-  count_gemm(2 * m * k * n);
   Tensor c({m, n});
-  const real* pa = a.data().data();
-  const real* pb = b.data().data();
-  real* pc = c.data().data();
-  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
-    for (index_t i = i0; i < i1; ++i) {
-      const real* arow = pa + i * k;
-      real* crow = pc + i * n;
-      for (index_t kk = 0; kk < k; ++kk) {
-        const real av = arow[kk];
-        if (av == 0.0) continue;
-        const real* brow = pb + kk * n;
-        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  gemm::run(gemm::Variant::NN, m, k, n, a.data().data(), b.data().data(),
+            c.data().data());
   return c;
 }
 
@@ -75,27 +36,9 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   OASIS_CHECK_MSG(b.dim(0) == k, "matmul_tn: " << to_string(a.shape()) << "ᵀ · "
                                                << to_string(b.shape()));
-  count_gemm(2 * m * k * n);
   Tensor c({m, n});
-  const real* pa = a.data().data();
-  const real* pb = b.data().data();
-  real* pc = c.data().data();
-  // c[i,j] = Σ_kk a[kk,i] * b[kk,j]; iterate kk outermost so both reads are
-  // row-contiguous. Each parallel chunk owns output rows [i0, i1) and runs
-  // the full kk sweep over them, so per-element accumulation order is the
-  // serial one.
-  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
-    for (index_t kk = 0; kk < k; ++kk) {
-      const real* arow = pa + kk * m;
-      const real* brow = pb + kk * n;
-      for (index_t i = i0; i < i1; ++i) {
-        const real av = arow[i];
-        if (av == 0.0) continue;
-        real* crow = pc + i * n;
-        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  gemm::run(gemm::Variant::TN, m, k, n, a.data().data(), b.data().data(),
+            c.data().data());
   return c;
 }
 
@@ -105,24 +48,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   OASIS_CHECK_MSG(b.dim(1) == k, "matmul_nt: " << to_string(a.shape()) << " · "
                                                << to_string(b.shape()) << "ᵀ");
-  count_gemm(2 * m * k * n);
   Tensor c({m, n});
-  const real* pa = a.data().data();
-  const real* pb = b.data().data();
-  real* pc = c.data().data();
-  // c[i,j] = Σ_kk a[i,kk] * b[j,kk]: dot of two contiguous rows.
-  for_each_output_row(m, m * k * n, [&](index_t i0, index_t i1) {
-    for (index_t i = i0; i < i1; ++i) {
-      const real* arow = pa + i * k;
-      real* crow = pc + i * n;
-      for (index_t j = 0; j < n; ++j) {
-        const real* brow = pb + j * k;
-        real s = 0.0;
-        for (index_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-        crow[j] = s;
-      }
-    }
-  });
+  gemm::run(gemm::Variant::NT, m, k, n, a.data().data(), b.data().data(),
+            c.data().data());
   return c;
 }
 
@@ -245,13 +173,20 @@ Tensor im2col(const Tensor& image, index_t kh, index_t kw, index_t stride,
   const index_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
   const index_t oh = conv_out_extent(h, kh, stride, pad);
   const index_t ow = conv_out_extent(w, kw, stride, pad);
+  Tensor cols({c * kh * kw, oh * ow});
+  im2col_into(image.data().data(), c, h, w, kh, kw, stride, pad,
+              cols.data().data());
+  return cols;
+}
+
+void im2col_into(const real* src, index_t c, index_t h, index_t w, index_t kh,
+                 index_t kw, index_t stride, index_t pad, real* dst) {
+  const index_t oh = conv_out_extent(h, kh, stride, pad);
+  const index_t ow = conv_out_extent(w, kw, stride, pad);
   if (obs::kernel_metrics_enabled()) {
     static obs::Counter& calls = obs::counter("kernel.im2col.calls");
     calls.add(1);
   }
-  Tensor cols({c * kh * kw, oh * ow});
-  const real* src = image.data().data();
-  real* dst = cols.data().data();
   const index_t out_cols = oh * ow;
   for (index_t ch = 0; ch < c; ++ch) {
     for (index_t ki = 0; ki < kh; ++ki) {
@@ -278,7 +213,6 @@ Tensor im2col(const Tensor& image, index_t kh, index_t kw, index_t stride,
       }
     }
   }
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, index_t channels, index_t height,
@@ -289,13 +223,21 @@ Tensor col2im(const Tensor& cols, index_t channels, index_t height,
   OASIS_CHECK_MSG(cols.rank() == 2 && cols.dim(0) == channels * kh * kw &&
                       cols.dim(1) == oh * ow,
                   "col2im: bad cols shape " << to_string(cols.shape()));
+  Tensor image({channels, height, width});
+  col2im_add(cols.data().data(), channels, height, width, kh, kw, stride, pad,
+             image.data().data());
+  return image;
+}
+
+void col2im_add(const real* src, index_t channels, index_t height,
+                index_t width, index_t kh, index_t kw, index_t stride,
+                index_t pad, real* dst) {
+  const index_t oh = conv_out_extent(height, kh, stride, pad);
+  const index_t ow = conv_out_extent(width, kw, stride, pad);
   if (obs::kernel_metrics_enabled()) {
     static obs::Counter& calls = obs::counter("kernel.col2im.calls");
     calls.add(1);
   }
-  Tensor image({channels, height, width});
-  const real* src = cols.data().data();
-  real* dst = image.data().data();
   const index_t out_cols = oh * ow;
   for (index_t ch = 0; ch < channels; ++ch) {
     for (index_t ki = 0; ki < kh; ++ki) {
@@ -318,7 +260,6 @@ Tensor col2im(const Tensor& cols, index_t channels, index_t height,
       }
     }
   }
-  return image;
 }
 
 real max_abs_diff(const Tensor& a, const Tensor& b) {

@@ -1,9 +1,12 @@
 // Linear-algebra and NN-support kernels on Tensor.
 //
 // All matrix kernels operate on rank-2 tensors with row-major layout. The
-// matmul family uses an i-k-j loop order with a contiguous unit-stride inner
-// loop, which the compiler auto-vectorizes; this is the single hot spot of
-// training and of the attack's reconstruction arithmetic.
+// matmul family dispatches into the blocked+packed kernel unit in
+// tensor/gemm/ (register-tiled microkernel, L2-sized packed panels,
+// workspace arenas); the pre-blocking naive triple loops are retained there
+// behind OASIS_NAIVE_GEMM as the differential-test oracle, bit-identical by
+// construction (DESIGN.md §5f). This is the single hot spot of training and
+// of the attack's reconstruction arithmetic.
 #pragma once
 
 #include "tensor/tensor.h"
@@ -58,11 +61,25 @@ Tensor log_softmax_rows(const Tensor& logits);
 Tensor im2col(const Tensor& image, index_t kh, index_t kw, index_t stride,
               index_t pad);
 
+/// Raw-buffer im2col: unrolls a [C, H, W] image at `src` into the
+/// [C*kh*kw, out_h*out_w] matrix at `dst` (every element written, padding
+/// included). The allocation-free hot-loop form Conv2d uses with its
+/// persistent column cache.
+void im2col_into(const real* src, index_t channels, index_t height,
+                 index_t width, index_t kh, index_t kw, index_t stride,
+                 index_t pad, real* dst);
+
 /// Adjoint of im2col: folds a [C*kh*kw, out_h*out_w] column matrix back into
 /// a [C, H, W] image, summing overlapping contributions.
 Tensor col2im(const Tensor& cols, index_t channels, index_t height,
               index_t width, index_t kh, index_t kw, index_t stride,
               index_t pad);
+
+/// Raw-buffer col2im: accumulates (`+=`) the folded image into `dst`, which
+/// the caller must have zeroed (or hold a partial image to add onto).
+void col2im_add(const real* cols, index_t channels, index_t height,
+                index_t width, index_t kh, index_t kw, index_t stride,
+                index_t pad, real* dst);
 
 /// Output spatial extent of a convolution/pool along one axis.
 index_t conv_out_extent(index_t in, index_t k, index_t stride, index_t pad);

@@ -30,6 +30,7 @@
 #include "nn/models.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
+#include "tensor/gemm/gemm.h"
 #include "tensor/serialize.h"
 
 namespace oasis {
@@ -183,6 +184,24 @@ TEST(GoldenRoundTest, MatchesCheckedInFixture) {
 
   // The leak counters are only meaningful if the attack actually ran.
   EXPECT_GT(g.rtf_total, 0u);
+}
+
+TEST(GoldenRoundTest, BlockedAndNaiveGemmPathsMatchExactly) {
+  // The blocked GEMM layer is designed to be bit-identical to the naive
+  // oracle kernels (DESIGN.md §5f), so the checked-in fixture needs no
+  // regeneration for the kernel swap: a full round must produce the very
+  // same numbers on either path, down to the last bit.
+  tensor::gemm::set_naive(true);
+  const GoldenRound oracle = run_golden_round();
+  tensor::gemm::set_naive(false);
+  const GoldenRound blocked = run_golden_round();
+  EXPECT_EQ(oracle.loss, blocked.loss);
+  EXPECT_EQ(oracle.grad_norm, blocked.grad_norm);
+  EXPECT_EQ(oracle.mean_psnr, blocked.mean_psnr);
+  EXPECT_EQ(oracle.rtf_leaked, blocked.rtf_leaked);
+  EXPECT_EQ(oracle.rtf_total, blocked.rtf_total);
+  EXPECT_EQ(oracle.validate_accepted, blocked.validate_accepted);
+  EXPECT_EQ(oracle.validate_rejected, blocked.validate_rejected);
 }
 
 TEST(GoldenRoundTest, RoundIsDeterministicAcrossThreadCounts) {

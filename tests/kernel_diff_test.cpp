@@ -1,0 +1,368 @@
+// Differential kernel tests: the blocked+packed GEMM layer must reproduce
+// the retained naive oracle kernels BIT-FOR-BIT (see DESIGN.md §5f — the
+// microkernel continues the oracle's multiply-add chain through C, so every
+// output element sees the identical operation sequence).
+//
+// The sweep covers degenerate shapes, non-tile-multiple edges, and the
+// KC/NC/NR blocking boundaries, at 1 and 8 threads; Conv2d and Dense are
+// exercised end-to-end against the OASIS_NAIVE_GEMM toggle. Workspace arena
+// semantics (alignment, scope rewind, coalescing, steady-state no-growth)
+// are pinned here too, since the kernels' zero-allocation claim rests on
+// them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
+#include "tensor/gemm/gemm.h"
+#include "tensor/tensor.h"
+
+namespace oasis {
+namespace {
+
+using tensor::gemm::Variant;
+
+/// Restores the global thread count and the naive-GEMM switch even when an
+/// assertion aborts a test early.
+struct KernelEnvGuard {
+  ~KernelEnvGuard() {
+    runtime::set_num_threads(0);
+    tensor::gemm::set_naive(false);
+  }
+};
+
+std::vector<real> random_vec(index_t n, common::Rng& rng) {
+  std::vector<real> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+bool bits_equal(const std::vector<real>& a, const std::vector<real>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(real)) == 0;
+}
+
+bool bits_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(real)) == 0;
+}
+
+std::vector<real> run_blocked(Variant v, index_t m, index_t k, index_t n,
+                              const std::vector<real>& a,
+                              const std::vector<real>& b) {
+  std::vector<real> c(m * n, 0.0);
+  tensor::gemm::blocked(v, m, k, n, a.data(), b.data(), c.data());
+  return c;
+}
+
+std::vector<real> run_naive(Variant v, index_t m, index_t k, index_t n,
+                            const std::vector<real>& a,
+                            const std::vector<real>& b) {
+  std::vector<real> c(m * n, 0.0);
+  tensor::gemm::naive(v, m, k, n, a.data(), b.data(), c.data());
+  return c;
+}
+
+struct Shape {
+  index_t m, k, n;
+};
+
+// Degenerate shapes, ragged tile edges, and the exact kMR/kNR/kKC/kNC
+// blocking boundaries (one below, on, and above each).
+const Shape kEdgeShapes[] = {
+    {1, 1, 1},    {1, 5, 1},     {3, 1, 4},    {1, 64, 1},   {5, 1, 9},
+    {5, 7, 9},    {13, 17, 31},  {4, 8, 8},    {8, 16, 16},  {12, 24, 40},
+    {3, 255, 17}, {3, 256, 17},  {3, 257, 17}, {4, 512, 8},  {7, 511, 23},
+    {6, 33, 7},   {6, 33, 8},    {6, 33, 9},   {2, 9, 511},  {2, 9, 512},
+    {2, 9, 513},  {129, 12, 33},
+};
+
+TEST(KernelDiff, GemmEdgeShapesBitIdentical) {
+  KernelEnvGuard guard;
+  common::Rng rng(0xD1FFu);
+  for (const auto& s : kEdgeShapes) {
+    const auto a = random_vec(s.m * s.k, rng);
+    const auto b = random_vec(s.k * s.n, rng);
+    for (const Variant v : {Variant::NN, Variant::TN, Variant::NT}) {
+      const auto oracle = run_naive(v, s.m, s.k, s.n, a, b);
+      runtime::set_num_threads(1);
+      const auto serial = run_blocked(v, s.m, s.k, s.n, a, b);
+      runtime::set_num_threads(8);
+      const auto threaded = run_blocked(v, s.m, s.k, s.n, a, b);
+      EXPECT_TRUE(bits_equal(oracle, serial))
+          << "variant " << static_cast<int>(v) << " shape " << s.m << "x"
+          << s.k << "x" << s.n << " (1 thread)";
+      EXPECT_TRUE(bits_equal(oracle, threaded))
+          << "variant " << static_cast<int>(v) << " shape " << s.m << "x"
+          << s.k << "x" << s.n << " (8 threads)";
+    }
+  }
+}
+
+TEST(KernelDiff, GemmRandomShapeSweepBitIdentical) {
+  KernelEnvGuard guard;
+  common::Rng rng(0x5EEDu);
+  for (int trial = 0; trial < 24; ++trial) {
+    const auto m = static_cast<index_t>(rng.uniform_int(1, 97));
+    const auto k = static_cast<index_t>(rng.uniform_int(1, 97));
+    const auto n = static_cast<index_t>(rng.uniform_int(1, 97));
+    const auto a = random_vec(m * k, rng);
+    const auto b = random_vec(k * n, rng);
+    for (const Variant v : {Variant::NN, Variant::TN, Variant::NT}) {
+      const auto oracle = run_naive(v, m, k, n, a, b);
+      runtime::set_num_threads(1);
+      const auto serial = run_blocked(v, m, k, n, a, b);
+      runtime::set_num_threads(8);
+      const auto threaded = run_blocked(v, m, k, n, a, b);
+      EXPECT_TRUE(bits_equal(oracle, serial))
+          << "trial " << trial << " variant " << static_cast<int>(v)
+          << " shape " << m << "x" << k << "x" << n;
+      EXPECT_TRUE(bits_equal(oracle, threaded))
+          << "trial " << trial << " variant " << static_cast<int>(v)
+          << " shape " << m << "x" << k << "x" << n << " (8 threads)";
+    }
+  }
+}
+
+TEST(KernelDiff, GemmAccumulatesIntoExistingC) {
+  KernelEnvGuard guard;
+  common::Rng rng(0xACC0u);
+  const index_t m = 21, k = 37, n = 45;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  const auto seed = random_vec(m * n, rng);
+  for (const Variant v : {Variant::NN, Variant::TN, Variant::NT}) {
+    auto c_naive = seed;
+    auto c_blocked = seed;
+    tensor::gemm::naive(v, m, k, n, a.data(), b.data(), c_naive.data());
+    tensor::gemm::blocked(v, m, k, n, a.data(), b.data(), c_blocked.data());
+    EXPECT_TRUE(bits_equal(c_naive, c_blocked))
+        << "variant " << static_cast<int>(v);
+  }
+}
+
+TEST(KernelDiff, RunDispatchHonorsNaiveSwitch) {
+  KernelEnvGuard guard;
+  EXPECT_FALSE(tensor::gemm::naive_active());
+  tensor::gemm::set_naive(true);
+  EXPECT_TRUE(tensor::gemm::naive_active());
+
+  common::Rng rng(0x7061u);
+  const index_t m = 6, k = 300, n = 10;  // crosses a KC boundary
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<real> via_run(m * n, 0.0);
+  tensor::gemm::run(Variant::NN, m, k, n, a.data(), b.data(), via_run.data());
+  EXPECT_TRUE(bits_equal(via_run, run_naive(Variant::NN, m, k, n, a, b)));
+
+  tensor::gemm::set_naive(false);
+  std::fill(via_run.begin(), via_run.end(), 0.0);
+  tensor::gemm::run(Variant::NN, m, k, n, a.data(), b.data(), via_run.data());
+  EXPECT_TRUE(bits_equal(via_run, run_blocked(Variant::NN, m, k, n, a, b)));
+}
+
+// ---- Layer-level differential runs ------------------------------------------
+
+struct ConvRun {
+  tensor::Tensor y, grad_x, grad_w, grad_b;
+};
+
+/// One forward+backward through a freshly seeded Conv2d; `naive` selects the
+/// oracle GEMM path, everything else (weights, input, grad) is identical.
+ConvRun conv_run(bool naive, int threads, index_t stride, index_t pad) {
+  tensor::gemm::set_naive(naive);
+  runtime::set_num_threads(threads);
+  common::Rng init_rng(0xC04Fu);
+  nn::Conv2d conv(/*in_channels=*/3, /*out_channels=*/5, /*kernel=*/3, stride,
+                  pad, init_rng);
+  common::Rng data_rng(0xDA7Au);
+  tensor::Tensor x({2, 3, 9, 9});
+  for (auto& v : x.data()) v = data_rng.uniform(-1.0, 1.0);
+  ConvRun out;
+  out.y = conv.forward(x, /*training=*/true);
+  tensor::Tensor gy(out.y.shape());
+  for (auto& v : gy.data()) v = data_rng.uniform(-1.0, 1.0);
+  out.grad_x = conv.backward(gy);
+  out.grad_w = conv.weight().grad;
+  out.grad_b = conv.bias().grad;
+  return out;
+}
+
+TEST(KernelDiff, Conv2dForwardBackwardBitIdentical) {
+  KernelEnvGuard guard;
+  for (const auto& [stride, pad] :
+       {std::pair<index_t, index_t>{1, 1}, {2, 0}}) {
+    const ConvRun oracle = conv_run(/*naive=*/true, /*threads=*/1, stride, pad);
+    for (const int threads : {1, 8}) {
+      const ConvRun blocked = conv_run(false, threads, stride, pad);
+      EXPECT_TRUE(bits_equal(oracle.y, blocked.y))
+          << "forward, stride " << stride << ", " << threads << " threads";
+      EXPECT_TRUE(bits_equal(oracle.grad_x, blocked.grad_x))
+          << "grad_x, stride " << stride << ", " << threads << " threads";
+      EXPECT_TRUE(bits_equal(oracle.grad_w, blocked.grad_w))
+          << "grad_w, stride " << stride << ", " << threads << " threads";
+      EXPECT_TRUE(bits_equal(oracle.grad_b, blocked.grad_b))
+          << "grad_b, stride " << stride << ", " << threads << " threads";
+    }
+  }
+}
+
+struct DenseRun {
+  tensor::Tensor y, grad_x, grad_w, grad_b;
+};
+
+DenseRun dense_run(bool naive, int threads) {
+  tensor::gemm::set_naive(naive);
+  runtime::set_num_threads(threads);
+  common::Rng init_rng(0xDE45u);
+  nn::Dense dense(/*in_features=*/37, /*out_features=*/29, init_rng);
+  common::Rng data_rng(0xDA7Bu);
+  tensor::Tensor x({17, 37});
+  for (auto& v : x.data()) v = data_rng.uniform(-1.0, 1.0);
+  DenseRun out;
+  out.y = dense.forward(x, /*training=*/true);
+  tensor::Tensor gy(out.y.shape());
+  for (auto& v : gy.data()) v = data_rng.uniform(-1.0, 1.0);
+  out.grad_x = dense.backward(gy);
+  out.grad_w = dense.weight().grad;
+  out.grad_b = dense.bias().grad;
+  return out;
+}
+
+TEST(KernelDiff, DenseForwardBackwardBitIdentical) {
+  KernelEnvGuard guard;
+  const DenseRun oracle = dense_run(/*naive=*/true, /*threads=*/1);
+  for (const int threads : {1, 8}) {
+    const DenseRun blocked = dense_run(false, threads);
+    EXPECT_TRUE(bits_equal(oracle.y, blocked.y)) << threads << " threads";
+    EXPECT_TRUE(bits_equal(oracle.grad_x, blocked.grad_x))
+        << threads << " threads";
+    EXPECT_TRUE(bits_equal(oracle.grad_w, blocked.grad_w))
+        << threads << " threads";
+    EXPECT_TRUE(bits_equal(oracle.grad_b, blocked.grad_b))
+        << threads << " threads";
+  }
+}
+
+// ---- Workspace arena --------------------------------------------------------
+
+TEST(Workspace, AllocationsAre64ByteAligned) {
+  runtime::Workspace ws;
+  runtime::Workspace::Scope scope(ws);
+  for (const index_t count : {1, 7, 64, 513, 4096}) {
+    const real* p = ws.alloc(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u)
+        << "count " << count;
+  }
+}
+
+TEST(Workspace, AllocOutsideScopeThrows) {
+  runtime::Workspace ws;
+  EXPECT_THROW(ws.alloc(8), Error);
+  {
+    runtime::Workspace::Scope scope(ws);
+    EXPECT_NE(ws.alloc(8), nullptr);
+  }
+  EXPECT_THROW(ws.alloc(8), Error);
+}
+
+TEST(Workspace, ScopeRewindReusesStorage) {
+  runtime::Workspace ws;
+  real* first = nullptr;
+  {
+    runtime::Workspace::Scope scope(ws);
+    first = ws.alloc(100);
+  }
+  {
+    runtime::Workspace::Scope scope(ws);
+    // Same single backing block, rewound: the second scope's allocation
+    // lands exactly where the first one did.
+    EXPECT_EQ(ws.alloc(100), first);
+  }
+}
+
+TEST(Workspace, NestedScopesRewindToTheirOwnMark) {
+  runtime::Workspace ws;
+  runtime::Workspace::Scope outer(ws);
+  real* a = ws.alloc(16);
+  real* inner_ptr = nullptr;
+  {
+    runtime::Workspace::Scope inner(ws);
+    inner_ptr = ws.alloc(16);
+    EXPECT_NE(inner_ptr, a);
+  }
+  // The inner scope's rewind must not release the outer allocation: the next
+  // bump continues from `a` + 16, i.e. exactly where the inner scope began.
+  EXPECT_EQ(ws.alloc(16), inner_ptr);
+}
+
+TEST(Workspace, FragmentedArenaCoalescesToOneBlock) {
+  runtime::Workspace ws;
+  {
+    runtime::Workspace::Scope scope(ws);
+    // Two allocations that cannot share the initial block force a second
+    // block while the scope is live.
+    ws.alloc(600);
+    ws.alloc(600);
+    EXPECT_GE(ws.block_count(), 2u);
+  }
+  const index_t cap = ws.capacity();
+  EXPECT_GE(cap, 1200u);
+  {
+    runtime::Workspace::Scope scope(ws);
+    // The combined capacity comes back as a single block...
+    ws.alloc(600);
+    ws.alloc(600);
+    EXPECT_EQ(ws.block_count(), 1u);
+  }
+  // ...and no capacity was lost in the exchange.
+  EXPECT_EQ(ws.capacity(), cap);
+}
+
+TEST(Workspace, SteadyStateNeverGrows) {
+  runtime::Workspace ws;
+  auto hot_loop = [&ws] {
+    runtime::Workspace::Scope scope(ws);
+    ws.alloc(700);
+    runtime::Workspace::Scope inner(ws);
+    ws.alloc(300);
+    ws.alloc(900);
+  };
+  hot_loop();
+  hot_loop();  // second pass settles the coalesced block
+  const index_t cap = ws.capacity();
+  const index_t blocks = ws.block_count();
+  for (int i = 0; i < 16; ++i) hot_loop();
+  EXPECT_EQ(ws.capacity(), cap);
+  EXPECT_EQ(ws.block_count(), blocks);
+}
+
+TEST(Workspace, BlockedGemmLeavesTlsArenaSettled) {
+  KernelEnvGuard guard;
+  common::Rng rng(0x9E99u);
+  const index_t m = 64, k = 300, n = 520;  // crosses KC and NC boundaries
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<real> c(m * n, 0.0);
+  runtime::set_num_threads(1);  // keep all packing on this thread's arena
+  tensor::gemm::blocked(Variant::NN, m, k, n, a.data(), b.data(), c.data());
+  runtime::Workspace& ws = runtime::Workspace::tls();
+  const index_t cap = ws.capacity();
+  for (int i = 0; i < 4; ++i) {
+    tensor::gemm::blocked(Variant::NN, m, k, n, a.data(), b.data(), c.data());
+  }
+  // Warm-up reached the high-water mark; the hot loop re-uses it verbatim.
+  EXPECT_EQ(ws.capacity(), cap);
+  EXPECT_LE(ws.block_count(), 1u);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,70 @@
+// Opt-in performance guard for the blocked GEMM layer.
+//
+// Skipped unless OASIS_PERF_GUARD=1: wall-clock assertions are inherently
+// machine-sensitive, so this runs as a dedicated ci.sh stage (`./ci.sh
+// perf`) on quiet hardware rather than inside the default suite. The bound
+// is deliberately loose (blocked must beat naive by >=1.5x on a 512^3
+// multiply; the observed margin is ~4x) so only a real regression — packing
+// gone quadratic, the microkernel de-vectorized — trips it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/parallel.h"
+#include "tensor/gemm/gemm.h"
+
+namespace oasis {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double best_of_3(const std::function<void()>& fn) {
+  double best = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+TEST(PerfGuard, BlockedBeatsNaiveOn512Cube) {
+  const char* env = std::getenv("OASIS_PERF_GUARD");
+  if (env == nullptr || env[0] == '\0' || env[0] == '0') {
+    GTEST_SKIP() << "set OASIS_PERF_GUARD=1 to run wall-clock guards";
+  }
+  runtime::set_num_threads(0);  // hardware default, as in production runs
+
+  const index_t n = 512;
+  common::Rng rng(0xBE7Cu);
+  std::vector<real> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const double naive_s = best_of_3([&] {
+    std::fill(c.begin(), c.end(), 0.0);
+    tensor::gemm::naive(tensor::gemm::Variant::NN, n, n, n, a.data(), b.data(),
+                        c.data());
+  });
+  const double blocked_s = best_of_3([&] {
+    std::fill(c.begin(), c.end(), 0.0);
+    tensor::gemm::blocked(tensor::gemm::Variant::NN, n, n, n, a.data(),
+                          b.data(), c.data());
+  });
+
+  const double speedup = naive_s / blocked_s;
+  RecordProperty("naive_seconds", std::to_string(naive_s));
+  RecordProperty("blocked_seconds", std::to_string(blocked_s));
+  RecordProperty("speedup", std::to_string(speedup));
+  EXPECT_GE(speedup, 1.5) << "blocked GEMM regressed: naive " << naive_s
+                          << "s vs blocked " << blocked_s << "s";
+}
+
+}  // namespace
+}  // namespace oasis

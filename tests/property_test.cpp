@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
 #include "attack/calibration.h"
@@ -270,6 +271,131 @@ TEST(RtfCalibration, QuantileCutoffsAreMonotoneForRandomSamples) {
     EXPECT_GE(cutoffs.front(), *mn) << "seed " << seed;
     EXPECT_LE(cutoffs.back(), *mx) << "seed " << seed;
   }
+}
+
+// ---- Blocked-GEMM algebra ---------------------------------------------------
+//
+// These run on the default (blocked) kernel path and pin the algebraic
+// identities the packing/tiling must preserve. The first three are EXACT:
+// identity columns, transposed evaluation order, and row/column block
+// partitions all execute the same per-element multiply-add chain, so even
+// the bits must agree. Only the k-partition test tolerates rounding, since
+// splitting k regroups the accumulation.
+
+bool same_bits(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(real)) == 0;
+}
+
+TEST(GemmAlgebra, MultiplyByIdentityIsTheInput) {
+  common::Rng rng(9001);
+  const index_t m = 37, k = 21;
+  const tensor::Tensor a = tensor::Tensor::rand({m, k}, rng, -1.0, 1.0);
+  tensor::Tensor eye({k, k});
+  for (index_t i = 0; i < k; ++i) eye.at2(i, i) = 1.0;
+  const tensor::Tensor prod = tensor::matmul(a, eye);
+  ASSERT_EQ(prod.shape(), a.shape());
+  for (index_t i = 0; i < m * k; ++i) EXPECT_EQ(prod[i], a[i]) << "i=" << i;
+}
+
+TEST(GemmAlgebra, TransposeOfProductIsReversedTransposedProduct) {
+  // (A·B)ᵀ and Bᵀ·Aᵀ accumulate every output element over the same
+  // ascending-k chain (multiplication commutes bit-for-bit), so the blocked
+  // kernels must produce identical bits for both evaluation orders.
+  common::Rng rng(9002);
+  const tensor::Tensor a = tensor::Tensor::rand({19, 45}, rng, -1.0, 1.0);
+  const tensor::Tensor b = tensor::Tensor::rand({45, 28}, rng, -1.0, 1.0);
+  const tensor::Tensor lhs = tensor::transpose(tensor::matmul(a, b));
+  const tensor::Tensor rhs =
+      tensor::matmul(tensor::transpose(b), tensor::transpose(a));
+  EXPECT_TRUE(same_bits(lhs, rhs));
+}
+
+TEST(GemmAlgebra, RowAndColumnBlockPartitionsAreExact) {
+  // Output rows (and columns) are computed independently, so slicing the
+  // inputs into blocks and multiplying blockwise reproduces the one-shot
+  // product exactly — this is the property the row-panel parallel split and
+  // the NC column blocking rely on.
+  common::Rng rng(9003);
+  const index_t m = 30, k = 41, n = 26, msplit = 13, nsplit = 11;
+  const tensor::Tensor a = tensor::Tensor::rand({m, k}, rng, -1.0, 1.0);
+  const tensor::Tensor b = tensor::Tensor::rand({k, n}, rng, -1.0, 1.0);
+  const tensor::Tensor full = tensor::matmul(a, b);
+
+  // Row partition of A.
+  tensor::Tensor a_top({msplit, k}), a_bot({m - msplit, k});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < k; ++j) {
+      if (i < msplit) {
+        a_top.at2(i, j) = a.at2(i, j);
+      } else {
+        a_bot.at2(i - msplit, j) = a.at2(i, j);
+      }
+    }
+  }
+  const tensor::Tensor top = tensor::matmul(a_top, b);
+  const tensor::Tensor bot = tensor::matmul(a_bot, b);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const real expect = i < msplit ? top.at2(i, j) : bot.at2(i - msplit, j);
+      EXPECT_EQ(full.at2(i, j), expect) << "row block at " << i << "," << j;
+    }
+  }
+
+  // Column partition of B.
+  tensor::Tensor b_left({k, nsplit}), b_right({k, n - nsplit});
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (j < nsplit) {
+        b_left.at2(i, j) = b.at2(i, j);
+      } else {
+        b_right.at2(i, j - nsplit) = b.at2(i, j);
+      }
+    }
+  }
+  const tensor::Tensor left = tensor::matmul(a, b_left);
+  const tensor::Tensor right = tensor::matmul(a, b_right);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const real expect =
+          j < nsplit ? left.at2(i, j) : right.at2(i, j - nsplit);
+      EXPECT_EQ(full.at2(i, j), expect) << "col block at " << i << "," << j;
+    }
+  }
+}
+
+TEST(GemmAlgebra, KPartitionDistributesOverAddition) {
+  // A·B == A1·B1 + A2·B2 when k is split. Regrouping the accumulation is
+  // NOT bit-exact (that is precisely why the KC loop stays serial inside the
+  // kernel), so this one gets a tolerance.
+  common::Rng rng(9004);
+  const index_t m = 22, k = 50, n = 18, ksplit = 23;
+  const tensor::Tensor a = tensor::Tensor::rand({m, k}, rng, -1.0, 1.0);
+  const tensor::Tensor b = tensor::Tensor::rand({k, n}, rng, -1.0, 1.0);
+  tensor::Tensor a1({m, ksplit}), a2({m, k - ksplit});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < k; ++j) {
+      if (j < ksplit) {
+        a1.at2(i, j) = a.at2(i, j);
+      } else {
+        a2.at2(i, j - ksplit) = a.at2(i, j);
+      }
+    }
+  }
+  tensor::Tensor b1({ksplit, n}), b2({k - ksplit, n});
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (i < ksplit) {
+        b1.at2(i, j) = b.at2(i, j);
+      } else {
+        b2.at2(i - ksplit, j) = b.at2(i, j);
+      }
+    }
+  }
+  const tensor::Tensor whole = tensor::matmul(a, b);
+  const tensor::Tensor split = tensor::matmul(a1, b1) + tensor::matmul(a2, b2);
+  EXPECT_TRUE(tensor::allclose(whole, split, 1e-12, 1e-12));
 }
 
 TEST(RtfCalibration, QuantileCutoffsRefineMonotonically) {

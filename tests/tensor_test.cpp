@@ -111,6 +111,30 @@ TEST(Ops, TransposedVariantsAgreeWithExplicitTranspose) {
   EXPECT_TRUE(allclose(matmul_nt(c, d), matmul(c, transpose(d))));
 }
 
+TEST(Ops, TransposeStridesRank2) {
+  // Non-square so a row/column stride mix-up cannot cancel out.
+  Tensor a({2, 3}, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  const Tensor t = transpose(a);
+  ASSERT_EQ(t.dim(0), 3u);
+  ASSERT_EQ(t.dim(1), 2u);
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t j = 0; j < 3; ++j) EXPECT_EQ(t.at2(j, i), a.at2(i, j));
+  }
+  // Row-major layout of the result: element (j, i) lives at j*2 + i.
+  EXPECT_EQ(t[0], 1.0);
+  EXPECT_EQ(t[1], 4.0);
+  EXPECT_EQ(t[2], 2.0);
+  EXPECT_EQ(t[3], 5.0);
+  EXPECT_EQ(t[4], 3.0);
+  EXPECT_EQ(t[5], 6.0);
+  // Involution: transposing twice restores the original bits.
+  const Tensor back = transpose(t);
+  ASSERT_EQ(back.shape(), a.shape());
+  for (index_t i = 0; i < a.size(); ++i) EXPECT_EQ(back[i], a[i]);
+  EXPECT_THROW(transpose(Tensor({2, 2, 2})), ShapeError);
+  EXPECT_THROW(transpose(Tensor({4})), ShapeError);
+}
+
 TEST(Ops, MatvecAndOuter) {
   Tensor a({2, 2}, {1, 2, 3, 4});
   Tensor x({2}, {1, 1});

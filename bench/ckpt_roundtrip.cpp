@@ -1,0 +1,120 @@
+// Checkpoint subsystem throughput: encode / durable-save / load+restore
+// rates for a real federation snapshot, at three model scales. The encode
+// and restore rows bound the per-checkpoint stall a training loop pays; the
+// save row adds the fsync-twice durability cost, which dominates and is why
+// checkpoint cadence (--checkpoint-every) is the knob that matters, not
+// snapshot size.
+#include <chrono>
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "ckpt/io.h"
+#include "ckpt/manager.h"
+#include "data/synthetic.h"
+#include "fl/preprocessor.h"
+#include "fl/simulation.h"
+#include "nn/models.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace {
+
+using namespace oasis;
+
+fl::Simulation make_simulation(index_t image_hw, index_t conv_channels) {
+  data::SynthConfig cfg;
+  cfg.num_classes = 10;
+  cfg.height = cfg.width = image_hw;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 0;
+  cfg.seed = 4242;
+  const data::SynthDataset dataset = data::generate(cfg);
+  const auto shards = dataset.train.shard(4);
+
+  const nn::ImageSpec spec{3, image_hw, image_hw};
+  common::Rng init_rng(7);
+  const fl::ModelFactory factory = [&spec, &init_rng, conv_channels]() {
+    return nn::make_mini_convnet(spec, 10, init_rng, conv_channels);
+  };
+  auto server = std::make_unique<fl::Server>(factory(), /*learning_rate=*/0.1);
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  for (index_t i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<fl::Client>(
+        i, shards[i], factory, /*batch_size=*/8,
+        std::make_shared<fl::IdentityPreprocessor>(), common::Rng(1000 + i)));
+  }
+  return fl::Simulation(std::move(server), std::move(clients),
+                        fl::SimulationConfig{/*clients_per_round=*/4,
+                                             /*seed=*/3});
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void bench_scale(const std::string& label, index_t image_hw,
+                 index_t conv_channels, index_t iters) {
+  obs::Registry::global().reset();
+  fl::Simulation sim = make_simulation(image_hw, conv_channels);
+  sim.run_round();  // populate optimizer-side and obs state realistically
+
+  const tensor::ByteBuffer snapshot = sim.encode_checkpoint();
+  const double mib =
+      static_cast<double>(snapshot.size()) / (1024.0 * 1024.0);
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (index_t i = 0; i < iters; ++i) (void)sim.encode_checkpoint();
+  const double encode_s = seconds_since(t0) / static_cast<double>(iters);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "oasis_ckpt_bench";
+  std::filesystem::remove_all(dir);
+  ckpt::CheckpointManager manager(dir.string(), /*keep=*/2);
+  t0 = std::chrono::steady_clock::now();
+  for (index_t i = 0; i < iters; ++i) {
+    (void)manager.save(static_cast<std::uint64_t>(i + 1), snapshot);
+  }
+  const double save_s = seconds_since(t0) / static_cast<double>(iters);
+
+  t0 = std::chrono::steady_clock::now();
+  for (index_t i = 0; i < iters; ++i) {
+    const ckpt::CheckpointManager::Loaded loaded = manager.load_latest_valid();
+    sim.restore_checkpoint(
+        ckpt::read_file(manager.path_for(loaded.generation)));
+  }
+  const double restore_s = seconds_since(t0) / static_cast<double>(iters);
+  std::filesystem::remove_all(dir);
+
+  std::cout << std::left << std::setw(10) << label << std::right
+            << std::setw(10) << std::fixed << std::setprecision(2) << mib
+            << std::setw(12) << std::setprecision(1) << (mib / encode_s)
+            << std::setw(12) << (mib / save_s) << std::setw(12)
+            << (mib / restore_s) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli("ckpt_roundtrip",
+                        "Checkpoint encode/save/restore throughput");
+  cli.add_bool("full", "run more iterations per row");
+  runtime::add_cli_flag(cli);
+  cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
+  const index_t iters = cli.get_bool("full") ? 50 : 10;
+
+  std::cout << "checkpoint round-trip throughput (MiB/s, " << iters
+            << " iters/row; save = atomic write incl. fsync)\n";
+  std::cout << std::left << std::setw(10) << "scale" << std::right
+            << std::setw(10) << "size MiB" << std::setw(12) << "encode"
+            << std::setw(12) << "save" << std::setw(12) << "restore" << "\n";
+  bench_scale("small", /*image_hw=*/16, /*conv_channels=*/4, iters);
+  bench_scale("medium", /*image_hw=*/24, /*conv_channels=*/8, iters);
+  bench_scale("large", /*image_hw=*/32, /*conv_channels=*/16, iters);
+  return 0;
+}

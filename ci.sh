@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # CI entry point: Release build + full test suite, an AddressSanitizer build
 # running the unit + golden labels, a chaos stage running the randomized
-# fault-injection suite under ASan/UBSan, then a ThreadSanitizer build
-# exercising the concurrency-heavy tests (runtime pool + FL rounds + chaos).
+# fault-injection suite under ASan/UBSan, a crash stage running the
+# kill-point checkpoint/resume harness and snapshot-corruption sweeps under
+# ASan/UBSan, then a ThreadSanitizer build exercising the concurrency-heavy
+# tests (runtime pool + FL rounds + chaos + crash/resume at 8 threads).
 #
 # Every test carries a ctest LABEL (unit | integration | sanitizer |
-# property | golden | chaos) and a hard 30 s per-test TIMEOUT — a test that
-# exceeds it fails the suite.
+# property | golden | chaos | crash) and a hard 30 s per-test TIMEOUT — a
+# test that exceeds it fails the suite.
 #
-#   ./ci.sh            # all four default stages
+#   ./ci.sh            # all five default stages
 #   ./ci.sh release    # Release + full ctest only
 #   ./ci.sh asan       # ASan build + unit/golden/kernel labels only
 #   ./ci.sh chaos      # ASan build + chaos label only
+#   ./ci.sh crash      # ASan build + crash label only (SIGKILL harness)
 #   ./ci.sh tsan       # TSan stage only
 #   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards
 #                      # (blocked GEMM >= 1.5x naive); run on quiet hardware
@@ -49,13 +52,28 @@ run_chaos() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L chaos
 }
 
+run_crash() {
+  # The kill-point harness SIGKILLs checkpoint writers at randomized byte
+  # offsets and memcmps resumed runs against uninterrupted references; the
+  # corruption sweeps parse every truncation + hundreds of bit flips. Both
+  # run under ASan/UBSan so an out-of-bounds read on a damaged snapshot
+  # aborts loudly instead of passing quietly.
+  echo "==> [ci] Crash stage: kill-point checkpoint/resume harness under ASan/UBSan"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}" --target crash_test ckpt_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L crash
+}
+
 run_tsan() {
-  echo "==> [ci] ThreadSanitizer build (runtime_test + fl_test + chaos_test)"
+  # crash_test rides along: its 8-thread shards resume checkpoints into a
+  # freshly spawned pool, exactly where a racy restore would surface.
+  echo "==> [ci] ThreadSanitizer build (runtime_test + fl_test + chaos_test + crash_test)"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
-  cmake --build build-tsan -j "${jobs}" --target runtime_test fl_test     chaos_test
+  cmake --build build-tsan -j "${jobs}" --target runtime_test fl_test     chaos_test crash_test
   ./build-tsan/tests/runtime_test
   ./build-tsan/tests/fl_test
   ./build-tsan/tests/chaos_test
+  ./build-tsan/tests/crash_test --gtest_filter='*Threads8*:*ReferencesAgree*'
 }
 
 run_perf() {
@@ -71,16 +89,18 @@ case "${stage}" in
   release) run_release ;;
   asan) run_asan ;;
   chaos) run_chaos ;;
+  crash) run_crash ;;
   tsan) run_tsan ;;
   perf) run_perf ;;
   all)
     run_release
     run_asan
     run_chaos
+    run_crash
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|chaos|tsan|perf|all]" >&2
+    echo "usage: $0 [release|asan|chaos|crash|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

@@ -16,9 +16,21 @@
 //
 // Faulty rounds that miss quorum abort with a bit-exact model rollback and
 // training simply continues with the next round's cohort.
+//
+// Long runs can be made interruption-proof with durable checkpoints: every
+// --checkpoint-every rounds the full simulation state (model, RNG streams,
+// clock, obs counters) is written crash-consistently to --checkpoint-dir,
+// and --resume picks the run back up from the newest valid snapshot — the
+// resumed trajectory is bit-identical to one that never stopped:
+//
+//   $ ./fl_training --rounds 500 --checkpoint-dir ckpts --checkpoint-every 25
+//   ... SIGKILL at any moment ...
+//   $ ./fl_training --rounds 500 --checkpoint-dir ckpts --checkpoint-every 25 \
+//                   --resume
 #include <iostream>
 #include <memory>
 
+#include "ckpt/manager.h"
 #include "common/cli.h"
 #include "common/error.h"
 #include "core/oasis.h"
@@ -48,6 +60,12 @@ int main(int argc, char** argv) {
   cli.add_flag("fault-seed", "fault plan seed", "677200");
   cli.add_flag("quorum", "fraction of selected clients required to commit "
                "a round (0=disabled)", "0");
+  cli.add_flag("checkpoint-dir",
+               "write durable simulation snapshots to this directory", "");
+  cli.add_flag("checkpoint-every", "rounds between checkpoints", "25");
+  cli.add_flag("checkpoint-keep", "snapshot generations to retain", "3");
+  cli.add_bool("resume",
+               "resume from the newest valid snapshot in --checkpoint-dir");
   runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
   runtime::apply_cli_flag(cli);
@@ -111,27 +129,56 @@ int main(int argc, char** argv) {
               << sim_cfg.quorum_fraction << ")\n";
   }
 
+  // Durable checkpointing: the loop below is keyed on the server's protocol
+  // round (not a loop counter) so a resumed process continues exactly where
+  // the snapshot left off.
+  std::unique_ptr<ckpt::CheckpointManager> manager;
+  const auto ckpt_every =
+      static_cast<std::uint64_t>(cli.get_int("checkpoint-every"));
+  if (const std::string dir = cli.get("checkpoint-dir"); !dir.empty()) {
+    manager = std::make_unique<ckpt::CheckpointManager>(
+        dir, static_cast<int>(cli.get_int("checkpoint-keep")));
+    if (cli.get_bool("resume")) {
+      try {
+        const std::uint64_t at = sim.resume_from(*manager);
+        std::cout << "resumed from checkpoint at round " << at << "\n";
+      } catch (const CheckpointError& e) {
+        if (e.reason() != CheckpointError::Reason::kNoValidGeneration) throw;
+        std::cout << "no checkpoint to resume from; starting fresh\n";
+      }
+    }
+  }
+
+  const auto target = static_cast<std::uint64_t>(rounds);
   index_t aborted = 0;
-  for (index_t r = 0; r < rounds; ++r) {
+  // Aborted (quorum-missing) attempts don't advance the protocol round;
+  // bound total attempts so a pathological fault plan cannot spin forever.
+  for (index_t attempts = 0;
+       sim.server().round() < target && attempts < 2 * rounds; ++attempts) {
     try {
       sim.run_round();
     } catch (const QuorumError& e) {
       // The engine already rolled the model back bit-exactly; skip to the
       // next round's cohort.
       ++aborted;
-      std::cout << "round " << (r + 1) << ": aborted (" << e.what() << ")\n";
+      std::cout << "round " << (sim.server().round() + 1) << ": aborted ("
+                << e.what() << ")\n";
       continue;
     }
-    if ((r + 1) % 25 == 0 || r + 1 == rounds) {
+    const std::uint64_t r = sim.server().round();
+    if (manager != nullptr && (r % ckpt_every == 0 || r == target)) {
+      sim.save_checkpoint(*manager);
+    }
+    if (r % 25 == 0 || r == target) {
       const real acc =
           metrics::accuracy(server_ptr->global_model(), dataset.test);
       obs::gauge("fl.global_test_accuracy").set(acc);
-      std::cout << "round " << (r + 1) << ": global test accuracy "
+      std::cout << "round " << r << ": global test accuracy "
                 << acc * 100.0 << "%\n";
     }
   }
   if (aborted > 0) {
-    std::cout << aborted << "/" << rounds << " rounds aborted on quorum\n";
+    std::cout << aborted << " round attempt(s) aborted on quorum\n";
   }
   if (const std::string path = cli.get("metrics-out"); !path.empty()) {
     obs::dump(path);

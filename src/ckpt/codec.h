@@ -1,0 +1,119 @@
+// Tiny bounds-checked value codec for checkpoint section payloads.
+//
+// Sections store primitive streams (u8/u32/u64, bit-cast f64, short
+// strings). The Reader validates every length against the bytes actually
+// present and throws CheckpointError{kMalformedSection} on any shortfall —
+// by the time a Reader runs, the section's CRC already passed, so a
+// malformed stream means a writer bug or version skew, not disk damage.
+// Doubles travel as raw IEEE-754 bit patterns (bit_cast through u64): the
+// resume bit-identity contract requires exact payload round-trips, not
+// merely value-preserving ones (signalling-NaN payloads included).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace oasis::ckpt {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+class SectionWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void bytes(const ByteBuffer& b) {
+    u64(b.size());
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] ByteBuffer take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  ByteBuffer out_;
+};
+
+class SectionReader {
+ public:
+  SectionReader(const ByteBuffer& in, std::string section)
+      : in_(in), section_(std::move(section)) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return in_[off_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(in_.data() + off_), n);
+    off_ += n;
+    return s;
+  }
+  ByteBuffer bytes() {
+    const std::uint64_t n = u64();
+    need(n);
+    ByteBuffer b(in_.begin() + static_cast<std::ptrdiff_t>(off_),
+                 in_.begin() + static_cast<std::ptrdiff_t>(off_ + n));
+    off_ += n;
+    return b;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - off_; }
+
+  /// Call when a section has been fully consumed; trailing bytes mean a
+  /// writer/reader version skew and are rejected.
+  void expect_end() const {
+    if (off_ != in_.size()) {
+      throw CheckpointError(
+          CheckpointError::Reason::kMalformedSection,
+          "section '" + section_ + "' has " +
+              std::to_string(in_.size() - off_) + " trailing byte(s)");
+    }
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (off_ > in_.size() || in_.size() - off_ < n) {
+      throw CheckpointError(
+          CheckpointError::Reason::kMalformedSection,
+          "section '" + section_ + "' truncated at offset " +
+              std::to_string(off_));
+    }
+  }
+  void raw(void* p, std::size_t n) {
+    need(n);
+    std::memcpy(p, in_.data() + off_, n);
+    off_ += n;
+  }
+
+  const ByteBuffer& in_;
+  std::string section_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace oasis::ckpt

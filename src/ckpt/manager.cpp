@@ -1,0 +1,124 @@
+#include "ckpt/manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "ckpt/io.h"
+#include "common/logging.h"
+#include "obs/obs.h"
+
+namespace oasis::ckpt {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".ckpt";
+
+/// ckpt-<digits>.ckpt → generation; nullopt-like via bool return.
+bool parse_generation(const std::string& filename, std::uint64_t& out) {
+  const std::size_t plen = sizeof(kPrefix) - 1;
+  const std::size_t slen = sizeof(kSuffix) - 1;
+  if (filename.size() <= plen + slen) return false;
+  if (filename.compare(0, plen, kPrefix) != 0) return false;
+  if (filename.compare(filename.size() - slen, slen, kSuffix) != 0)
+    return false;
+  std::uint64_t gen = 0;
+  for (std::size_t i = plen; i < filename.size() - slen; ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return false;
+    gen = gen * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = gen;
+  return true;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  OASIS_CHECK_MSG(keep_ >= 1, "checkpoint keep must be >= 1, got " << keep_);
+  OASIS_CHECK_MSG(!dir_.empty(), "checkpoint directory must be non-empty");
+}
+
+std::string CheckpointManager::path_for(std::uint64_t generation) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%08llu%s", kPrefix,
+                static_cast<unsigned long long>(generation), kSuffix);
+  return dir_ + "/" + name;
+}
+
+std::vector<std::uint64_t> CheckpointManager::generations() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::uint64_t gen = 0;
+    if (parse_generation(entry.path().filename().string(), gen)) {
+      gens.push_back(gen);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::string CheckpointManager::save(std::uint64_t generation,
+                                    const ByteBuffer& bytes) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw IoError("create_directories", dir_, ec.value());
+
+  const std::string path = path_for(generation);
+  write_file_atomic(path, bytes);
+
+  // Prune: keep the newest `keep_` generations (the one just written counts),
+  // and sweep stale .tmp litter left by crashed earlier writers.
+  auto gens = generations();
+  if (gens.size() > static_cast<std::size_t>(keep_)) {
+    for (std::size_t i = 0; i + static_cast<std::size_t>(keep_) < gens.size();
+         ++i) {
+      if (gens[i] == generation) continue;  // never prune what we just wrote
+      fs::remove(path_for(gens[i]), ec);    // best-effort; crash-safe anyway
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp" &&
+        entry.path().string() != path + ".tmp") {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return path;
+}
+
+CheckpointManager::Loaded CheckpointManager::load_latest_valid() const {
+  auto gens = generations();
+  std::uint64_t skipped = 0;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path = path_for(*it);
+    try {
+      Snapshot snap = Snapshot::parse(read_file(path));
+      if (skipped != 0) {
+        obs::counter("ckpt.restore.skipped_invalid").add(skipped);
+        OASIS_LOG_WARN << "ckpt: skipped " << skipped
+                       << " invalid generation(s), using " << path;
+      }
+      return Loaded{*it, std::move(snap)};
+    } catch (const CheckpointError& e) {
+      OASIS_LOG_WARN << "ckpt: generation " << *it << " invalid: " << e.what();
+      ++skipped;
+    } catch (const IoError& e) {
+      OASIS_LOG_WARN << "ckpt: generation " << *it
+                     << " unreadable: " << e.what();
+      ++skipped;
+    }
+  }
+  if (skipped != 0) obs::counter("ckpt.restore.skipped_invalid").add(skipped);
+  throw CheckpointError(
+      CheckpointError::Reason::kNoValidGeneration,
+      "no valid checkpoint generation in '" + dir_ + "' (" +
+          std::to_string(gens.size()) + " candidate(s), " +
+          std::to_string(skipped) + " invalid)");
+}
+
+}  // namespace oasis::ckpt

@@ -1,0 +1,106 @@
+#include "ckpt/obs_state.h"
+
+#include <string>
+#include <utility>
+
+namespace oasis::ckpt {
+
+namespace {
+constexpr char kRestorePrefix[] = "ckpt.restore";
+}
+
+ByteBuffer encode_obs(const obs::Registry& registry) {
+  SectionWriter w;
+
+  const auto counters = registry.counters();
+  w.u32(static_cast<std::uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    w.str(name);
+    w.u64(value);
+  }
+
+  const auto gauges = registry.gauges();
+  w.u32(static_cast<std::uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    w.str(name);
+    w.f64(value);
+  }
+
+  const auto histograms = registry.histograms();
+  w.u32(static_cast<std::uint32_t>(histograms.size()));
+  for (const auto& [name, h] : histograms) {
+    w.str(name);
+    w.u64(h.count);
+    w.f64(h.sum);
+    w.f64(h.min);
+    w.f64(h.max);
+    w.u32(static_cast<std::uint32_t>(h.boundaries.size()));
+    for (const double b : h.boundaries) w.f64(b);
+    for (const std::uint64_t b : h.buckets) w.u64(b);
+  }
+
+  const auto spans = registry.spans();
+  w.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const auto& [path, stats] : spans) {
+    w.str(path);
+    w.u64(stats.count);
+  }
+
+  return w.take();
+}
+
+void apply_obs(const ByteBuffer& payload) {
+  obs::Registry& reg = obs::Registry::global();
+
+  // Live restore-activity tallies survive the reset (added back on top of
+  // whatever the snapshot itself recorded from earlier resumes).
+  std::vector<std::pair<std::string, std::uint64_t>> carried;
+  for (const auto& [name, value] : reg.counters()) {
+    if (value != 0 && name.rfind(kRestorePrefix, 0) == 0) {
+      carried.emplace_back(name, value);
+    }
+  }
+
+  // Decode FULLY before mutating the registry: a malformed payload must not
+  // leave it half-reset. (The section CRC already passed, so this only fires
+  // on writer bugs or version skew, but the strong guarantee is cheap.)
+  SectionReader r(payload, "obs");
+  std::vector<std::pair<std::string, std::uint64_t>> counters(r.u32());
+  for (auto& [name, value] : counters) {
+    name = r.str();
+    value = r.u64();
+  }
+  std::vector<std::pair<std::string, double>> gauges(r.u32());
+  for (auto& [name, value] : gauges) {
+    name = r.str();
+    value = r.f64();
+  }
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> histograms(
+      r.u32());
+  for (auto& [name, h] : histograms) {
+    name = r.str();
+    h.count = r.u64();
+    h.sum = r.f64();
+    h.min = r.f64();
+    h.max = r.f64();
+    h.boundaries.resize(r.u32());
+    for (auto& b : h.boundaries) b = r.f64();
+    h.buckets.resize(h.boundaries.size() + 1);
+    for (auto& b : h.buckets) b = r.u64();
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> spans(r.u32());
+  for (auto& [path, count] : spans) {
+    path = r.str();
+    count = r.u64();
+  }
+  r.expect_end();
+
+  reg.reset();
+  for (const auto& [name, value] : counters) reg.restore_counter(name, value);
+  for (const auto& [name, value] : gauges) reg.restore_gauge(name, value);
+  for (const auto& [name, h] : histograms) reg.restore_histogram(name, h);
+  for (const auto& [path, count] : spans) reg.restore_span(path, count);
+  for (const auto& [name, value] : carried) reg.counter(name).add(value);
+}
+
+}  // namespace oasis::ckpt

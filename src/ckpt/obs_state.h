@@ -1,0 +1,32 @@
+// (De)serialization of an oasis::obs registry for checkpoint snapshots.
+//
+// A snapshot stores the deterministic face of the registry: counter values,
+// gauge values, histogram combined state (count/sum/min/max/boundaries/
+// buckets — all deterministic for the library's workloads, see obs.h), and
+// span COUNTS. Span nanosecond totals are wall-clock noise, excluded from
+// the resume bit-identity contract, and restored as zero.
+//
+// apply_obs replaces the global registry's contents with the snapshot,
+// EXCEPT for counters under the "ckpt.restore" prefix: those tally the very
+// restore activity happening right now (invalid generations skipped, restores
+// performed), so their live values are carried across the reset and added on
+// top of the snapshot's. DESIGN.md §5g documents this as the one name prefix
+// excluded from resume bit-identity.
+#pragma once
+
+#include <vector>
+
+#include "ckpt/codec.h"
+#include "obs/obs.h"
+
+namespace oasis::ckpt {
+
+/// Encodes a registry snapshot (counters, gauges, histograms, span counts).
+ByteBuffer encode_obs(const obs::Registry& registry);
+
+/// Resets the GLOBAL registry and restores `payload` into it, preserving
+/// live "ckpt.restore"-prefixed counter tallies (see file comment). Throws
+/// CheckpointError{kMalformedSection} on a damaged payload.
+void apply_obs(const ByteBuffer& payload);
+
+}  // namespace oasis::ckpt

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace oasis {
 
@@ -27,6 +28,15 @@ class ShapeError : public Error {
 class SerializationError : public Error {
  public:
   explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a payload's CRC32C trailer does not match its contents — the
+/// bytes were damaged in flight (bit flip, truncation, torn write) even if
+/// the structure still happens to parse. Subclasses SerializationError so
+/// existing catch sites treat it as a malformed payload.
+class ChecksumError : public SerializationError {
+ public:
+  explicit ChecksumError(const std::string& what) : SerializationError(what) {}
 };
 
 /// Raised on invalid user-supplied configuration.
@@ -54,6 +64,80 @@ class QuorumError : public Error {
 class TimeoutError : public Error {
  public:
   explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on filesystem failures (open/write/fsync/rename/read). Captures
+/// the failing path and the OS errno so a checkpoint failure in a log is
+/// diagnosable without a debugger ("disk full writing /ckpt/x.tmp" rather
+/// than a bare "io error").
+class IoError : public Error {
+ public:
+  IoError(const std::string& op, const std::string& path, int err)
+      : Error(op + " '" + path + "': " +
+              (err != 0 ? describe_errno(err) : std::string("unknown error"))),
+        path_(path),
+        errno_(err) {}
+
+  const std::string& path() const noexcept { return path_; }
+  int error_number() const noexcept { return errno_; }
+
+ private:
+  // std::system_category is the thread-safe spelling of strerror().
+  static std::string describe_errno(int err) {
+    return std::error_code(err, std::system_category()).message() +
+           " (errno " + std::to_string(err) + ")";
+  }
+
+  std::string path_;
+  int errno_;
+};
+
+/// Raised when a checkpoint container cannot be loaded (or no valid
+/// generation exists). The reason code distinguishes structural damage,
+/// checksum damage, and state mismatches so callers can log precisely and
+/// tests can assert the exact failure class.
+class CheckpointError : public Error {
+ public:
+  enum class Reason {
+    kBadMagic,            // not an oasis.ckpt container at all
+    kBadVersion,          // container version not understood
+    kTruncated,           // file smaller than a minimal container
+    kFooterChecksum,      // whole-file CRC mismatch (torn / bit-rotted file)
+    kSectionChecksum,     // a section's payload CRC mismatch
+    kMalformedDirectory,  // directory entries out of bounds / overlapping
+    kMalformedSection,    // a section parsed but its contents are invalid
+    kMissingSection,      // a required section is absent
+    kStateMismatch,       // snapshot disagrees with the live configuration
+    kNoValidGeneration,   // every retained generation failed validation
+    kIo,                  // underlying filesystem failure
+  };
+
+  CheckpointError(Reason reason, const std::string& what)
+      : Error(std::string("checkpoint error [") + reason_name(reason) +
+              "]: " + what),
+        reason_(reason) {}
+
+  Reason reason() const noexcept { return reason_; }
+
+  static const char* reason_name(Reason r) noexcept {
+    switch (r) {
+      case Reason::kBadMagic: return "bad_magic";
+      case Reason::kBadVersion: return "bad_version";
+      case Reason::kTruncated: return "truncated";
+      case Reason::kFooterChecksum: return "footer_checksum";
+      case Reason::kSectionChecksum: return "section_checksum";
+      case Reason::kMalformedDirectory: return "malformed_directory";
+      case Reason::kMalformedSection: return "malformed_section";
+      case Reason::kMissingSection: return "missing_section";
+      case Reason::kStateMismatch: return "state_mismatch";
+      case Reason::kNoValidGeneration: return "no_valid_generation";
+      case Reason::kIo: return "io";
+    }
+    return "unknown";
+  }
+
+ private:
+  Reason reason_;
 };
 
 namespace detail {

@@ -65,6 +65,26 @@ class Rng {
   /// Samples `k` distinct indices from [0, n) without replacement.
   std::vector<index_t> sample_without_replacement(index_t n, index_t k);
 
+  /// Complete serializable engine state: the four xoshiro256** words plus
+  /// the Box–Muller spare. Capturing and later restoring it resumes the
+  /// stream at exactly the same position — the checkpoint subsystem depends
+  /// on this to make resumed runs bit-identical.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    real spare_normal = 0.0;
+    bool has_spare = false;
+  };
+
+  [[nodiscard]] State state() const {
+    return State{state_, spare_normal_, has_spare_};
+  }
+
+  void set_state(const State& s) {
+    state_ = s.words;
+    spare_normal_ = s.spare_normal;
+    has_spare_ = s.has_spare;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   real spare_normal_ = 0.0;

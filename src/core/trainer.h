@@ -29,6 +29,20 @@ struct TrainerConfig {
   /// Evaluate test accuracy every `eval_every` epochs (and always at the
   /// end); 0 disables intermediate evaluation.
   index_t eval_every = 0;
+
+  // --- Durable checkpointing (off by default) ---
+  /// When non-empty, an "oasis.ckpt/v1" snapshot (model, optimizer slots,
+  /// RNG stream position, loss history) is written here crash-consistently
+  /// at every `checkpoint_every`-th epoch boundary.
+  std::string checkpoint_dir;
+  index_t checkpoint_every = 1;
+  /// Retained generations (older ones are pruned).
+  int checkpoint_keep = 3;
+  /// Resume from the newest valid generation in checkpoint_dir before
+  /// training. Starts fresh when the directory holds no loadable snapshot.
+  /// A resumed run is bit-identical to an uninterrupted one (same model
+  /// bytes, same epoch_loss history).
+  bool resume = false;
 };
 
 struct TrainResult {

@@ -20,6 +20,7 @@ const char* to_string(RejectReason reason) {
     case RejectReason::kShapeMismatch: return "shape_mismatch";
     case RejectReason::kNonFinite: return "non_finite";
     case RejectReason::kNormTooLarge: return "norm_too_large";
+    case RejectReason::kChecksumMismatch: return "checksum_mismatch";
   }
   return "?";
 }
@@ -59,6 +60,8 @@ RoundOutcome Server::validate_updates(
   static obs::Counter& non_finite_c =
       obs::counter("fl.validate.reject.non_finite");
   static obs::Counter& norm_c = obs::counter("fl.validate.reject.norm");
+  static obs::Counter& checksum_c =
+      obs::counter("fl.validate.reject.checksum");
 
   std::vector<tensor::Shape> expected;
   for (auto* p : model_->parameters()) expected.push_back(p->value.shape());
@@ -89,6 +92,11 @@ RoundOutcome Server::validate_updates(
                    std::sqrt(scan.sum_squares) > validation_.max_grad_norm) {
           reason = RejectReason::kNormTooLarge;
         }
+      } catch (const ChecksumError&) {
+        // CRC trailer mismatch: the bytes were damaged in flight. Checked
+        // first (inside scan_tensors) so a bit flip that happens to keep the
+        // structure parseable is still rejected.
+        reason = RejectReason::kChecksumMismatch;
       } catch (const SerializationError&) {
         reason = RejectReason::kMalformed;
       }
@@ -108,6 +116,7 @@ RoundOutcome Server::validate_updates(
         case RejectReason::kShapeMismatch: shape_c.add(1); break;
         case RejectReason::kNonFinite: non_finite_c.add(1); break;
         case RejectReason::kNormTooLarge: norm_c.add(1); break;
+        case RejectReason::kChecksumMismatch: checksum_c.add(1); break;
         case RejectReason::kAccepted: break;
       }
     }

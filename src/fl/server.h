@@ -25,13 +25,14 @@ namespace oasis::fl {
 /// Why an update was excluded from aggregation (kAccepted = it was not).
 enum class RejectReason : std::uint8_t {
   kAccepted = 0,
-  kMalformed,     // gradients failed to deserialize (truncation, bit flips)
+  kMalformed,     // gradients failed to deserialize (structural damage)
   kWrongRound,    // stale or replayed round id
   kDuplicate,     // a second update from the same client this round
   kZeroExamples,  // FedAvg weight would be zero
   kShapeMismatch, // tensor count/shapes differ from the global model's
   kNonFinite,     // NaN/Inf anywhere in the gradients
   kNormTooLarge,  // gradient L2 norm outside the configured band
+  kChecksumMismatch,  // payload CRC32C trailer does not match its bytes
 };
 
 const char* to_string(RejectReason reason);
@@ -93,6 +94,10 @@ class Server {
 
   [[nodiscard]] std::uint64_t round() const { return round_; }
   nn::Sequential& global_model() { return *model_; }
+
+  /// Sets the protocol round id to an absolute value. Checkpoint restore
+  /// only — the round id normally advances exclusively via finish_round.
+  void restore_round(std::uint64_t round) { round_ = round; }
 
  protected:
   /// The validation pipeline: per-update accept/reject with obs tallies

@@ -1,8 +1,12 @@
 #include "fl/simulation.h"
 
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "ckpt/codec.h"
+#include "ckpt/container.h"
+#include "ckpt/obs_state.h"
 #include "nn/model_io.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
@@ -208,6 +212,148 @@ void Simulation::run(index_t rounds,
     run_round();
     if (on_round) on_round(r);
   }
+}
+
+// ---- Checkpoint / resume ----------------------------------------------------
+
+namespace {
+
+void write_rng_state(ckpt::SectionWriter& w, const common::Rng::State& s) {
+  for (const auto word : s.words) w.u64(word);
+  w.f64(s.spare_normal);
+  w.u8(s.has_spare ? 1 : 0);
+}
+
+common::Rng::State read_rng_state(ckpt::SectionReader& r) {
+  common::Rng::State s;
+  for (auto& word : s.words) word = r.u64();
+  s.spare_normal = r.f64();
+  s.has_spare = r.u8() != 0;
+  return s;
+}
+
+}  // namespace
+
+tensor::ByteBuffer Simulation::encode_checkpoint() {
+  // Counted BEFORE the obs capture so the snapshot records itself: a
+  // straight-through run and a run resumed from this snapshot then agree on
+  // ckpt.save_total forever after.
+  static obs::Counter& saves = obs::counter("ckpt.save_total");
+  saves.add(1);
+
+  ckpt::SnapshotBuilder builder;
+  {
+    ckpt::SectionWriter meta;
+    meta.u64(server_->round());
+    meta.u64(round_tickets_);
+    meta.u64(clock_.now());
+    // Configuration echo: a snapshot only fits the federation it came from.
+    meta.u64(config_.seed);
+    meta.u64(clients_.size());
+    meta.u64(config_.clients_per_round);
+    meta.f64(static_cast<double>(config_.quorum_fraction));
+    builder.add("meta", meta.take());
+  }
+  builder.add("model", nn::serialize_state(server_->global_model()));
+  {
+    ckpt::SectionWriter rng;
+    write_rng_state(rng, rng_.state());
+    rng.u32(static_cast<std::uint32_t>(clients_.size()));
+    for (const auto& c : clients_) {
+      rng.u64(c->id());
+      write_rng_state(rng, c->rng_state());
+    }
+    builder.add("rng", rng.take());
+  }
+  builder.add("obs", ckpt::encode_obs(obs::Registry::global()));
+  return builder.finish();
+}
+
+void Simulation::apply_snapshot(const ckpt::Snapshot& snap) {
+  using Reason = CheckpointError::Reason;
+
+  // Decode and cross-check EVERYTHING before the first mutation, so a
+  // snapshot from the wrong federation (or a malformed section) leaves the
+  // live simulation exactly as it was.
+  ckpt::SectionReader meta(snap.section("meta"), "meta");
+  const std::uint64_t round = meta.u64();
+  const std::uint64_t tickets = meta.u64();
+  const std::uint64_t clock_ticks = meta.u64();
+  const std::uint64_t seed = meta.u64();
+  const std::uint64_t num_clients = meta.u64();
+  const std::uint64_t clients_per_round = meta.u64();
+  const double quorum = meta.f64();
+  meta.expect_end();
+  if (seed != config_.seed || num_clients != clients_.size() ||
+      clients_per_round != config_.clients_per_round ||
+      quorum != static_cast<double>(config_.quorum_fraction)) {
+    throw CheckpointError(
+        Reason::kStateMismatch,
+        "snapshot belongs to a differently configured federation (seed " +
+            std::to_string(seed) + ", " + std::to_string(num_clients) +
+            " clients)");
+  }
+
+  ckpt::SectionReader rng(snap.section("rng"), "rng");
+  const common::Rng::State sim_rng = read_rng_state(rng);
+  const std::uint32_t rng_clients = rng.u32();
+  if (rng_clients != clients_.size()) {
+    throw CheckpointError(Reason::kStateMismatch,
+                          "snapshot carries RNG state for " +
+                              std::to_string(rng_clients) + " clients, have " +
+                              std::to_string(clients_.size()));
+  }
+  std::unordered_map<std::uint64_t, Client*> by_id;
+  for (const auto& c : clients_) by_id.emplace(c->id(), c.get());
+  std::vector<std::pair<Client*, common::Rng::State>> client_rngs;
+  client_rngs.reserve(rng_clients);
+  for (std::uint32_t i = 0; i < rng_clients; ++i) {
+    const std::uint64_t id = rng.u64();
+    const common::Rng::State state = read_rng_state(rng);
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      throw CheckpointError(Reason::kStateMismatch,
+                            "snapshot RNG state for unknown client id " +
+                                std::to_string(id));
+    }
+    client_rngs.emplace_back(it->second, state);
+  }
+  rng.expect_end();
+
+  const tensor::ByteBuffer& model_bytes = snap.section("model");
+  const tensor::ByteBuffer& obs_bytes = snap.section("obs");
+
+  // Apply. The model payload passed its section CRC, so a failure to load is
+  // an architecture mismatch, not disk damage.
+  try {
+    nn::deserialize_state(server_->global_model(), model_bytes);
+  } catch (const Error& e) {
+    throw CheckpointError(Reason::kStateMismatch,
+                          std::string("model state does not fit the live "
+                                      "architecture: ") +
+                              e.what());
+  }
+  server_->restore_round(round);
+  round_tickets_ = tickets;
+  clock_.restore(clock_ticks);
+  rng_.set_state(sim_rng);
+  for (auto& [client, state] : client_rngs) client->restore_rng_state(state);
+  ckpt::apply_obs(obs_bytes);
+  obs::counter("ckpt.restore_total").add(1);
+}
+
+void Simulation::restore_checkpoint(const tensor::ByteBuffer& bytes) {
+  apply_snapshot(ckpt::Snapshot::parse(bytes));
+}
+
+std::string Simulation::save_checkpoint(ckpt::CheckpointManager& manager) {
+  return manager.save(server_->round(), encode_checkpoint());
+}
+
+std::uint64_t Simulation::resume_from(ckpt::CheckpointManager& manager) {
+  const ckpt::CheckpointManager::Loaded loaded = manager.load_latest_valid();
+  apply_snapshot(loaded.snapshot);
+  return server_->round();
 }
 
 }  // namespace oasis::fl

@@ -13,8 +13,10 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ckpt/manager.h"
 #include "fl/client.h"
 #include "fl/fault.h"
 #include "fl/server.h"
@@ -76,7 +78,38 @@ class Simulation {
   [[nodiscard]] index_t num_clients() const { return clients_.size(); }
   Client& client(index_t i);
 
+  // --- Checkpoint / resume -------------------------------------------------
+  //
+  // A snapshot captures EVERYTHING the next run_round reads: the global
+  // model (params + buffers), the protocol round id, the fault-plan ticket
+  // counter, the virtual clock, the selection RNG stream position, every
+  // client's RNG stream position, and the full obs registry. Restoring it
+  // therefore makes a resumed run bit-identical to one that never stopped,
+  // at any thread count — the contract the crash harness proves. The one
+  // exclusion: counters under the "ckpt.restore" prefix, which record the
+  // restore itself (see ckpt/obs_state.h).
+
+  /// Serializes the simulation into an "oasis.ckpt/v1" container buffer and
+  /// bumps the `ckpt.save_total` counter (before capturing obs, so the
+  /// snapshot already counts itself).
+  [[nodiscard]] tensor::ByteBuffer encode_checkpoint();
+
+  /// Validates `bytes` exhaustively and applies it. Throws CheckpointError
+  /// (kStateMismatch when the snapshot belongs to a differently configured
+  /// federation) and leaves live state untouched on validation failure.
+  void restore_checkpoint(const tensor::ByteBuffer& bytes);
+
+  /// encode_checkpoint() → manager.save(protocol round); returns the path.
+  std::string save_checkpoint(ckpt::CheckpointManager& manager);
+
+  /// Restores from the manager's newest VALID generation (corrupt newer
+  /// generations are skipped, see CheckpointManager::load_latest_valid) and
+  /// returns the protocol round to continue from. Throws CheckpointError
+  /// {kNoValidGeneration} when the directory holds nothing loadable.
+  std::uint64_t resume_from(ckpt::CheckpointManager& manager);
+
  private:
+  void apply_snapshot(const ckpt::Snapshot& snap);
   std::unique_ptr<Server> server_;
   std::vector<std::unique_ptr<Client>> clients_;
   SimulationConfig config_;

@@ -28,6 +28,18 @@ class Optimizer {
     for (auto* p : params_) p->zero_grad();
   }
 
+  /// Serializable optimizer state (momentum/moment slots, step counters) as
+  /// a tensor list in a fixed per-optimizer order. Round-tripping through
+  /// load_state_tensors resumes the optimizer bit-exactly — the trainer's
+  /// checkpoint path relies on this. Default: stateless ({}).
+  [[nodiscard]] virtual std::vector<tensor::Tensor> state_tensors() const {
+    return {};
+  }
+
+  /// Inverse of state_tensors. Throws Error on count/shape mismatch (a
+  /// snapshot from a differently configured optimizer).
+  virtual void load_state_tensors(const std::vector<tensor::Tensor>& state);
+
  protected:
   std::vector<Parameter*> params_;
 };
@@ -45,6 +57,10 @@ class Sgd : public Optimizer {
   void step() override;
   [[nodiscard]] real lr() const override { return opts_.lr; }
   void set_lr(real lr) override { opts_.lr = lr; }
+
+  /// Velocity slots, parameter order (empty when momentum == 0).
+  [[nodiscard]] std::vector<tensor::Tensor> state_tensors() const override;
+  void load_state_tensors(const std::vector<tensor::Tensor>& state) override;
 
  private:
   Options opts_;
@@ -67,6 +83,11 @@ class Adam : public Optimizer {
   void step() override;
   [[nodiscard]] real lr() const override { return opts_.lr; }
   void set_lr(real lr) override { opts_.lr = lr; }
+
+  /// m slots, then v slots (parameter order), then the step count t as a
+  /// one-element tensor.
+  [[nodiscard]] std::vector<tensor::Tensor> state_tensors() const override;
+  void load_state_tensors(const std::vector<tensor::Tensor>& state) override;
 
  private:
   Options opts_;

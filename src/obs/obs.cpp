@@ -150,6 +150,25 @@ HistogramSnapshot Histogram::snapshot() const {
   return snap;
 }
 
+void Histogram::restore(const HistogramSnapshot& snap) {
+  if (snap.boundaries != boundaries_) {
+    throw ConfigError("Histogram::restore: boundary mismatch");
+  }
+  if (snap.buckets.size() != boundaries_.size() + 1) {
+    throw ConfigError("Histogram::restore: bucket count mismatch");
+  }
+  reset();
+  Shard& shard = shards_[0];
+  shard.count.store(snap.count, std::memory_order_relaxed);
+  shard.sum.store(snap.sum, std::memory_order_relaxed);
+  shard.min.store(snap.min, std::memory_order_relaxed);
+  shard.max.store(snap.max, std::memory_order_relaxed);
+  shard.touched.store(snap.count != 0, std::memory_order_relaxed);
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    shard.buckets[b].store(snap.buckets[b], std::memory_order_relaxed);
+  }
+}
+
 void Histogram::reset() noexcept {
   for (auto& shard : shards_) {
     shard.count.store(0, std::memory_order_relaxed);
@@ -250,6 +269,29 @@ void Registry::reset() {
   for (auto& [name, g] : impl_->gauges) g->reset();
   for (auto& [name, h] : impl_->histograms) h->reset();
   impl_->spans.clear();
+}
+
+void Registry::restore_counter(const std::string& name, std::uint64_t value) {
+  Counter& c = counter(name);
+  c.reset();
+  c.add(value);
+}
+
+void Registry::restore_gauge(const std::string& name, double value) {
+  gauge(name).set(value);
+}
+
+void Registry::restore_histogram(const std::string& name,
+                                 const HistogramSnapshot& snap) {
+  histogram(name, snap.boundaries).restore(snap);
+}
+
+void Registry::restore_span(const std::string& path, std::uint64_t count) {
+  std::lock_guard lock(impl_->mutex);
+  SpanStats& s = impl_->spans[path];
+  s.count = count;
+  s.inclusive_ns = 0;
+  s.exclusive_ns = 0;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {

@@ -133,6 +133,12 @@ class Histogram {
 
   void reset() noexcept;
 
+  /// Overwrites the combined state with a captured snapshot (all of it lands
+  /// in shard 0 — shard attribution is an implementation detail that no
+  /// observable value depends on). `snap.boundaries` must match this
+  /// histogram's; throws ConfigError otherwise. Checkpoint restore only.
+  void restore(const HistogramSnapshot& snap);
+
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
@@ -209,6 +215,16 @@ class Registry {
   /// Zeroes every instrument and forgets span stats. Registered instruments
   /// survive (cached references stay valid).
   void reset();
+
+  /// Checkpoint-restore hooks: each (re)creates the named instrument and
+  /// overwrites its combined value with a previously captured one. Restored
+  /// span stats carry counts only (nanosecond fields are wall-clock noise
+  /// and excluded from the resume bit-identity contract).
+  void restore_counter(const std::string& name, std::uint64_t value);
+  void restore_gauge(const std::string& name, double value);
+  void restore_histogram(const std::string& name,
+                         const HistogramSnapshot& snap);
+  void restore_span(const std::string& path, std::uint64_t count);
 
   /// Sorted snapshots for sinks/tests.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()

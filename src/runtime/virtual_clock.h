@@ -35,6 +35,10 @@ class VirtualClock {
 
   void reset() noexcept { now_ = 0; }
 
+  /// Sets the clock to an absolute tick value. Checkpoint restore only:
+  /// unlike advance_to this may rewind, because a snapshot is authoritative.
+  void restore(ticks t) noexcept { now_ = t; }
+
   /// "t=<ticks>" — for logs and error messages.
   [[nodiscard]] std::string to_string() const;
 

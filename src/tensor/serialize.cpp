@@ -4,16 +4,24 @@
 #include <cstring>
 #include <limits>
 
+#include "common/crc32c.h"
+
 namespace oasis::tensor {
 namespace {
+
+constexpr std::size_t kCrcBytes = sizeof(std::uint32_t);
 
 void write_u64(std::uint64_t v, ByteBuffer& out) {
   const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
   out.insert(out.end(), p, p + sizeof(v));
 }
 
-std::uint64_t read_u64(const ByteBuffer& in, std::size_t& offset) {
-  if (offset > in.size() || in.size() - offset < sizeof(std::uint64_t)) {
+// All read helpers walk the logical payload [0, end); `end` excludes the
+// CRC trailer when the buffer carries one, so a hostile length can never
+// steer the cursor into (or past) the checksum bytes.
+std::uint64_t read_u64(const ByteBuffer& in, std::size_t& offset,
+                       std::size_t end) {
+  if (offset > end || end - offset < sizeof(std::uint64_t)) {
     throw SerializationError("truncated buffer reading u64");
   }
   std::uint64_t v = 0;
@@ -27,9 +35,9 @@ std::uint64_t read_u64(const ByteBuffer& in, std::size_t& offset) {
 /// and is written so no intermediate product/sum can wrap: a hostile header
 /// claiming 2^62 × 2^62 elements throws instead of overflowing to a small
 /// count that would desynchronise the read cursor.
-Shape read_header(const ByteBuffer& in, std::size_t& offset,
+Shape read_header(const ByteBuffer& in, std::size_t& offset, std::size_t end,
                   index_t& out_numel) {
-  const auto rank = read_u64(in, offset);
+  const auto rank = read_u64(in, offset, end);
   if (rank > 8) {
     throw SerializationError("implausible tensor rank " +
                              std::to_string(rank));
@@ -37,7 +45,7 @@ Shape read_header(const ByteBuffer& in, std::size_t& offset,
   Shape shape(rank);
   index_t n = 1;
   for (auto& d : shape) {
-    d = read_u64(in, offset);
+    d = read_u64(in, offset, end);
     if (d != 0 && n > std::numeric_limits<index_t>::max() / d) {
       throw SerializationError("tensor extent product overflows");
     }
@@ -45,12 +53,29 @@ Shape read_header(const ByteBuffer& in, std::size_t& offset,
   }
   // Overflow-safe payload bound: compare element count against the bytes
   // actually remaining rather than forming n * sizeof(real).
-  if (offset > in.size() ||
-      n > (in.size() - offset) / sizeof(real)) {
+  if (offset > end || n > (end - offset) / sizeof(real)) {
     throw SerializationError("truncated buffer reading tensor payload");
   }
   out_numel = n;
   return shape;
+}
+
+/// Verifies the CRC32C trailer of a serialize_tensors() message and returns
+/// the logical payload size (everything before the trailer). Runs BEFORE any
+/// structural parsing so damaged bytes are reported as checksum damage even
+/// when the structure still happens to decode.
+std::size_t verify_trailer(const ByteBuffer& in) {
+  if (in.size() < sizeof(std::uint64_t) + kCrcBytes) {
+    throw ChecksumError("buffer too small for count header + CRC trailer");
+  }
+  const std::size_t payload = in.size() - kCrcBytes;
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, in.data() + payload, kCrcBytes);
+  const std::uint32_t actual = oasis::common::crc32c(in.data(), payload);
+  if (stored != actual) {
+    throw ChecksumError("payload CRC32C mismatch");
+  }
+  return payload;
 }
 
 }  // namespace
@@ -65,7 +90,7 @@ void write_tensor(const Tensor& t, ByteBuffer& out) {
 
 Tensor read_tensor(const ByteBuffer& in, std::size_t& offset) {
   index_t n = 0;
-  Shape shape = read_header(in, offset, n);
+  Shape shape = read_header(in, offset, in.size(), n);
   std::vector<real> values(n);
   std::memcpy(values.data(), in.data() + offset, n * sizeof(real));
   offset += n * sizeof(real);
@@ -76,12 +101,23 @@ ByteBuffer serialize_tensors(const std::vector<Tensor>& tensors) {
   ByteBuffer out;
   write_u64(tensors.size(), out);
   for (const auto& t : tensors) write_tensor(t, out);
+  const std::uint32_t crc = oasis::common::crc32c(out.data(), out.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&crc);
+  out.insert(out.end(), p, p + kCrcBytes);
   return out;
 }
 
+void reseal_tensors(ByteBuffer& buf) {
+  if (buf.size() < kCrcBytes) return;
+  const std::size_t payload = buf.size() - kCrcBytes;
+  const std::uint32_t crc = oasis::common::crc32c(buf.data(), payload);
+  std::memcpy(buf.data() + payload, &crc, kCrcBytes);
+}
+
 std::vector<Tensor> deserialize_tensors(const ByteBuffer& in) {
+  const std::size_t end = verify_trailer(in);
   std::size_t offset = 0;
-  const auto count = read_u64(in, offset);
+  const auto count = read_u64(in, offset, end);
   if (count > (1u << 20)) {
     throw SerializationError("implausible tensor count " +
                              std::to_string(count));
@@ -89,17 +125,23 @@ std::vector<Tensor> deserialize_tensors(const ByteBuffer& in) {
   std::vector<Tensor> tensors;
   tensors.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    tensors.push_back(read_tensor(in, offset));
+    index_t n = 0;
+    Shape shape = read_header(in, offset, end, n);
+    std::vector<real> values(n);
+    std::memcpy(values.data(), in.data() + offset, n * sizeof(real));
+    offset += n * sizeof(real);
+    tensors.emplace_back(std::move(shape), std::move(values));
   }
-  if (offset != in.size()) {
+  if (offset != end) {
     throw SerializationError("trailing bytes after tensor list");
   }
   return tensors;
 }
 
 TensorScan scan_tensors(const ByteBuffer& in) {
+  const std::size_t end = verify_trailer(in);
   std::size_t offset = 0;
-  const auto count = read_u64(in, offset);
+  const auto count = read_u64(in, offset, end);
   if (count > (1u << 20)) {
     throw SerializationError("implausible tensor count " +
                              std::to_string(count));
@@ -109,7 +151,7 @@ TensorScan scan_tensors(const ByteBuffer& in) {
   scan.shapes.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     index_t n = 0;
-    scan.shapes.push_back(read_header(in, offset, n));
+    scan.shapes.push_back(read_header(in, offset, end, n));
     // Stream the values through a small stack buffer: the payload bytes are
     // not guaranteed to be double-aligned inside the message.
     constexpr index_t kChunk = 128;
@@ -128,7 +170,7 @@ TensorScan scan_tensors(const ByteBuffer& in) {
     offset += n * sizeof(real);
     scan.values += n;
   }
-  if (offset != in.size()) {
+  if (offset != end) {
     throw SerializationError("trailing bytes after tensor list");
   }
   return scan;

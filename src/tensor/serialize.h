@@ -12,6 +12,11 @@
 // throws SerializationError instead of reading past the end or attempting a
 // multi-exabyte allocation. The FL server's update-validation pipeline relies
 // on this boundary.
+//
+// serialize_tensors additionally appends a 4-byte CRC32C over the message; it
+// is verified FIRST on read (ChecksumError on mismatch), so damage that
+// happens to preserve structure — a bit flip inside a value — is still
+// caught. write_tensor/read_tensor remain the raw, trailer-free primitives.
 #pragma once
 
 #include <cstdint>
@@ -30,11 +35,17 @@ void write_tensor(const Tensor& t, ByteBuffer& out);
 /// Throws SerializationError on truncated/malformed input.
 Tensor read_tensor(const ByteBuffer& in, std::size_t& offset);
 
-/// Serializes a list of tensors with a count header.
+/// Serializes a list of tensors with a count header and a trailing CRC32C.
 ByteBuffer serialize_tensors(const std::vector<Tensor>& tensors);
 
-/// Inverse of serialize_tensors. Throws SerializationError on malformed input.
+/// Inverse of serialize_tensors. Throws ChecksumError when the CRC32C
+/// trailer does not match the payload, SerializationError on malformed input.
 std::vector<Tensor> deserialize_tensors(const ByteBuffer& in);
+
+/// Recomputes and overwrites the CRC32C trailer of a serialize_tensors()
+/// buffer in place. Test/fault-injection helper: lets a mutated payload keep
+/// a valid checksum so the structural validation paths stay reachable.
+void reseal_tensors(ByteBuffer& buf);
 
 /// Summary of a serialized tensor list produced without materialising any
 /// tensor (no allocation proportional to the payload). Used by the FL

@@ -360,19 +360,29 @@ TEST(Validation, RejectsEachFaultClassAndAggregatesTheRest) {
   updates.push_back(fake_update(6, 1.0));
   updates.back().gradients =
       tensor::serialize_tensors({tensor::Tensor({2}, {1.0, 2.0})});
+  // Structural damage with a fixed-up CRC: the count header claims 2^32
+  // tensors but the trailer matches, so this must reach (and fail) the
+  // structural walk rather than the checksum screen.
+  updates.push_back(fake_update(7, 1.0));
+  updates.back().gradients[0] = 0xFF;
+  updates.back().gradients[4] = 0xFF;
+  tensor::reseal_tensors(updates.back().gradients);
 
   const RoundOutcome outcome = server.finish_round(updates);
-  ASSERT_EQ(outcome.reasons.size(), 8u);
+  ASSERT_EQ(outcome.reasons.size(), 9u);
   EXPECT_EQ(outcome.reasons[0], RejectReason::kAccepted);
   EXPECT_EQ(outcome.reasons[1], RejectReason::kWrongRound);
   EXPECT_EQ(outcome.reasons[2], RejectReason::kDuplicate);
-  EXPECT_EQ(outcome.reasons[3], RejectReason::kMalformed);
+  // Truncation damages the payload in flight: caught by the CRC trailer
+  // check, which runs before any structural parsing.
+  EXPECT_EQ(outcome.reasons[3], RejectReason::kChecksumMismatch);
   EXPECT_EQ(outcome.reasons[4], RejectReason::kNonFinite);
   EXPECT_EQ(outcome.reasons[5], RejectReason::kNormTooLarge);
   EXPECT_EQ(outcome.reasons[6], RejectReason::kZeroExamples);
   EXPECT_EQ(outcome.reasons[7], RejectReason::kShapeMismatch);
+  EXPECT_EQ(outcome.reasons[8], RejectReason::kMalformed);
   EXPECT_EQ(outcome.accepted, 1u);
-  EXPECT_EQ(outcome.rejected, 7u);
+  EXPECT_EQ(outcome.rejected, 8u);
   EXPECT_TRUE(outcome.applied);
   EXPECT_EQ(server.round(), 1u);
 

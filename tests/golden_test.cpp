@@ -48,6 +48,10 @@ struct GoldenRound {
   // rejecting (or waving through) updates fail the replay.
   std::uint64_t validate_accepted = 0;   // fl.validate.accepted
   std::uint64_t validate_rejected = 0;   // fl.validate.rejected
+  // Checkpoint activity (the round does one encode → restore round-trip):
+  // pinned so the ckpt subsystem's counter discipline can't drift silently.
+  std::uint64_t ckpt_save_total = 0;     // ckpt.save_total
+  std::uint64_t ckpt_restore_total = 0;  // ckpt.restore_total
 };
 
 /// Runs THE seeded round: 1 victim client, malicious RTF server, undefended
@@ -90,6 +94,11 @@ GoldenRound run_golden_round() {
                      fl::SimulationConfig{/*clients_per_round=*/1, seed});
   sim.run_round();
 
+  // Checkpoint round-trip: encode → restore is a provable no-op on live
+  // state (every value read below must be unaffected), and it pins the ckpt
+  // save/restore counters into the fixture like every other tally.
+  sim.restore_checkpoint(sim.encode_checkpoint());
+
   GoldenRound out;
   out.loss = victim->last_loss();
 
@@ -112,6 +121,8 @@ GoldenRound run_golden_round() {
   out.rtf_total = obs::counter("attack.rtf.bins_total").value();
   out.validate_accepted = obs::counter("fl.validate.accepted").value();
   out.validate_rejected = obs::counter("fl.validate.rejected").value();
+  out.ckpt_save_total = obs::counter("ckpt.save_total").value();
+  out.ckpt_restore_total = obs::counter("ckpt.restore_total").value();
   return out;
 }
 
@@ -126,13 +137,17 @@ std::string format_fixture(const GoldenRound& g) {
                 "  \"rtf_leaked\": %llu,\n"
                 "  \"rtf_total\": %llu,\n"
                 "  \"validate_accepted\": %llu,\n"
-                "  \"validate_rejected\": %llu\n"
+                "  \"validate_rejected\": %llu,\n"
+                "  \"ckpt_save_total\": %llu,\n"
+                "  \"ckpt_restore_total\": %llu\n"
                 "}\n",
                 g.loss, g.grad_norm, g.mean_psnr,
                 static_cast<unsigned long long>(g.rtf_leaked),
                 static_cast<unsigned long long>(g.rtf_total),
                 static_cast<unsigned long long>(g.validate_accepted),
-                static_cast<unsigned long long>(g.validate_rejected));
+                static_cast<unsigned long long>(g.validate_rejected),
+                static_cast<unsigned long long>(g.ckpt_save_total),
+                static_cast<unsigned long long>(g.ckpt_restore_total));
   return buf;
 }
 

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/crc32c.h"
 #include "common/rng.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
@@ -268,9 +269,46 @@ TEST(Serialize, TruncatedThrows) {
 }
 
 TEST(Serialize, TrailingBytesThrow) {
+  // Appending a byte breaks the CRC trailer (the stored CRC is no longer at
+  // the end), so this surfaces as checksum damage…
   ByteBuffer buf = serialize_tensors({Tensor({2})});
   buf.push_back(0);
-  EXPECT_THROW(deserialize_tensors(buf), SerializationError);
+  EXPECT_THROW(deserialize_tensors(buf), ChecksumError);
+  // …and with the trailer recomputed over the padded payload, the structural
+  // trailing-bytes check must still fire.
+  ByteBuffer padded = serialize_tensors({Tensor({2})});
+  padded.insert(padded.end() - 4, 0);
+  reseal_tensors(padded);
+  EXPECT_THROW(deserialize_tensors(padded), SerializationError);
+  EXPECT_THROW(scan_tensors(padded), SerializationError);
+}
+
+TEST(Serialize, BitFlipAnywhereFailsTheChecksum) {
+  // A single bit flip that PRESERVES structure (flips inside a value) used
+  // to pass scan_tensors; the CRC32C trailer closes that gap. CRC32 detects
+  // every single-bit error, so sweep a representative set of positions.
+  common::Rng rng(11);
+  const ByteBuffer clean = serialize_tensors({Tensor::randn({3, 3}, rng)});
+  for (std::size_t pos = 0; pos < clean.size(); pos += 3) {
+    for (int bit = 0; bit < 8; bit += 5) {
+      ByteBuffer flipped = clean;
+      flipped[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW(deserialize_tensors(flipped), ChecksumError)
+          << "byte " << pos << " bit " << bit;
+      EXPECT_THROW(scan_tensors(flipped), ChecksumError)
+          << "byte " << pos << " bit " << bit;
+    }
+  }
+  EXPECT_EQ(deserialize_tensors(clean).size(), 1u);  // clean still parses
+}
+
+TEST(Serialize, ResealRepairsAMutatedPayload) {
+  common::Rng rng(12);
+  ByteBuffer buf = serialize_tensors({Tensor::randn({2, 2}, rng)});
+  buf[buf.size() - 12] ^= 0x01;  // mutate a value byte
+  EXPECT_THROW(deserialize_tensors(buf), ChecksumError);
+  reseal_tensors(buf);
+  EXPECT_EQ(deserialize_tensors(buf).size(), 1u);
 }
 
 TEST(Serialize, TruncationSweepEveryByteOffsetThrows) {
@@ -301,11 +339,20 @@ TEST(Serialize, OversizedExtentsThrowInsteadOfAllocating) {
     const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
     b.insert(b.end(), p, p + sizeof(v));
   };
+  // Give each hand-built hostile buffer a VALID CRC trailer: the checksum
+  // screen runs first, and these tests exist to exercise the structural
+  // hardening behind it.
+  auto seal = [](ByteBuffer& b) {
+    const std::uint32_t crc = oasis::common::crc32c(b.data(), b.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&crc);
+    b.insert(b.end(), p, p + sizeof(crc));
+  };
   ByteBuffer evil;
   put_u64(evil, 1);                      // one tensor
   put_u64(evil, 2);                      // rank 2
   put_u64(evil, std::uint64_t{1} << 62); // extents whose product wraps
   put_u64(evil, std::uint64_t{1} << 62);
+  seal(evil);
   EXPECT_THROW(deserialize_tensors(evil), SerializationError);
   EXPECT_THROW(scan_tensors(evil), SerializationError);
 
@@ -314,15 +361,18 @@ TEST(Serialize, OversizedExtentsThrowInsteadOfAllocating) {
   put_u64(sparse, 1);
   put_u64(sparse, 1);
   put_u64(sparse, std::uint64_t{1} << 40);
+  seal(sparse);
   EXPECT_THROW(deserialize_tensors(sparse), SerializationError);
 
   // Implausible rank and implausible tensor count.
   ByteBuffer ranky;
   put_u64(ranky, 1);
   put_u64(ranky, 9);  // rank cap is 8
+  seal(ranky);
   EXPECT_THROW(deserialize_tensors(ranky), SerializationError);
   ByteBuffer county;
   put_u64(county, std::uint64_t{1} << 32);
+  seal(county);
   EXPECT_THROW(deserialize_tensors(county), SerializationError);
 }
 
@@ -356,6 +406,18 @@ TEST(Rng, DeterministicAndSplit) {
   common::Rng d = a.split(1);
   // Splits from different parent states differ.
   EXPECT_NE(c(), d());
+}
+
+TEST(Rng, StateRoundTripResumesTheStreamExactly) {
+  common::Rng a(99);
+  a.normal();  // leaves a Box–Muller spare cached → has_spare must travel
+  common::Rng b(1);
+  b.set_state(a.state());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.normal(), b.normal());
+    EXPECT_EQ(a(), b());
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
 }
 
 TEST(Rng, UniformIntRange) {

@@ -1,0 +1,298 @@
+// Multi-process socket serving load bench.
+//
+// The parent process serves a federation over a loopback TCP socket
+// (net::FlServer); each client is a real forked process driving fl::Client
+// training through net::FlClient with a FaultPlan-derived delivery schedule:
+// dropped connections mid-frame, stragglers sleeping past the cutover,
+// corrupted payload bytes, duplicate delivery, numeric poison. The bench
+// reports rounds/s, p50/p99 dispatch→cutover round latency, and the
+// validation/net reject-counter deltas as one JSON document — the
+// operational fingerprint a deployment would alert on.
+//
+//   $ ./net_rounds --clients 6 --rounds 15 --dropout 0.1 --corrupt 0.05
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "data/synthetic.h"
+#include "fl/fault.h"
+#include "fl/preprocessor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "nn/models.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace {
+
+using namespace oasis;
+
+struct LoadConfig {
+  index_t n_clients = 6;
+  std::uint64_t rounds = 15;
+  fl::FaultConfig faults;
+  real quorum = 0.5;
+  std::uint64_t timeout_sec = 120;
+};
+
+fl::ModelFactory make_factory(const data::SynthDataset& dataset) {
+  const index_t classes = dataset.train.num_classes();
+  return [classes] {
+    const nn::ImageSpec spec{3, 12, 12};
+    common::Rng init_rng(7);
+    return nn::make_mini_convnet(spec, classes, init_rng, 4);
+  };
+}
+
+/// Child process body: one client identity, FaultPlan-driven delivery.
+/// Communicates with the parent only through the socket and its exit code
+/// (0 = clean goodbye, 2 = retry budget exhausted, 1 = anything else).
+int run_child(const data::SynthDataset& dataset, const LoadConfig& cfg,
+              std::uint16_t port, index_t id) {
+  try {
+    const auto shards = dataset.train.shard(cfg.n_clients);
+    fl::Client core(id, shards[id], make_factory(dataset), /*batch_size=*/8,
+                    std::make_shared<fl::IdentityPreprocessor>(),
+                    common::Rng(1000 + id));
+    net::FlClientConfig client_cfg;
+    client_cfg.client_id = id;
+    // The budget bounds consecutive REFUSED attempts: once the server stops
+    // serving, a client that was mid-reconnect (after a drop/truncate fault)
+    // burns through this in a few seconds and exits as "orphaned" instead of
+    // spinning on a closed port forever.
+    client_cfg.max_attempts = 50;
+    client_cfg.backoff_ms = 5;
+    // A server that goes silent mid-connection should cost seconds, not the
+    // default 30 s, before the client gives up on the socket.
+    client_cfg.io_timeout_ms = 2000;
+    net::FlClient client(core, client_cfg);
+
+    const fl::FaultPlan plan(cfg.faults);
+    client.set_fault_hook(
+        [&plan, id](std::uint64_t round, fl::ClientUpdateMessage& update) {
+          // The protocol round doubles as the plan ticket: decisions stay a
+          // pure function of (seed, round, client), reproducible per child.
+          const fl::ClientFault fault = plan.decide(round, /*attempt=*/0, id);
+          net::UpdateFault out;
+          switch (fault.kind) {
+            case fl::FaultKind::kNone:
+              break;
+            case fl::FaultKind::kDropout:
+              out.action = net::UpdateFault::Action::kDrop;
+              break;
+            case fl::FaultKind::kStraggler:
+              // Ticks become milliseconds of real delay, capped well under
+              // the server's round deadline so stragglers cost latency, not
+              // participation.
+              ::poll(nullptr, 0,
+                     static_cast<int>(std::min<std::uint64_t>(
+                         fault.delay_ticks, 300)));
+              break;
+            case fl::FaultKind::kCorrupt:
+              if (fault.corruption == fl::CorruptionKind::kTruncate) {
+                out.action = net::UpdateFault::Action::kPartialClose;
+              } else if (fault.corruption == fl::CorruptionKind::kDuplicate) {
+                out.action = net::UpdateFault::Action::kDuplicate;
+              } else {
+                // Bit flips / wrong round damage the payload in place; the
+                // server's validation pipeline must reject it.
+                plan.apply(update, fault, round, 0, id);
+              }
+              break;
+            case fl::FaultKind::kPoison:
+              plan.apply(update, fault, round, 0, id);
+              break;
+          }
+          return out;
+        });
+    client.run("127.0.0.1", port);
+    return 0;
+  } catch (const net::NetError& e) {
+    // Exit 2 = orphaned: the server finished while this client was
+    // disconnected (a fault put it mid-reconnect at goodbye time). A normal
+    // outcome under dropout, reported separately from real failures.
+    if (e.reason() == net::NetError::Reason::kRetryExhausted) return 2;
+    std::cerr << "[child " << id << "] " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "[child " << id << "] " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    return 1;
+  }
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::string json_escape_key(const std::string& s) { return s; }  // [a-z.]* only
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oasis;
+  using namespace oasis::bench;
+
+  common::CliParser cli("net_rounds",
+                        "Socket serving throughput under a multi-process "
+                        "fault-injecting client fleet");
+  cli.add_flag("clients", "client processes to fork", "6");
+  cli.add_flag("rounds", "committed rounds to serve", "15");
+  cli.add_flag("dropout", "per-round client dropout probability", "0.1");
+  cli.add_flag("straggle", "per-round straggler probability", "0.1");
+  cli.add_flag("corrupt", "per-round payload corruption probability", "0.05");
+  cli.add_flag("poison", "per-round numeric poison probability", "0.05");
+  cli.add_flag("quorum", "valid-update quorum fraction", "0.5");
+  cli.add_flag("fault-seed", "fault plan seed", "677200");
+  cli.add_flag("timeout-sec", "wall-clock bound on the whole run", "120");
+  runtime::add_cli_flag(cli);
+  bench::add_metrics_flag(cli);
+  cli.parse(argc, argv);
+  const bench::MetricsExport metrics_export(cli);
+
+  LoadConfig cfg;
+  cfg.n_clients = static_cast<index_t>(cli.get_uint("clients"));
+  cfg.rounds = cli.get_uint("rounds");
+  cfg.faults.dropout_prob = cli.get_real("dropout");
+  cfg.faults.straggler_prob = cli.get_real("straggle");
+  cfg.faults.corrupt_prob = cli.get_real("corrupt");
+  cfg.faults.poison_prob = cli.get_real("poison");
+  cfg.faults.seed = cli.get_uint("fault-seed");
+  cfg.quorum = cli.get_real("quorum");
+  cfg.timeout_sec = cli.get_uint("timeout-sec");
+
+  print_banner("net_rounds",
+               "Forked client fleet over loopback TCP with injected "
+               "delivery faults");
+
+  // Fork discipline (see tests/crash_test.cpp): no worker threads may exist
+  // when the children are cloned.
+  runtime::set_num_threads(1);
+
+  data::SynthConfig synth = data::synth_imagenet_config();
+  synth.height = synth.width = 12;
+  synth.train_per_class = 8;
+  synth.test_per_class = 2;
+  const data::SynthDataset dataset = data::generate(synth);
+
+  fl::Server core(make_factory(dataset)(), /*learning_rate=*/0.1);
+  {
+    // This federation has no secure aggregation, so the norm screen is safe
+    // to arm — it is what catches the norm-scaled poison faults.
+    fl::ValidationConfig validation;
+    validation.max_grad_norm = 1e4;
+    core.set_validation(validation);
+  }
+
+  net::FlServerConfig server_cfg;
+  server_cfg.cohort_size = cfg.n_clients;
+  server_cfg.rounds = cfg.rounds;
+  server_cfg.quorum_fraction = cfg.quorum;
+  server_cfg.round_timeout_ms = 2000;
+  server_cfg.retry_after_ms = 10;
+  net::FlServer server(core, server_cfg);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  std::vector<pid_t> children;
+  for (index_t i = 0; i < cfg.n_clients; ++i) {
+    const pid_t pid = ::fork();
+    OASIS_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Drop every inherited descriptor — above all the parent's LISTENING
+      // socket. A child that kept it would hold the port open after the
+      // parent stops serving, so orphaned siblings would "successfully"
+      // connect to a backlog nobody will ever accept and hang out their full
+      // io timeout instead of seeing connection-refused.
+      for (int fd = 3; fd < 256; ++fd) ::close(fd);
+      ::_exit(run_child(dataset, cfg, port, i));
+    }
+    children.push_back(pid);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::seconds(static_cast<long>(cfg.timeout_sec));
+  bool timed_out = false;
+  while (server.step(/*timeout_ms=*/20)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      timed_out = true;
+      break;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (timed_out) {
+    // The fleet is only alive because the server stopped serving it; don't
+    // let waitpid turn a bounded bench into an unbounded one.
+    for (const pid_t pid : children) ::kill(pid, SIGKILL);
+  }
+  index_t child_failures = 0;
+  index_t child_orphaned = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 2) {
+      ++child_orphaned;
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ++child_failures;
+    }
+  }
+
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const auto& latencies = server.round_latencies_ms();
+  const double rps =
+      seconds > 0.0 ? static_cast<double>(server.rounds_served()) / seconds
+                    : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+
+  obs::gauge("bench.net_rounds.rounds_per_sec").set(rps);
+  obs::gauge("bench.net_rounds.p50_ms").set(p50);
+  obs::gauge("bench.net_rounds.p99_ms").set(p99);
+
+  // One JSON document on stdout: throughput, tail latency, and every
+  // fl.validate.* / net.* counter (the reject fingerprint of the fault mix).
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"oasis.net_rounds/v1\",\n"
+       << "  \"clients\": " << cfg.n_clients << ",\n"
+       << "  \"rounds_requested\": " << cfg.rounds << ",\n"
+       << "  \"rounds_committed\": " << server.rounds_served() << ",\n"
+       << "  \"timed_out\": " << (timed_out ? "true" : "false") << ",\n"
+       << "  \"child_failures\": " << child_failures << ",\n"
+       << "  \"child_orphaned\": " << child_orphaned << ",\n"
+       << "  \"seconds\": " << seconds << ",\n"
+       << "  \"rounds_per_sec\": " << rps << ",\n"
+       << "  \"p50_round_ms\": " << p50 << ",\n"
+       << "  \"p99_round_ms\": " << p99 << ",\n"
+       << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : obs::Registry::global().counters()) {
+    const bool wanted = name.rfind("fl.validate.", 0) == 0 ||
+                        name.rfind("fl.rounds", 0) == 0 ||
+                        name.rfind("net.", 0) == 0;
+    if (!wanted || value == 0) continue;
+    json << (first ? "" : ",") << "\n    \"" << json_escape_key(name)
+         << "\": " << value;
+    first = false;
+  }
+  json << "\n  }\n}";
+  std::cout << json.str() << "\n";
+
+  return timed_out ? 1 : 0;
+}

@@ -7,14 +7,15 @@
 # tests (runtime pool + FL rounds + chaos + crash/resume at 8 threads).
 #
 # Every test carries a ctest LABEL (unit | integration | sanitizer |
-# property | golden | chaos | crash) and a hard 30 s per-test TIMEOUT — a
-# test that exceeds it fails the suite.
+# property | golden | chaos | crash | net) and a hard 30 s per-test
+# TIMEOUT — a test that exceeds it fails the suite.
 #
 #   ./ci.sh            # all five default stages
 #   ./ci.sh release    # Release + full ctest only
 #   ./ci.sh asan       # ASan build + unit/golden/kernel labels only
 #   ./ci.sh chaos      # ASan build + chaos label only
 #   ./ci.sh crash      # ASan build + crash label only (SIGKILL harness)
+#   ./ci.sh net        # ASan build + net label, then a TSan loopback round
 #   ./ci.sh tsan       # TSan stage only
 #   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards
 #                      # (blocked GEMM >= 1.5x naive); run on quiet hardware
@@ -64,6 +65,21 @@ run_crash() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L crash
 }
 
+run_net() {
+  # The socket serving layer parses hostile bytes (frame fuzz sweeps, every
+  # truncation, seeded bit flips) — ASan/UBSan territory — and its
+  # poll-driven event loop plus the fork-based federation get a TSan pass
+  # over a real loopback round-trip.
+  echo "==> [ci] Net stage: socket serving tests under ASan/UBSan + TSan loopback"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}" --target net_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L net
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
+  cmake --build build-tsan -j "${jobs}" --target net_test
+  ./build-tsan/tests/net_test \
+    --gtest_filter='NetRound.LoopbackFederationMatchesInProcessServerBitExactly'
+}
+
 run_tsan() {
   # crash_test rides along: its 8-thread shards resume checkpoints into a
   # freshly spawned pool, exactly where a racy restore would surface.
@@ -90,6 +106,7 @@ case "${stage}" in
   asan) run_asan ;;
   chaos) run_chaos ;;
   crash) run_crash ;;
+  net) run_net ;;
   tsan) run_tsan ;;
   perf) run_perf ;;
   all)
@@ -97,10 +114,11 @@ case "${stage}" in
     run_asan
     run_chaos
     run_crash
+    run_net
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|chaos|crash|tsan|perf|all]" >&2
+    echo "usage: $0 [release|asan|chaos|crash|net|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

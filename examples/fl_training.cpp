@@ -25,8 +25,17 @@
 //
 //   $ ./fl_training --rounds 500 --checkpoint-dir ckpts --checkpoint-every 25
 //   ... SIGKILL at any moment ...
-//   $ ./fl_training --rounds 500 --checkpoint-dir ckpts --checkpoint-every 25 \
-//                   --resume
+//   $ ./fl_training --resume --rounds 500 --checkpoint-dir ckpts
+//
+// The same federation can be served over TCP instead of in-process. One
+// process listens (it owns the global model), N processes connect (each owns
+// one client's shard); with matching --rounds/--clients/--per-round 0 the
+// final model is byte-identical to the in-process run:
+//
+//   $ ./fl_training --listen 7400 --clients 4 --per-round 0 --rounds 20 &
+//   $ for i in 0 1 2 3; do
+//       ./fl_training --connect 127.0.0.1:7400 --clients 4 --client-id $i &
+//     done
 #include <iostream>
 #include <memory>
 
@@ -37,6 +46,8 @@
 #include "data/synthetic.h"
 #include "fl/simulation.h"
 #include "metrics/accuracy.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "nn/models.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
@@ -66,12 +77,22 @@ int main(int argc, char** argv) {
   cli.add_flag("checkpoint-keep", "snapshot generations to retain", "3");
   cli.add_bool("resume",
                "resume from the newest valid snapshot in --checkpoint-dir");
+  cli.add_flag("listen",
+               "serve rounds over TCP on this port instead of running the "
+               "in-process simulation (0 = ephemeral)", "");
+  cli.add_flag("host", "address to bind (--listen) or unused otherwise",
+               "127.0.0.1");
+  cli.add_flag("connect",
+               "join a federation at host:port as one client process", "");
+  cli.add_flag("client-id", "client identity for --connect (0-based)", "0");
   runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
   runtime::apply_cli_flag(cli);
 
-  const auto rounds = static_cast<index_t>(cli.get_int("rounds"));
-  const auto n_clients = static_cast<index_t>(cli.get_int("clients"));
+  // Count flags go through the strict unsigned accessor: "--rounds -1" must
+  // fail loudly instead of wrapping into a practically-infinite run.
+  const auto rounds = static_cast<index_t>(cli.get_uint("rounds"));
+  const auto n_clients = static_cast<index_t>(cli.get_uint("clients"));
 
   // Dataset: a 10-class task sharded across clients.
   data::SynthConfig cfg = data::synth_imagenet_config();
@@ -95,15 +116,73 @@ int main(int argc, char** argv) {
     return nn::make_mini_convnet(spec, cfg.num_classes, init_rng, 8);
   };
 
+  if (const std::string target = cli.get("connect"); !target.empty()) {
+    // Client process: one shard, one identity, rounds driven by the server.
+    const auto colon = target.rfind(':');
+    OASIS_CHECK_MSG(colon != std::string::npos && colon + 1 < target.size(),
+                    "--connect expects host:port, got " << target);
+    const std::string host = target.substr(0, colon);
+    const auto port =
+        static_cast<std::uint16_t>(std::stoul(target.substr(colon + 1)));
+    const auto id = cli.get_uint("client-id");
+    OASIS_CHECK_MSG(id < n_clients,
+                    "--client-id " << id << " outside --clients " << n_clients);
+    fl::Client core(id, shards[id], factory, /*batch_size=*/16, defense,
+                    common::Rng(1000 + id));
+    net::FlClientConfig client_cfg;
+    client_cfg.client_id = id;
+    net::FlClient client(core, client_cfg);
+    const std::uint64_t done = client.run(host, port);
+    std::cout << "client " << id << ": participated in " << done
+              << " round(s), " << client.retry_after_bounces()
+              << " backpressure bounce(s), " << client.retries()
+              << " reconnect(s)\n";
+    if (const std::string path = cli.get("metrics-out"); !path.empty()) {
+      obs::dump(path);
+    }
+    return 0;
+  }
+
   auto server = std::make_unique<fl::Server>(factory(), /*learning_rate=*/0.15);
   auto* server_ptr = server.get();
+
+  if (const std::string listen = cli.get("listen"); !listen.empty()) {
+    // Server process: same selection seed as the in-process engine, so a
+    // full-population federation (--per-round 0) converges to the same
+    // bytes the simulation would have produced.
+    const auto per_round = static_cast<index_t>(cli.get_uint("per-round"));
+    net::FlServerConfig server_cfg;
+    server_cfg.cohort_size = per_round == 0 ? n_clients : per_round;
+    server_cfg.rounds = rounds;
+    server_cfg.quorum_fraction = cli.get_real("quorum");
+    server_cfg.selection_seed = 3;  // SimulationConfig's seed below
+    net::FlServer net_server(*server_ptr, server_cfg);
+    net_server.listen(cli.get("host"),
+                     static_cast<std::uint16_t>(cli.get_uint("listen")));
+    std::cout << "listening on " << cli.get("host") << ":" << net_server.port()
+              << " (cohort " << server_cfg.cohort_size << ", rounds " << rounds
+              << ")\n"
+              << std::flush;
+    net_server.serve();
+    const real acc = metrics::accuracy(server_ptr->global_model(), dataset.test);
+    obs::gauge("fl.global_test_accuracy").set(acc);
+    std::cout << "served " << net_server.rounds_served()
+              << " round(s); final global test accuracy " << acc * 100.0
+              << "%\n";
+    if (const std::string path = cli.get("metrics-out"); !path.empty()) {
+      obs::dump(path);
+      std::cout << "[metrics] " << path << "\n" << obs::summary();
+    }
+    return 0;
+  }
+
   std::vector<std::unique_ptr<fl::Client>> clients;
   for (index_t i = 0; i < n_clients; ++i) {
     clients.push_back(std::make_unique<fl::Client>(
         i, shards[i], factory, /*batch_size=*/16, defense,
         common::Rng(1000 + i)));
   }
-  fl::SimulationConfig sim_cfg{static_cast<index_t>(cli.get_int("per-round")),
+  fl::SimulationConfig sim_cfg{static_cast<index_t>(cli.get_uint("per-round")),
                                /*seed=*/3};
   sim_cfg.quorum_fraction = cli.get_real("quorum");
   fl::Simulation sim(std::move(server), std::move(clients), sim_cfg);
@@ -113,7 +192,7 @@ int main(int argc, char** argv) {
   faults.straggler_prob = cli.get_real("fault-straggler");
   faults.corrupt_prob = cli.get_real("fault-corrupt");
   faults.poison_prob = cli.get_real("fault-poison");
-  faults.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+  faults.seed = cli.get_uint("fault-seed");
   if (faults.any()) {
     sim.set_fault_plan(fl::FaultPlan(faults));
     // This federation runs without secure aggregation, so the norm screen
@@ -133,9 +212,9 @@ int main(int argc, char** argv) {
   // round (not a loop counter) so a resumed process continues exactly where
   // the snapshot left off.
   std::unique_ptr<ckpt::CheckpointManager> manager;
-  const auto ckpt_every =
-      static_cast<std::uint64_t>(cli.get_int("checkpoint-every"));
+  const auto ckpt_every = cli.get_uint("checkpoint-every");
   if (const std::string dir = cli.get("checkpoint-dir"); !dir.empty()) {
+    OASIS_CHECK_MSG(ckpt_every >= 1, "--checkpoint-every must be >= 1");
     manager = std::make_unique<ckpt::CheckpointManager>(
         dir, static_cast<int>(cli.get_int("checkpoint-keep")));
     if (cli.get_bool("resume")) {

@@ -1,5 +1,7 @@
 #include "common/cli.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -67,22 +69,60 @@ std::string CliParser::get(const std::string& name) const {
   return find(name).value;
 }
 
+namespace {
+/// strto* skip leading whitespace; a flag token starting with one is noise.
+bool leading_space(const std::string& v) {
+  return !v.empty() && std::isspace(static_cast<unsigned char>(v[0])) != 0;
+}
+}  // namespace
+
 std::int64_t CliParser::get_int(const std::string& name) const {
   const auto& v = find(name).value;
-  try {
-    return std::stoll(v);
-  } catch (const std::exception&) {
+  // strtoll instead of stoll: stoll accepts trailing garbage ("12x" → 12),
+  // which turns a typo into a silently different run. Demand that the token
+  // parses in full and fits the type.
+  if (leading_space(v)) {
     throw ConfigError("flag --" + name + " expects an integer, got: " + v);
   }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw ConfigError("flag --" + name + " expects an integer, got: " + v);
+  }
+  return parsed;
+}
+
+std::uint64_t CliParser::get_uint(const std::string& name) const {
+  const auto& v = find(name).value;
+  // Reject the sign up front: strtoull happily parses "-1" and wraps it to
+  // 2^64-1, the exact silent catastrophe this accessor exists to prevent.
+  if (leading_space(v) || (!v.empty() && (v[0] == '-' || v[0] == '+'))) {
+    throw ConfigError("flag --" + name +
+                      " expects a non-negative integer, got: " + v);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw ConfigError("flag --" + name +
+                      " expects a non-negative integer, got: " + v);
+  }
+  return parsed;
 }
 
 real CliParser::get_real(const std::string& name) const {
   const auto& v = find(name).value;
-  try {
-    return std::stod(v);
-  } catch (const std::exception&) {
+  if (leading_space(v)) {
     throw ConfigError("flag --" + name + " expects a number, got: " + v);
   }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw ConfigError("flag --" + name + " expects a number, got: " + v);
+  }
+  return parsed;
 }
 
 bool CliParser::get_bool(const std::string& name) const {

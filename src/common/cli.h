@@ -37,7 +37,15 @@ class CliParser {
   void parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get(const std::string& name) const;
+  /// Strict integer parse: the whole token must be a base-10 integer within
+  /// std::int64_t range. "12x", "1e3", "" and overflowing values all throw
+  /// ConfigError — a mistyped flag must fail loudly, not truncate silently.
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  /// Strict unsigned parse: get_int plus a non-negativity check, for count
+  /// flags (--rounds, --checkpoint-every) where -1 silently wrapping to a
+  /// huge count would be catastrophic.
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  /// Strict floating parse: whole-token, finite-range (ERANGE throws).
   [[nodiscard]] real get_real(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
 

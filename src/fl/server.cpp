@@ -25,6 +25,15 @@ const char* to_string(RejectReason reason) {
   return "?";
 }
 
+index_t quorum_needed(real fraction, index_t m) {
+  OASIS_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                  "quorum_fraction " << fraction << " outside [0, 1]");
+  if (fraction <= 0.0) return 0;
+  auto needed =
+      static_cast<index_t>(std::ceil(fraction * static_cast<real>(m)));
+  return needed < 1 ? 1 : needed;
+}
+
 Server::Server(std::unique_ptr<nn::Sequential> global_model,
                real learning_rate)
     : model_(std::move(global_model)), learning_rate_(learning_rate) {

@@ -37,6 +37,12 @@ enum class RejectReason : std::uint8_t {
 
 const char* to_string(RejectReason reason);
 
+/// Valid-update quorum for a cohort of `m` clients: ceil(fraction·m), at
+/// least 1 when fraction > 0; 0 disables the quorum. Shared by the
+/// in-process round engine (fl::Simulation) and the socket serving layer
+/// (net::FlServer) so both admission paths abort on the same threshold.
+index_t quorum_needed(real fraction, index_t m);
+
 /// Which screens finish_round() applies. Defaults keep every structural and
 /// protocol check on; the norm screen is opt-in because legitimate workloads
 /// (e.g. secure-aggregation masked updates, which look like white noise)

@@ -177,12 +177,7 @@ std::vector<std::uint64_t> Simulation::run_round() {
     }
   }
 
-  index_t needed = 0;
-  if (config_.quorum_fraction > 0.0) {
-    needed = static_cast<index_t>(
-        std::ceil(config_.quorum_fraction * static_cast<real>(m)));
-    if (needed < 1) needed = 1;
-  }
+  const index_t needed = quorum_needed(config_.quorum_fraction, m);
 
   // Snapshot only when the engine can actually abort or drop updates — the
   // honest path stays copy-free.

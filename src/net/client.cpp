@@ -1,0 +1,266 @@
+#include "net/client.h"
+
+#include <poll.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace oasis::net {
+
+FlClient::FlClient(fl::Client& core, FlClientConfig config, TimeSource now)
+    : core_(core),
+      config_(config),
+      now_(std::move(now)),
+      decoder_(config.max_frame_bytes) {
+  OASIS_CHECK_MSG(config_.max_attempts >= 1, "max_attempts must be >= 1");
+  if (!now_) now_ = steady_now_ms;
+}
+
+FlClient::~FlClient() = default;
+
+void FlClient::set_fault_hook(FaultHook hook) {
+  fault_hook_ = std::move(hook);
+}
+
+void FlClient::connect(std::string host, std::uint16_t port) {
+  host_ = std::move(host);
+  port_ = port;
+  state_ = State::kBackoff;
+  attempt_ = 0;
+  next_connect_ms_ = 0;  // first attempt is immediate
+}
+
+void FlClient::schedule_retry(std::uint64_t now) {
+  static obs::Counter& retries = obs::counter("net.client.retries");
+  drop_connection();
+  ++attempt_;
+  if (attempt_ >= config_.max_attempts) {
+    throw NetError(NetError::Reason::kRetryExhausted,
+                   "client " + std::to_string(config_.client_id) + ": " +
+                       std::to_string(attempt_) + " connection attempts");
+  }
+  retries.add(1);
+  ++retries_;
+  // Linear backoff like the round engine's straggler schedule; a retry-after
+  // hint from the server's backpressure overrides it.
+  const std::uint64_t wait = retry_hint_ms_
+                                 ? *retry_hint_ms_
+                                 : static_cast<std::uint64_t>(attempt_) *
+                                       config_.backoff_ms;
+  retry_hint_ms_.reset();
+  next_connect_ms_ = now + wait;
+  state_ = State::kBackoff;
+}
+
+void FlClient::drop_connection() {
+  sock_.close();
+  decoder_ = FrameDecoder(config_.max_frame_bytes);
+  outbox_.clear();
+  outbox_off_ = 0;
+  close_after_flush_ = false;
+  replied_this_conn_ = false;
+}
+
+void FlClient::open_connection(std::uint64_t now) {
+  static obs::Counter& connects = obs::counter("net.client.connects");
+  sock_ = tcp_connect(host_, port_);
+  connects.add(1);
+  state_ = State::kActive;
+  last_activity_ms_ = now;
+  const auto hello = encode_hello(Hello{config_.client_id});
+  outbox_.insert(outbox_.end(), hello.begin(), hello.end());
+  flush_outbox();
+}
+
+void FlClient::flush_outbox() {
+  while (outbox_off_ < outbox_.size()) {
+    const long put = write_some(sock_, outbox_.data() + outbox_off_,
+                                outbox_.size() - outbox_off_);
+    if (put == 0) return;  // kernel buffer full; resume next step
+    outbox_off_ += static_cast<std::size_t>(put);
+  }
+  outbox_.clear();
+  outbox_off_ = 0;
+  if (close_after_flush_) {
+    // The mid-frame truncation fault: the queued prefix is on the wire,
+    // the rest never will be.
+    drop_connection();
+  }
+}
+
+void FlClient::handle_model(const fl::GlobalModelMessage& msg) {
+  static obs::Counter& models = obs::counter("net.client.models_received");
+  static obs::Counter& sent_c = obs::counter("net.client.updates_sent");
+  static obs::Counter& dropped_c = obs::counter("net.client.updates_dropped");
+  models.add(1);
+  ++models_;
+  fl::ClientUpdateMessage update = core_.handle_round(msg);
+  UpdateFault fault;
+  if (fault_hook_) fault = fault_hook_(msg.round, update);
+  switch (fault.action) {
+    case UpdateFault::Action::kDrop:
+      // Dropout: vanish without a word; the server's round deadline (or the
+      // rest of the cohort) moves on without us. Reconnect for a later
+      // round.
+      dropped_c.add(1);
+      drop_connection();
+      state_ = State::kBackoff;
+      next_connect_ms_ = now_() + config_.backoff_ms;
+      return;
+    case UpdateFault::Action::kSend:
+    case UpdateFault::Action::kDuplicate:
+    case UpdateFault::Action::kPartialClose: {
+      const auto frame = encode_update(update);
+      if (fault.action == UpdateFault::Action::kPartialClose) {
+        outbox_.insert(outbox_.end(), frame.begin(),
+                       frame.begin() +
+                           static_cast<std::ptrdiff_t>(frame.size() / 2));
+        close_after_flush_ = true;
+      } else {
+        outbox_.insert(outbox_.end(), frame.begin(), frame.end());
+        if (fault.action == UpdateFault::Action::kDuplicate) {
+          outbox_.insert(outbox_.end(), frame.begin(), frame.end());
+        }
+      }
+      sent_c.add(1);
+      ++sent_;
+      replied_this_conn_ = true;
+      flush_outbox();
+      if (state_ == State::kActive && !sock_.valid()) {
+        // PartialClose completed inline; rejoin via backoff.
+        state_ = State::kBackoff;
+        next_connect_ms_ = now_() + config_.backoff_ms;
+      }
+      return;
+    }
+  }
+}
+
+void FlClient::handle_frame(const Frame& frame, std::uint64_t now) {
+  static obs::Counter& bounced_c = obs::counter("net.client.retry_after");
+  static obs::Counter& committed_c = obs::counter("net.client.rounds_committed");
+  // Any well-formed frame proves the server is alive, so the attempt budget
+  // becomes a bound on CONSECUTIVE failures without server contact — a
+  // retry-after bounce storm during a long round cannot exhaust it, while a
+  // dead endpoint (connection refused over and over) still does.
+  attempt_ = 0;
+  switch (frame.type) {
+    case FrameType::kWelcome: {
+      (void)decode_welcome(frame.body);  // validates magic/version
+      return;
+    }
+    case FrameType::kModel:
+      handle_model(decode_model(frame.body));
+      return;
+    case FrameType::kRetryAfter: {
+      // Backpressure: the federation is mid-round or full. Not a failure —
+      // park ourselves for the hinted backoff and try again.
+      bounced_c.add(1);
+      ++bounced_;
+      retry_hint_ms_ = decode_retry_after(frame.body);
+      schedule_retry(now);
+      return;
+    }
+    case FrameType::kRoundResult: {
+      const RoundResult result = decode_round_result(frame.body);
+      if (replied_this_conn_) {
+        ++completed_;
+        replied_this_conn_ = false;
+      }
+      if (result.committed) {
+        committed_c.add(1);
+        ++committed_;
+      }
+      return;
+    }
+    case FrameType::kGoodbye:
+      goodbye_ = true;
+      drop_connection();
+      state_ = State::kDone;
+      return;
+    case FrameType::kHello:
+    case FrameType::kUpdate:
+      // Client-to-server vocabulary arriving at the client.
+      throw NetError(NetError::Reason::kProtocol,
+                     std::string("unexpected ") + to_string(frame.type) +
+                         " frame from server");
+  }
+}
+
+void FlClient::pump_active(int timeout_ms, std::uint64_t now) {
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  if (outbox_off_ < outbox_.size()) pfd.events |= POLLOUT;
+  ::poll(&pfd, 1, timeout_ms);
+
+  try {
+    if (outbox_off_ < outbox_.size()) flush_outbox();
+    if (state_ != State::kActive) return;  // flush may have dropped us
+    std::uint8_t buf[16 * 1024];
+    while (sock_.valid()) {
+      const long got = read_some(sock_, buf, sizeof(buf));
+      if (got == 0) break;  // drained
+      if (got < 0) {
+        // Peer closed. Normal after kGoodbye; otherwise reconnect.
+        if (goodbye_) {
+          drop_connection();
+          state_ = State::kDone;
+        } else {
+          schedule_retry(now);
+        }
+        return;
+      }
+      last_activity_ms_ = now;
+      decoder_.feed(buf, static_cast<std::size_t>(got));
+      while (auto frame = decoder_.next()) {
+        handle_frame(*frame, now);
+        if (state_ != State::kActive) return;
+      }
+    }
+    if (state_ == State::kActive &&
+        now - last_activity_ms_ >= config_.io_timeout_ms) {
+      schedule_retry(now);
+    }
+  } catch (const NetError& e) {
+    if (e.reason() == NetError::Reason::kRetryExhausted) throw;
+    obs::counter(std::string("net.client.error.") +
+                 NetError::reason_name(e.reason()))
+        .add(1);
+    schedule_retry(now);
+  }
+}
+
+bool FlClient::step(int timeout_ms) {
+  OASIS_CHECK_MSG(!host_.empty(), "connect() has not been called");
+  if (state_ == State::kDone) return false;
+  const std::uint64_t now = now_();
+  if (state_ == State::kBackoff) {
+    if (now < next_connect_ms_) {
+      if (timeout_ms > 0) {
+        const std::uint64_t remaining = next_connect_ms_ - now;
+        ::poll(nullptr, 0,
+               static_cast<int>(std::min<std::uint64_t>(
+                   remaining, static_cast<std::uint64_t>(timeout_ms))));
+      }
+      return true;
+    }
+    try {
+      open_connection(now);
+    } catch (const NetError&) {
+      schedule_retry(now);
+      return true;
+    }
+  }
+  if (state_ == State::kActive) pump_active(timeout_ms, now);
+  return state_ != State::kDone;
+}
+
+std::uint64_t FlClient::run(const std::string& host, std::uint16_t port) {
+  connect(host, port);
+  while (step(/*timeout_ms=*/20)) {
+  }
+  return completed_;
+}
+
+}  // namespace oasis::net

@@ -1,0 +1,142 @@
+// net::FlClient — drives an fl::Client's training over a socket.
+//
+// A steppable state machine mirroring net::FlServer: step() connects (with
+// linear retry backoff, honoring retry-after hints from the server's
+// backpressure), handshakes, trains on each dispatched model via
+// fl::Client::handle_round, and uploads the resulting update, until the
+// server says goodbye or the retry budget is exhausted.
+//
+// Determinism: all deadlines and backoff go through the injected TimeSource
+// (the runtime::VirtualClock idiom) — a test advancing a tick counter by
+// hand observes the exact same reconnect schedule on every run. The blocking
+// run() wraps step() with the steady clock for real deployments.
+//
+// Fault injection: the load bench installs a FaultHook that inspects (and
+// may mutate, e.g. via fl::FaultPlan::apply) each outgoing update and picks
+// a delivery action — send faithfully, drop the connection without sending
+// (dropout), send twice (duplicate delivery), or close mid-frame (the
+// truncation fault the server's decoder must survive).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fl/client.h"
+#include "net/frame.h"
+#include "net/server.h"  // TimeSource
+#include "net/socket.h"
+
+namespace oasis::net {
+
+/// Delivery decision for one outgoing update.
+struct UpdateFault {
+  enum class Action : std::uint8_t {
+    kSend,          // deliver faithfully
+    kDrop,          // say nothing, close, reconnect later (dropout)
+    kDuplicate,     // deliver the same framed update twice, back to back
+    kPartialClose,  // deliver half the frame's bytes, then close (truncation)
+  };
+  Action action = Action::kSend;
+};
+
+/// Invoked with every computed update before transmission; may mutate the
+/// message in place (corruption/poison faults reuse fl::FaultPlan::apply).
+using FaultHook =
+    std::function<UpdateFault(std::uint64_t round, fl::ClientUpdateMessage&)>;
+
+struct FlClientConfig {
+  /// Wire-level client id presented in the hello (must match the id space
+  /// the server's selection permutation is defined over).
+  std::uint64_t client_id = 0;
+  /// CONSECUTIVE connection attempts without server contact before run()
+  /// gives up with NetError{kRetryExhausted}. Any well-formed frame (even a
+  /// retry-after bounce) resets the budget; only a dead endpoint — refused
+  /// connections or silence, over and over — exhausts it.
+  index_t max_attempts = 64;
+  /// Linear backoff base: attempt k waits k·backoff_ms (a retry-after frame
+  /// overrides the wait with the server's hint).
+  std::uint64_t backoff_ms = 10;
+  /// No-progress deadline while connected; expiry forces a reconnect.
+  std::uint64_t io_timeout_ms = 30'000;
+  /// Hard ceiling on one inbound frame body.
+  std::size_t max_frame_bytes = kDefaultMaxBodyBytes;
+};
+
+class FlClient {
+ public:
+  /// `core` must outlive the FlClient. `now` defaults to the steady clock.
+  FlClient(fl::Client& core, FlClientConfig config, TimeSource now = {});
+  ~FlClient();
+
+  FlClient(const FlClient&) = delete;
+  FlClient& operator=(const FlClient&) = delete;
+
+  /// Installs the delivery-fault hook (load bench; default = send all).
+  void set_fault_hook(FaultHook hook);
+
+  /// Sets the federation endpoint and arms the first connection attempt.
+  void connect(std::string host, std::uint16_t port);
+
+  /// One iteration: connect/reconnect when due, pump socket IO, train on any
+  /// dispatched model, queue the update. Returns false once the server said
+  /// goodbye and the connection drained. Throws NetError{kRetryExhausted}
+  /// when the attempt budget runs out. `timeout_ms` bounds the internal
+  /// poll/backoff sleep; pass 0 under a virtual TimeSource.
+  bool step(int timeout_ms);
+
+  /// connect() + step() until goodbye. Returns rounds participated in (an
+  /// update was uploaded and the round's result was received).
+  std::uint64_t run(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] std::uint64_t rounds_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t rounds_committed() const { return committed_; }
+  [[nodiscard]] std::uint64_t models_received() const { return models_; }
+  [[nodiscard]] std::uint64_t updates_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t retry_after_bounces() const { return bounced_; }
+  [[nodiscard]] bool finished() const { return state_ == State::kDone; }
+
+ private:
+  enum class State : std::uint8_t {
+    kBackoff,  // disconnected, waiting for next_connect_ms_
+    kActive,   // connected (hello queued), serving frames
+    kDone,     // goodbye received, socket drained
+  };
+
+  void schedule_retry(std::uint64_t now);
+  void open_connection(std::uint64_t now);
+  void pump_active(int timeout_ms, std::uint64_t now);
+  void handle_frame(const Frame& frame, std::uint64_t now);
+  void handle_model(const fl::GlobalModelMessage& msg);
+  void flush_outbox();
+  void drop_connection();
+
+  fl::Client& core_;
+  FlClientConfig config_;
+  TimeSource now_;
+  FaultHook fault_hook_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  State state_ = State::kBackoff;
+  Socket sock_;
+  FrameDecoder decoder_;
+  tensor::ByteBuffer outbox_;
+  std::size_t outbox_off_ = 0;
+  bool close_after_flush_ = false;
+  bool goodbye_ = false;
+  index_t attempt_ = 0;
+  std::uint64_t next_connect_ms_ = 0;
+  std::uint64_t last_activity_ms_ = 0;
+  std::optional<std::uint64_t> retry_hint_ms_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t models_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t bounced_ = 0;
+  bool replied_this_conn_ = false;
+};
+
+}  // namespace oasis::net

@@ -1,0 +1,64 @@
+// Typed errors of the oasis::net serving layer.
+//
+// Every way a peer (or the wire) can misbehave maps to one NetError reason,
+// so the frame decoder's fuzz sweep can assert "typed error, never a crash",
+// the server can tally `net.frame.error.<reason>` counters without string
+// matching, and callers can distinguish retryable conditions (kRetryAfter,
+// kClosed) from protocol violations.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace oasis::net {
+
+/// Raised on malformed frames, protocol violations, socket failures, and
+/// exhausted retry budgets. Subclasses oasis::Error so existing catch sites
+/// that treat library errors uniformly keep working.
+class NetError : public Error {
+ public:
+  enum class Reason {
+    kOversizedFrame,   // length prefix exceeds the configured frame budget
+    kBadFrameType,     // type byte outside the protocol's vocabulary
+    kTruncatedFrame,   // connection closed mid-frame (drop-mid-frame fault)
+    kMalformedFrame,   // frame body too short / trailing bytes for its type
+    kBadMagic,         // handshake carried the wrong protocol magic
+    kBadVersion,       // handshake carried an unsupported protocol version
+    kProtocol,         // well-formed frame arriving in the wrong state
+    kClosed,           // peer closed the connection cleanly
+    kIo,               // socket syscall failure (errno-level damage)
+    kTimeout,          // deadline expired waiting for the peer
+    kRetryExhausted,   // reconnect/backoff budget spent without success
+  };
+
+  NetError(Reason reason, const std::string& what)
+      : Error(std::string("net error [") + reason_name(reason) + "]: " + what),
+        reason_(reason) {}
+
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+
+  /// Stable snake_case name — doubles as the `net.frame.error.<reason>`
+  /// counter suffix, so renaming one renames the metric.
+  static const char* reason_name(Reason r) noexcept {
+    switch (r) {
+      case Reason::kOversizedFrame: return "oversized_frame";
+      case Reason::kBadFrameType: return "bad_frame_type";
+      case Reason::kTruncatedFrame: return "truncated_frame";
+      case Reason::kMalformedFrame: return "malformed_frame";
+      case Reason::kBadMagic: return "bad_magic";
+      case Reason::kBadVersion: return "bad_version";
+      case Reason::kProtocol: return "protocol";
+      case Reason::kClosed: return "closed";
+      case Reason::kIo: return "io";
+      case Reason::kTimeout: return "timeout";
+      case Reason::kRetryExhausted: return "retry_exhausted";
+    }
+    return "unknown";
+  }
+
+ private:
+  Reason reason_;
+};
+
+}  // namespace oasis::net

@@ -1,0 +1,274 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace oasis::net {
+namespace {
+
+void put_u32(tensor::ByteBuffer& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(tensor::ByteBuffer& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian reads over a frame body.
+class BodyReader {
+ public:
+  BodyReader(const tensor::ByteBuffer& body, const char* what)
+      : body_(body), what_(what) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | body_[off_ + static_cast<std::size_t>(i)];
+    }
+    off_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | body_[off_ + static_cast<std::size_t>(i)];
+    }
+    off_ += 8;
+    return v;
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return body_[off_++];
+  }
+
+  /// Everything after the fixed-width prefix (the embedded tensor payload).
+  tensor::ByteBuffer rest() {
+    tensor::ByteBuffer out(body_.begin() + static_cast<std::ptrdiff_t>(off_),
+                           body_.end());
+    off_ = body_.size();
+    return out;
+  }
+
+  /// The fixed-layout frame types must consume their body exactly.
+  void expect_end() const {
+    if (off_ != body_.size()) {
+      throw NetError(NetError::Reason::kMalformedFrame,
+                     std::string(what_) + " frame carries " +
+                         std::to_string(body_.size() - off_) +
+                         " trailing bytes");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (body_.size() - off_ < n) {
+      throw NetError(NetError::Reason::kMalformedFrame,
+                     std::string(what_) + " frame body truncated at byte " +
+                         std::to_string(off_) + " (" +
+                         std::to_string(body_.size()) + " bytes total)");
+    }
+  }
+
+  const tensor::ByteBuffer& body_;
+  const char* what_;
+  std::size_t off_ = 0;
+};
+
+tensor::ByteBuffer make_frame(FrameType type, const tensor::ByteBuffer& body) {
+  tensor::ByteBuffer out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+void check_magic(BodyReader& r, const char* what) {
+  const std::uint32_t magic = r.u32();
+  if (magic != kProtocolMagic) {
+    throw NetError(NetError::Reason::kBadMagic,
+                   std::string(what) + " frame magic " + std::to_string(magic));
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kProtocolVersion) {
+    throw NetError(NetError::Reason::kBadVersion,
+                   std::string(what) + " frame speaks protocol version " +
+                       std::to_string(version) + ", expected " +
+                       std::to_string(kProtocolVersion));
+  }
+}
+
+}  // namespace
+
+bool frame_type_known(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kGoodbye);
+}
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kWelcome: return "welcome";
+    case FrameType::kModel: return "model";
+    case FrameType::kUpdate: return "update";
+    case FrameType::kRetryAfter: return "retry_after";
+    case FrameType::kRoundResult: return "round_result";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "unknown";
+}
+
+tensor::ByteBuffer encode_hello(const Hello& hello) {
+  tensor::ByteBuffer body;
+  put_u32(body, kProtocolMagic);
+  put_u32(body, kProtocolVersion);
+  put_u64(body, hello.client_id);
+  return make_frame(FrameType::kHello, body);
+}
+
+tensor::ByteBuffer encode_welcome(const Welcome& welcome) {
+  tensor::ByteBuffer body;
+  put_u32(body, kProtocolMagic);
+  put_u32(body, kProtocolVersion);
+  put_u64(body, welcome.round);
+  return make_frame(FrameType::kWelcome, body);
+}
+
+tensor::ByteBuffer encode_model(const fl::GlobalModelMessage& msg) {
+  tensor::ByteBuffer body;
+  body.reserve(8 + msg.model_state.size());
+  put_u64(body, msg.round);
+  body.insert(body.end(), msg.model_state.begin(), msg.model_state.end());
+  return make_frame(FrameType::kModel, body);
+}
+
+tensor::ByteBuffer encode_update(const fl::ClientUpdateMessage& msg) {
+  tensor::ByteBuffer body;
+  body.reserve(24 + msg.gradients.size());
+  put_u64(body, msg.round);
+  put_u64(body, msg.client_id);
+  put_u64(body, msg.num_examples);
+  body.insert(body.end(), msg.gradients.begin(), msg.gradients.end());
+  return make_frame(FrameType::kUpdate, body);
+}
+
+tensor::ByteBuffer encode_retry_after(std::uint64_t retry_after_ms) {
+  tensor::ByteBuffer body;
+  put_u64(body, retry_after_ms);
+  return make_frame(FrameType::kRetryAfter, body);
+}
+
+tensor::ByteBuffer encode_round_result(const RoundResult& result) {
+  tensor::ByteBuffer body;
+  put_u64(body, result.round);
+  body.push_back(result.committed ? 1 : 0);
+  return make_frame(FrameType::kRoundResult, body);
+}
+
+tensor::ByteBuffer encode_goodbye() {
+  return make_frame(FrameType::kGoodbye, {});
+}
+
+Hello decode_hello(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "hello");
+  check_magic(r, "hello");
+  Hello hello;
+  hello.client_id = r.u64();
+  r.expect_end();
+  return hello;
+}
+
+Welcome decode_welcome(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "welcome");
+  check_magic(r, "welcome");
+  Welcome welcome;
+  welcome.round = r.u64();
+  r.expect_end();
+  return welcome;
+}
+
+fl::GlobalModelMessage decode_model(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "model");
+  fl::GlobalModelMessage msg;
+  msg.round = r.u64();
+  msg.model_state = r.rest();
+  return msg;
+}
+
+fl::ClientUpdateMessage decode_update(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "update");
+  fl::ClientUpdateMessage msg;
+  msg.round = r.u64();
+  msg.client_id = r.u64();
+  msg.num_examples = r.u64();
+  msg.gradients = r.rest();
+  return msg;
+}
+
+std::uint64_t decode_retry_after(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "retry_after");
+  const std::uint64_t ms = r.u64();
+  r.expect_end();
+  return ms;
+}
+
+RoundResult decode_round_result(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "round_result");
+  RoundResult result;
+  result.round = r.u64();
+  result.committed = r.u8() != 0;
+  r.expect_end();
+  return result;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_body_bytes)
+    : max_body_bytes_(max_body_bytes) {}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < kFrameHeaderBytes) return std::nullopt;
+  std::uint32_t body_len = 0;
+  std::memcpy(&body_len, buf_.data() + off_, sizeof(body_len));
+  // The header is validated BEFORE waiting for (or allocating) the body, so
+  // a hostile length prefix or garbage type byte is rejected from the first
+  // five bytes alone.
+  if (body_len > max_body_bytes_) {
+    throw NetError(NetError::Reason::kOversizedFrame,
+                   "frame body of " + std::to_string(body_len) +
+                       " bytes exceeds the " +
+                       std::to_string(max_body_bytes_) + "-byte budget");
+  }
+  const std::uint8_t type = buf_[off_ + 4];
+  if (!frame_type_known(type)) {
+    throw NetError(NetError::Reason::kBadFrameType,
+                   "unknown frame type byte " + std::to_string(type));
+  }
+  if (avail < kFrameHeaderBytes + body_len) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  const auto begin =
+      buf_.begin() + static_cast<std::ptrdiff_t>(off_ + kFrameHeaderBytes);
+  frame.body.assign(begin, begin + static_cast<std::ptrdiff_t>(body_len));
+  off_ += kFrameHeaderBytes + body_len;
+  return frame;
+}
+
+}  // namespace oasis::net

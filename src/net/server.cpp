@@ -1,0 +1,503 @@
+#include "net/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "nn/model_io.h"
+#include "obs/obs.h"
+
+namespace oasis::net {
+
+namespace {
+
+obs::Counter& frame_error_counter(NetError::Reason reason) {
+  // A handful of distinct reasons; the registry caches by name.
+  return obs::counter(std::string("net.frame.error.") +
+                      NetError::reason_name(reason));
+}
+
+}  // namespace
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct FlServer::Conn {
+  enum class State : std::uint8_t {
+    kHandshake,  // accepted, awaiting hello
+    kParked,     // admitted, awaiting round admission
+    kInRound,    // model dispatched, awaiting update
+    kReplied,    // update received, awaiting cutover
+  };
+
+  Conn(Socket s, std::size_t max_frame_bytes, std::uint64_t now)
+      : sock(std::move(s)), decoder(max_frame_bytes), last_activity_ms(now) {}
+
+  Socket sock;
+  State state = State::kHandshake;
+  std::uint64_t client_id = 0;
+  FrameDecoder decoder;
+  tensor::ByteBuffer outbox;
+  std::size_t outbox_off = 0;
+  std::uint64_t last_activity_ms = 0;
+  std::uint64_t rounds_participated = 0;
+  index_t updates_this_round = 0;
+  bool close_after_flush = false;
+};
+
+FlServer::FlServer(fl::Server& core, FlServerConfig config, TimeSource now)
+    : core_(core), config_(config), now_(std::move(now)) {
+  OASIS_CHECK_MSG(config_.cohort_size >= 1, "cohort_size must be >= 1");
+  OASIS_CHECK_MSG(config_.rounds >= 1, "rounds must be >= 1");
+  OASIS_CHECK_MSG(config_.max_connections >= config_.cohort_size,
+                  "max_connections " << config_.max_connections
+                                     << " below cohort_size "
+                                     << config_.cohort_size);
+  if (!now_) now_ = steady_now_ms;
+  if (config_.selection_seed) {
+    selection_.emplace(*config_.selection_seed);
+  }
+}
+
+FlServer::~FlServer() = default;
+
+void FlServer::listen(const std::string& host, std::uint16_t port) {
+  listener_ = tcp_listen(host, port);
+  port_ = local_port(listener_);
+}
+
+std::uint16_t FlServer::port() const {
+  OASIS_CHECK_MSG(port_ != 0, "listen() has not been called");
+  return port_;
+}
+
+index_t FlServer::max_parked() const {
+  return config_.max_parked > 0 ? config_.max_parked : 2 * config_.cohort_size;
+}
+
+index_t FlServer::connection_count() const { return conns_.size(); }
+
+index_t FlServer::parked_count() const {
+  index_t n = 0;
+  for (const auto& c : conns_) {
+    if (c.sock.valid() && c.state == Conn::State::kParked) ++n;
+  }
+  return n;
+}
+
+void FlServer::send_frame(Conn& conn, tensor::ByteBuffer frame_bytes) {
+  static obs::Counter& frames = obs::counter("net.frames.sent");
+  static obs::Counter& bytes = obs::counter("net.bytes.sent");
+  frames.add(1);
+  bytes.add(frame_bytes.size());
+  if (conn.outbox_off > 0 && conn.outbox_off == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.outbox_off = 0;
+  }
+  conn.outbox.insert(conn.outbox.end(), frame_bytes.begin(),
+                     frame_bytes.end());
+  pump_write(conn);
+}
+
+void FlServer::close_conn(Conn& conn, const char* why) {
+  if (!conn.sock.valid()) return;
+  obs::counter("net.conn.closed").add(1);
+  if (why != nullptr && *why != '\0') {
+    obs::counter(std::string("net.conn.close.") + why).add(1);
+  }
+  conn.sock.close();
+}
+
+void FlServer::pump_listener() {
+  static obs::Counter& accepted = obs::counter("net.conn.accepted");
+  static obs::Counter& over_cap = obs::counter("net.conn.over_capacity");
+  if (!listener_.valid()) return;
+  while (true) {
+    Socket sock = tcp_accept(listener_);
+    if (!sock.valid()) break;
+    index_t live = 0;
+    for (const auto& c : conns_) {
+      if (c.sock.valid()) ++live;
+    }
+    if (live >= config_.max_connections) {
+      over_cap.add(1);
+      continue;  // Socket destructor closes it — hard admission bound.
+    }
+    accepted.add(1);
+    conns_.emplace_back(std::move(sock), config_.max_frame_bytes, now_());
+  }
+}
+
+void FlServer::pump_read(Conn& conn, std::uint64_t now) {
+  static obs::Counter& bytes_in = obs::counter("net.bytes.received");
+  static obs::Counter& frames_in = obs::counter("net.frames.received");
+  std::uint8_t buf[16 * 1024];
+  std::size_t budget = config_.read_budget_bytes;
+  try {
+    while (budget > 0 && conn.sock.valid()) {
+      const std::size_t want = std::min(budget, sizeof(buf));
+      const long got = read_some(conn.sock, buf, want);
+      if (got == 0) break;  // drained (would block)
+      if (got < 0) {
+        // Orderly close. Mid-frame, that is the drop-mid-frame fault.
+        if (conn.decoder.mid_frame()) {
+          frame_error_counter(NetError::Reason::kTruncatedFrame).add(1);
+          close_conn(conn, "truncated");
+        } else {
+          close_conn(conn, "peer");
+        }
+        return;
+      }
+      bytes_in.add(static_cast<std::uint64_t>(got));
+      conn.last_activity_ms = now;
+      conn.decoder.feed(buf, static_cast<std::size_t>(got));
+      budget -= static_cast<std::size_t>(got);
+      while (auto frame = conn.decoder.next()) {
+        frames_in.add(1);
+        handle_frame(conn, std::move(*frame), now);
+        if (!conn.sock.valid()) return;
+      }
+    }
+  } catch (const NetError& e) {
+    // Connection-scoped damage (oversized/unknown frame, bad handshake,
+    // socket error): tally, sever this peer, keep serving everyone else.
+    frame_error_counter(e.reason()).add(1);
+    close_conn(conn, "frame_error");
+  }
+}
+
+void FlServer::pump_write(Conn& conn) {
+  if (!conn.sock.valid()) return;
+  try {
+    while (conn.outbox_off < conn.outbox.size()) {
+      const long put =
+          write_some(conn.sock, conn.outbox.data() + conn.outbox_off,
+                     conn.outbox.size() - conn.outbox_off);
+      if (put == 0) return;  // kernel buffer full; POLLOUT resumes us
+      conn.outbox_off += static_cast<std::size_t>(put);
+    }
+  } catch (const NetError&) {
+    close_conn(conn, "send_failed");
+    return;
+  }
+  conn.outbox.clear();
+  conn.outbox_off = 0;
+  if (conn.close_after_flush) close_conn(conn, "");
+}
+
+void FlServer::handle_hello(Conn& conn, const Hello& hello,
+                            std::uint64_t /*now*/) {
+  static obs::Counter& handshakes = obs::counter("net.handshakes");
+  static obs::Counter& retry_after = obs::counter("net.admission.retry_after");
+  static obs::Counter& parked = obs::counter("net.admission.parked");
+  static obs::Counter& dup_id = obs::counter("net.conn.duplicate_id");
+
+  if (goodbye_sent_) {
+    send_frame(conn, encode_goodbye());
+    conn.close_after_flush = true;
+    return;
+  }
+  for (const auto& other : conns_) {
+    if (&other != &conn && other.sock.valid() &&
+        other.state != Conn::State::kHandshake &&
+        other.client_id == hello.client_id) {
+      dup_id.add(1);
+      send_frame(conn, encode_retry_after(config_.retry_after_ms));
+      conn.close_after_flush = true;
+      return;
+    }
+  }
+  // Explicit backpressure: a round in flight, or a full parked pool, turns
+  // the handshake away with a backoff hint instead of queueing unboundedly.
+  if (round_open_ || parked_count() >= max_parked()) {
+    retry_after.add(1);
+    send_frame(conn, encode_retry_after(config_.retry_after_ms));
+    conn.close_after_flush = true;
+    return;
+  }
+  handshakes.add(1);
+  parked.add(1);
+  conn.client_id = hello.client_id;
+  conn.state = Conn::State::kParked;
+  send_frame(conn, encode_welcome(Welcome{core_.round()}));
+}
+
+void FlServer::handle_frame(Conn& conn, Frame frame, std::uint64_t now) {
+  static obs::Counter& updates_in = obs::counter("net.update.received");
+  static obs::Counter& stale = obs::counter("net.update.stale");
+  static obs::Counter& protocol_err = obs::counter("net.protocol_error");
+
+  switch (frame.type) {
+    case FrameType::kHello: {
+      if (conn.state != Conn::State::kHandshake) {
+        protocol_err.add(1);
+        close_conn(conn, "protocol");
+        return;
+      }
+      handle_hello(conn, decode_hello(frame.body), now);
+      return;
+    }
+    case FrameType::kUpdate: {
+      if (conn.state == Conn::State::kHandshake) {
+        protocol_err.add(1);
+        close_conn(conn, "protocol");
+        return;
+      }
+      if (conn.state == Conn::State::kParked) {
+        // Not a member of the open round (or no round is open): a straggler
+        // crossing the cutover boundary. Dropped here; the round it was
+        // meant for is sealed.
+        stale.add(1);
+        return;
+      }
+      if (++conn.updates_this_round > 4) {
+        // Duplicate delivery is a tolerated fault, an update flood is not.
+        protocol_err.add(1);
+        close_conn(conn, "update_flood");
+        return;
+      }
+      updates_in.add(1);
+      fl::ClientUpdateMessage msg = decode_update(frame.body);
+      // The wire-level client id is authoritative for bookkeeping, but the
+      // payload travels unmodified into the validation pipeline — a spoofed
+      // inner id is the pipeline's duplicate screen's problem, same as the
+      // in-process path.
+      round_updates_.push_back(
+          PendingUpdate{conn.client_id, std::move(msg)});
+      conn.state = Conn::State::kReplied;
+      return;
+    }
+    case FrameType::kWelcome:
+    case FrameType::kModel:
+    case FrameType::kRetryAfter:
+    case FrameType::kRoundResult:
+    case FrameType::kGoodbye:
+      // Server-to-client vocabulary arriving at the server.
+      protocol_err.add(1);
+      close_conn(conn, "protocol");
+      return;
+  }
+}
+
+void FlServer::enforce_deadlines(std::uint64_t now) {
+  static obs::Counter& idle = obs::counter("net.conn.idle_timeout");
+  for (auto& conn : conns_) {
+    if (!conn.sock.valid()) continue;
+    // The idle deadline targets peers that owe us bytes: an unfinished
+    // handshake, a stalled partial frame (slowloris), or an in-round client
+    // sitting on its update. Parked clients legitimately idle between
+    // rounds and are exempt.
+    const bool owes_bytes = conn.state == Conn::State::kHandshake ||
+                            conn.state == Conn::State::kInRound ||
+                            conn.decoder.mid_frame();
+    if (owes_bytes && now - conn.last_activity_ms >= config_.idle_timeout_ms) {
+      idle.add(1);
+      close_conn(conn, "idle");
+    }
+  }
+}
+
+void FlServer::maybe_start_round(std::uint64_t now) {
+  static obs::Counter& started = obs::counter("net.round.started");
+  if (round_open_ || goodbye_sent_ || served_ >= config_.rounds) return;
+  if (now < next_admission_ms_) return;
+
+  std::vector<index_t> parked;
+  for (index_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].sock.valid() && conns_[i].state == Conn::State::kParked) {
+      parked.push_back(i);
+    }
+  }
+  if (parked.size() < config_.cohort_size) return;
+
+  // Membership: least-served first (a client bounced by backpressure catches
+  // up instead of starving), ties broken by id — deterministic for any
+  // connection arrival order.
+  std::sort(parked.begin(), parked.end(), [&](index_t a, index_t b) {
+    const auto& ca = conns_[a];
+    const auto& cb = conns_[b];
+    if (ca.rounds_participated != cb.rounds_participated) {
+      return ca.rounds_participated < cb.rounds_participated;
+    }
+    return ca.client_id < cb.client_id;
+  });
+  parked.resize(config_.cohort_size);
+
+  // Aggregation/dispatch order over the members: ascending id, or — when a
+  // selection seed is configured — fl::Simulation's per-round permutation of
+  // it, which is what makes loopback serving byte-identical to the
+  // in-process engine.
+  std::vector<std::uint64_t> sorted_ids;
+  sorted_ids.reserve(parked.size());
+  for (const auto i : parked) sorted_ids.push_back(conns_[i].client_id);
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  round_order_.clear();
+  if (selection_) {
+    const auto perm = selection_->sample_without_replacement(
+        sorted_ids.size(), sorted_ids.size());
+    for (const auto p : perm) round_order_.push_back(sorted_ids[p]);
+  } else {
+    round_order_ = sorted_ids;
+  }
+
+  started.add(1);
+  round_id_ = core_.round();
+  round_open_ = true;
+  round_started_ms_ = now;
+  round_deadline_ms_ = now + config_.round_timeout_ms;
+  round_updates_.clear();
+
+  core_.begin_round();
+  for (const auto id : round_order_) {
+    const fl::GlobalModelMessage msg = core_.dispatch_to(id);
+    for (const auto i : parked) {
+      auto& conn = conns_[i];
+      if (conn.client_id == id) {
+        conn.state = Conn::State::kInRound;
+        conn.updates_this_round = 0;
+        send_frame(conn, encode_model(msg));
+        break;
+      }
+    }
+  }
+}
+
+void FlServer::maybe_finish_round(std::uint64_t now) {
+  if (!round_open_) return;
+  bool complete = true;
+  for (auto& conn : conns_) {
+    if (conn.sock.valid() && conn.state == Conn::State::kInRound) {
+      complete = false;
+      break;
+    }
+  }
+  if (complete || now >= round_deadline_ms_) cutover(now);
+}
+
+void FlServer::cutover(std::uint64_t now) {
+  static obs::Counter& committed_c = obs::counter("net.round.committed");
+  static obs::Counter& aborted_c = obs::counter("net.round.aborted");
+  static obs::Counter& stragglers_c = obs::counter("net.round.stragglers");
+  static obs::Histogram& latency_h = obs::histogram("net.round.latency_ms");
+
+  // Seal the round: assemble the collected updates in the deterministic
+  // round order (duplicate deliveries stay adjacent, exactly like the
+  // in-process engine's back-to-back duplicate posting).
+  std::vector<fl::ClientUpdateMessage> collected;
+  collected.reserve(round_updates_.size());
+  for (const auto id : round_order_) {
+    bool any = false;
+    for (auto& pending : round_updates_) {
+      if (pending.client_id == id) {
+        collected.push_back(std::move(pending.msg));
+        any = true;
+      }
+    }
+    if (!any) stragglers_c.add(1);
+  }
+
+  const index_t needed =
+      fl::quorum_needed(config_.quorum_fraction, round_order_.size());
+  tensor::ByteBuffer snapshot;
+  if (needed > 0) snapshot = nn::serialize_state(core_.global_model());
+  bool committed = true;
+  try {
+    core_.finish_round(collected, needed);
+  } catch (const QuorumError&) {
+    // Same contract as fl::Simulation::run_round: restore the pre-round
+    // snapshot so the abort is bit-exact even under subclass bookkeeping.
+    nn::deserialize_state(core_.global_model(), snapshot);
+    aborted_c.add(1);
+    committed = false;
+  }
+  if (committed) {
+    committed_c.add(1);
+    ++served_;
+  }
+  const double latency = static_cast<double>(now - round_started_ms_);
+  latencies_ms_.push_back(latency);
+  latency_h.record(latency);
+
+  const RoundResult result{round_id_, committed};
+  for (auto& conn : conns_) {
+    if (!conn.sock.valid()) continue;
+    if (conn.state == Conn::State::kInRound ||
+        conn.state == Conn::State::kReplied) {
+      ++conn.rounds_participated;
+      conn.state = Conn::State::kParked;
+      send_frame(conn, encode_round_result(result));
+    }
+  }
+  round_open_ = false;
+  round_order_.clear();
+  round_updates_.clear();
+  next_admission_ms_ = now + config_.admission_window_ms;
+  if (served_ >= config_.rounds) finish_serving();
+}
+
+void FlServer::finish_serving() {
+  goodbye_sent_ = true;
+  listener_.close();
+  for (auto& conn : conns_) {
+    if (!conn.sock.valid()) continue;
+    send_frame(conn, encode_goodbye());
+    conn.close_after_flush = true;
+  }
+}
+
+bool FlServer::step(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  const bool have_listener = listener_.valid();
+  if (have_listener) {
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+  }
+  for (const auto& conn : conns_) {
+    if (!conn.sock.valid()) continue;
+    short events = POLLIN;
+    if (conn.outbox_off < conn.outbox.size()) events |= POLLOUT;
+    fds.push_back(pollfd{conn.sock.fd(), events, 0});
+  }
+  if (!fds.empty()) {
+    ::poll(fds.data(), fds.size(), timeout_ms);
+  }
+
+  pump_listener();
+  const std::uint64_t now = now_();
+  // Pump every live connection each step: poll readiness is a wakeup hint,
+  // not a gate, and the non-blocking reads/writes are cheap no-ops on quiet
+  // sockets. This keeps the loop correct even for bytes that arrived
+  // between poll() and now.
+  for (auto& conn : conns_) {
+    if (conn.sock.valid()) pump_read(conn, now);
+  }
+  for (auto& conn : conns_) {
+    if (conn.sock.valid()) pump_write(conn);
+  }
+  enforce_deadlines(now);
+  maybe_finish_round(now);
+  maybe_start_round(now);
+
+  // Sweep closed connections.
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const Conn& c) { return !c.sock.valid(); }),
+               conns_.end());
+  return !finished();
+}
+
+bool FlServer::finished() const {
+  return served_ >= config_.rounds && conns_.empty();
+}
+
+void FlServer::serve() {
+  while (step(/*timeout_ms=*/50)) {
+  }
+}
+
+}  // namespace oasis::net

@@ -1,0 +1,176 @@
+// net::FlServer — the socket-facing FL coordinator.
+//
+// A poll(2)-driven, non-blocking TCP front end over an existing fl::Server:
+// the network layer owns connections, framing, admission, and deadlines;
+// every protocol decision that touches the model (validation, FedAvg, SGD,
+// quorum abort) goes through the same fl::Server entry points the in-process
+// engine uses, so the PR 3 validation pipeline screens every byte arriving
+// over TCP exactly as it screens in-process updates.
+//
+// Connection lifecycle:
+//
+//   accept → kHandshake (await hello) → kParked (admitted, awaiting a round)
+//          → kInRound (model dispatched, awaiting update) → kReplied
+//          → back to kParked after cutover … → kClosing (drain outbox)
+//
+// Backpressure and abuse bounds:
+//   * hellos arriving while a round is open, or when the parked pool is
+//     full, are answered with a retry-after frame and closed — the client
+//     reconnects after the hinted backoff and joins a later round;
+//   * every connection has a per-step read budget (a slow-drip peer cannot
+//     monopolize the loop) and a no-progress idle deadline (slowloris);
+//   * frame length prefixes are validated against a hard budget before any
+//     allocation (see frame.h).
+//
+// Round cutover is graceful: once the cohort is dispatched, the server
+// accepts in-flight updates until everyone replied or the round deadline
+// expires, then aggregates in a deterministic order and notifies every
+// surviving participant before admitting the next cohort.
+//
+// Determinism: with `selection` seeded, the aggregation order replays
+// fl::Simulation's cohort permutation (common::Rng::sample_without_
+// replacement over the sorted cohort), so a loopback federation with the
+// same seeds produces a final model byte-identical to the in-process run —
+// the serving path inherits the repo-wide bit-identity contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fl/server.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace oasis::net {
+
+/// Millisecond clock used for all server deadlines. Defaults to
+/// std::chrono::steady_clock; deterministic tests inject a counter they
+/// advance by hand (the VirtualClock idiom of the round engine).
+using TimeSource = std::function<std::uint64_t()>;
+
+/// The default wall clock (steady, ms).
+std::uint64_t steady_now_ms();
+
+struct FlServerConfig {
+  /// Clients admitted per round (the round admission bound M).
+  index_t cohort_size = 4;
+  /// Committed rounds to serve before draining and closing.
+  std::uint64_t rounds = 1;
+  /// Quorum over the cohort (fl::quorum_needed semantics). An aborted round
+  /// rolls the model back bit-exactly and does not count as served.
+  real quorum_fraction = 0.0;
+  /// When set, replay fl::Simulation's per-round cohort permutation from
+  /// this seed (requires every participant id in [0, cohort_size), i.e. the
+  /// full-population cohort the equivalence contract is defined over).
+  std::optional<std::uint64_t> selection_seed;
+  /// Update-collection deadline after dispatch; members still silent at the
+  /// deadline are stragglers and excluded from this round.
+  std::uint64_t round_timeout_ms = 10'000;
+  /// Per-connection no-progress deadline (slowloris defense; also bounds
+  /// the handshake).
+  std::uint64_t idle_timeout_ms = 10'000;
+  /// Pause between cutover and the next admission, so reconnecting clients
+  /// can rejoin before the cohort refills. 0 = admit immediately.
+  std::uint64_t admission_window_ms = 0;
+  /// Backoff hint carried by the retry-after frame.
+  std::uint64_t retry_after_ms = 50;
+  /// Hard ceiling on one frame body (see FrameDecoder).
+  std::size_t max_frame_bytes = kDefaultMaxBodyBytes;
+  /// Max bytes drained from one connection per step (fairness bound).
+  std::size_t read_budget_bytes = 256 * 1024;
+  /// Accepted sockets beyond this are closed immediately.
+  index_t max_connections = 64;
+  /// Handshaked clients parked awaiting a round; 0 → 2 × cohort_size.
+  index_t max_parked = 0;
+};
+
+class FlServer {
+ public:
+  /// `core` must outlive the FlServer. `now` defaults to the steady clock.
+  FlServer(fl::Server& core, FlServerConfig config, TimeSource now = {});
+  ~FlServer();
+
+  FlServer(const FlServer&) = delete;
+  FlServer& operator=(const FlServer&) = delete;
+
+  /// Binds and listens (numeric IPv4 host; port 0 → ephemeral, see port()).
+  void listen(const std::string& host, std::uint16_t port);
+
+  /// The bound port (resolves an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// One event-loop iteration: poll up to `timeout_ms`, pump socket IO,
+  /// enforce deadlines, start/finish rounds. Returns false once the serving
+  /// schedule is complete and every connection has drained.
+  bool step(int timeout_ms);
+
+  /// Blocks in step() until the schedule completes.
+  void serve();
+
+  /// True once all configured rounds committed and connections drained.
+  [[nodiscard]] bool finished() const;
+
+  /// Committed (non-aborted) rounds served so far.
+  [[nodiscard]] std::uint64_t rounds_served() const { return served_; }
+
+  /// Wall-clock (TimeSource) dispatch→cutover latency of every finished
+  /// round attempt, in order — the load bench derives p50/p99 from this.
+  [[nodiscard]] const std::vector<double>& round_latencies_ms() const {
+    return latencies_ms_;
+  }
+
+  /// Live connections (tests).
+  [[nodiscard]] index_t connection_count() const;
+
+  fl::Server& core() { return core_; }
+
+ private:
+  struct Conn;
+
+  void pump_listener();
+  void pump_read(Conn& conn, std::uint64_t now);
+  void pump_write(Conn& conn);
+  void handle_frame(Conn& conn, Frame frame, std::uint64_t now);
+  void handle_hello(Conn& conn, const Hello& hello, std::uint64_t now);
+  void enforce_deadlines(std::uint64_t now);
+  void maybe_start_round(std::uint64_t now);
+  void maybe_finish_round(std::uint64_t now);
+  void cutover(std::uint64_t now);
+  void send_frame(Conn& conn, tensor::ByteBuffer frame_bytes);
+  void close_conn(Conn& conn, const char* why);
+  void finish_serving();
+  [[nodiscard]] index_t parked_count() const;
+  [[nodiscard]] index_t max_parked() const;
+
+  /// An update collected for the open round, keyed by the WIRE-level client
+  /// id (the connection that delivered it) so cutover can assemble the
+  /// deterministic aggregation order even after the sender disconnected.
+  struct PendingUpdate {
+    std::uint64_t client_id;
+    fl::ClientUpdateMessage msg;
+  };
+
+  fl::Server& core_;
+  FlServerConfig config_;
+  TimeSource now_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::vector<Conn> conns_;
+  std::optional<common::Rng> selection_;
+  bool round_open_ = false;
+  std::uint64_t round_id_ = 0;             // protocol round being collected
+  std::vector<std::uint64_t> round_order_; // cohort ids, aggregation order
+  std::vector<PendingUpdate> round_updates_;  // arrival order
+  std::uint64_t round_deadline_ms_ = 0;
+  std::uint64_t round_started_ms_ = 0;
+  std::uint64_t next_admission_ms_ = 0;
+  std::uint64_t served_ = 0;
+  bool goodbye_sent_ = false;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace oasis::net

@@ -63,6 +63,65 @@ TEST(Cli, TypeErrorsAreReported) {
   EXPECT_THROW((void)cli.get("unregistered"), Error);
 }
 
+TEST(Cli, IntegerParsingRejectsTrailingGarbageAndOverflow) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("n", "count", "0");
+  const auto set = [&](const char* v) {
+    const std::string arg = std::string("--n=") + v;
+    const char* argv[] = {"prog", arg.c_str()};
+    cli.parse(2, argv);
+  };
+  // std::stoll would have accepted all of these prefixes silently.
+  for (const char* bad : {"12x", "1e3", "0x10", "3.5", " 7", "7 ", "--", ""}) {
+    set(bad);
+    EXPECT_THROW((void)cli.get_int("n"), ConfigError) << "input: " << bad;
+  }
+  set("9223372036854775808");  // INT64_MAX + 1
+  EXPECT_THROW((void)cli.get_int("n"), ConfigError);
+  set("-9223372036854775809");  // INT64_MIN - 1
+  EXPECT_THROW((void)cli.get_int("n"), ConfigError);
+  set("9223372036854775807");
+  EXPECT_EQ(cli.get_int("n"), INT64_MAX);
+  set("-42");
+  EXPECT_EQ(cli.get_int("n"), -42);
+}
+
+TEST(Cli, UnsignedParsingRejectsNegativeValues) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("every", "interval", "0");
+  const auto set = [&](const char* v) {
+    const std::string arg = std::string("--every=") + v;
+    const char* argv[] = {"prog", arg.c_str()};
+    cli.parse(2, argv);
+  };
+  // strtoull would wrap "-1" to 2^64-1 — the classic silent catastrophe for
+  // a count flag like --checkpoint-every.
+  for (const char* bad : {"-1", "-0", "+3", "5x", "", "18446744073709551616"}) {
+    set(bad);
+    EXPECT_THROW((void)cli.get_uint("every"), ConfigError) << "input: " << bad;
+  }
+  set("18446744073709551615");  // UINT64_MAX parses
+  EXPECT_EQ(cli.get_uint("every"), UINT64_MAX);
+  set("0");
+  EXPECT_EQ(cli.get_uint("every"), 0u);
+}
+
+TEST(Cli, RealParsingRejectsTrailingGarbageAndOverflow) {
+  common::CliParser cli("prog", "test");
+  cli.add_flag("rate", "r", "0");
+  const auto set = [&](const char* v) {
+    const std::string arg = std::string("--rate=") + v;
+    const char* argv[] = {"prog", arg.c_str()};
+    cli.parse(2, argv);
+  };
+  for (const char* bad : {"0.5abc", "1.2.3", "", "1e999"}) {
+    set(bad);
+    EXPECT_THROW((void)cli.get_real("rate"), ConfigError) << "input: " << bad;
+  }
+  set("-2.5e-3");
+  EXPECT_DOUBLE_EQ(cli.get_real("rate"), -2.5e-3);
+}
+
 TEST(Cli, BoolAcceptsExplicitValues) {
   common::CliParser cli("prog", "test");
   cli.add_bool("flag", "f");

@@ -27,6 +27,8 @@
 #include "fl/client.h"
 #include "fl/server.h"
 #include "fl/simulation.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "nn/models.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
@@ -52,7 +54,55 @@ struct GoldenRound {
   // pinned so the ckpt subsystem's counter discipline can't drift silently.
   std::uint64_t ckpt_save_total = 0;     // ckpt.save_total
   std::uint64_t ckpt_restore_total = 0;  // ckpt.restore_total
+  // Socket serving fingerprint of one loopback round (net.* counters): the
+  // frame and byte totals are a pure function of the protocol layout and the
+  // fixed model architecture, so drift means the wire format changed.
+  std::uint64_t net_frames_sent = 0;     // net.frames.sent
+  std::uint64_t net_frames_received = 0; // net.frames.received
+  std::uint64_t net_bytes_sent = 0;      // net.bytes.sent
+  std::uint64_t net_bytes_received = 0;  // net.bytes.received
+  std::uint64_t net_rounds_committed = 0;  // net.round.committed
 };
+
+/// One loopback TCP round (1 client, virtual clock) over a tiny seeded
+/// federation — deterministic, so its net.* wire counters pin the framed
+/// protocol into the fixture alongside the numeric tallies.
+void run_loopback_exchange() {
+  data::SynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = 6;
+  cfg.test_per_class = 0;
+  cfg.seed = 11;
+  const data::InMemoryDataset shard = data::generate(cfg).train;
+  const fl::ModelFactory factory = [] {
+    common::Rng rng(5);
+    return nn::make_mlp({3, 8, 8}, {16}, 4, rng);
+  };
+
+  fl::Server core(factory(), /*learning_rate=*/0.1);
+  net::FlServerConfig server_cfg;
+  server_cfg.cohort_size = 1;
+  server_cfg.rounds = 1;
+  std::uint64_t t = 0;
+  const net::TimeSource clock = [&t] { return t; };
+  net::FlServer server(core, server_cfg, clock);
+  server.listen("127.0.0.1", 0);
+
+  fl::Client client_core(/*id=*/0, shard, factory, /*batch_size=*/4,
+                         std::make_shared<fl::IdentityPreprocessor>(),
+                         common::Rng(1000));
+  net::FlClientConfig client_cfg;
+  client_cfg.client_id = 0;
+  net::FlClient client(client_core, client_cfg, clock);
+  client.connect("127.0.0.1", server.port());
+  for (int i = 0; i < 100000 && !server.finished(); ++i) {
+    server.step(0);
+    if (!client.finished()) client.step(0);
+    ++t;
+  }
+  EXPECT_TRUE(server.finished()) << "loopback exchange did not converge";
+}
 
 /// Runs THE seeded round: 1 victim client, malicious RTF server, undefended
 /// (WO) so the attack has a reconstruction signal worth pinning down.
@@ -99,6 +149,8 @@ GoldenRound run_golden_round() {
   // save/restore counters into the fixture like every other tally.
   sim.restore_checkpoint(sim.encode_checkpoint());
 
+  run_loopback_exchange();
+
   GoldenRound out;
   out.loss = victim->last_loss();
 
@@ -123,6 +175,11 @@ GoldenRound run_golden_round() {
   out.validate_rejected = obs::counter("fl.validate.rejected").value();
   out.ckpt_save_total = obs::counter("ckpt.save_total").value();
   out.ckpt_restore_total = obs::counter("ckpt.restore_total").value();
+  out.net_frames_sent = obs::counter("net.frames.sent").value();
+  out.net_frames_received = obs::counter("net.frames.received").value();
+  out.net_bytes_sent = obs::counter("net.bytes.sent").value();
+  out.net_bytes_received = obs::counter("net.bytes.received").value();
+  out.net_rounds_committed = obs::counter("net.round.committed").value();
   return out;
 }
 
@@ -139,7 +196,12 @@ std::string format_fixture(const GoldenRound& g) {
                 "  \"validate_accepted\": %llu,\n"
                 "  \"validate_rejected\": %llu,\n"
                 "  \"ckpt_save_total\": %llu,\n"
-                "  \"ckpt_restore_total\": %llu\n"
+                "  \"ckpt_restore_total\": %llu,\n"
+                "  \"net_frames_sent\": %llu,\n"
+                "  \"net_frames_received\": %llu,\n"
+                "  \"net_bytes_sent\": %llu,\n"
+                "  \"net_bytes_received\": %llu,\n"
+                "  \"net_rounds_committed\": %llu\n"
                 "}\n",
                 g.loss, g.grad_norm, g.mean_psnr,
                 static_cast<unsigned long long>(g.rtf_leaked),
@@ -147,7 +209,12 @@ std::string format_fixture(const GoldenRound& g) {
                 static_cast<unsigned long long>(g.validate_accepted),
                 static_cast<unsigned long long>(g.validate_rejected),
                 static_cast<unsigned long long>(g.ckpt_save_total),
-                static_cast<unsigned long long>(g.ckpt_restore_total));
+                static_cast<unsigned long long>(g.ckpt_restore_total),
+                static_cast<unsigned long long>(g.net_frames_sent),
+                static_cast<unsigned long long>(g.net_frames_received),
+                static_cast<unsigned long long>(g.net_bytes_sent),
+                static_cast<unsigned long long>(g.net_bytes_received),
+                static_cast<unsigned long long>(g.net_rounds_committed));
   return buf;
 }
 
@@ -196,9 +263,24 @@ TEST(GoldenRoundTest, MatchesCheckedInFixture) {
                                      fixture_number(text, "validate_accepted")));
   EXPECT_EQ(g.validate_rejected, static_cast<std::uint64_t>(
                                      fixture_number(text, "validate_rejected")));
+  EXPECT_EQ(g.net_frames_sent, static_cast<std::uint64_t>(
+                                   fixture_number(text, "net_frames_sent")));
+  EXPECT_EQ(g.net_frames_received,
+            static_cast<std::uint64_t>(
+                fixture_number(text, "net_frames_received")));
+  EXPECT_EQ(g.net_bytes_sent, static_cast<std::uint64_t>(
+                                  fixture_number(text, "net_bytes_sent")));
+  EXPECT_EQ(g.net_bytes_received,
+            static_cast<std::uint64_t>(
+                fixture_number(text, "net_bytes_received")));
+  EXPECT_EQ(g.net_rounds_committed,
+            static_cast<std::uint64_t>(
+                fixture_number(text, "net_rounds_committed")));
 
-  // The leak counters are only meaningful if the attack actually ran.
+  // The leak counters are only meaningful if the attack actually ran, and
+  // the wire fingerprint only if the loopback exchange served its round.
   EXPECT_GT(g.rtf_total, 0u);
+  EXPECT_EQ(g.net_rounds_committed, 1u);
 }
 
 TEST(GoldenRoundTest, BlockedAndNaiveGemmPathsMatchExactly) {
@@ -217,6 +299,8 @@ TEST(GoldenRoundTest, BlockedAndNaiveGemmPathsMatchExactly) {
   EXPECT_EQ(oracle.rtf_total, blocked.rtf_total);
   EXPECT_EQ(oracle.validate_accepted, blocked.validate_accepted);
   EXPECT_EQ(oracle.validate_rejected, blocked.validate_rejected);
+  EXPECT_EQ(oracle.net_bytes_sent, blocked.net_bytes_sent);
+  EXPECT_EQ(oracle.net_bytes_received, blocked.net_bytes_received);
 }
 
 TEST(GoldenRoundTest, RoundIsDeterministicAcrossThreadCounts) {
@@ -232,6 +316,8 @@ TEST(GoldenRoundTest, RoundIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial.rtf_total, parallel.rtf_total);
   EXPECT_EQ(serial.validate_accepted, parallel.validate_accepted);
   EXPECT_EQ(serial.validate_rejected, parallel.validate_rejected);
+  EXPECT_EQ(serial.net_bytes_sent, parallel.net_bytes_sent);
+  EXPECT_EQ(serial.net_bytes_received, parallel.net_bytes_received);
 }
 
 }  // namespace

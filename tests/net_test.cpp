@@ -1,0 +1,569 @@
+// Socket serving layer tests: frame codec round-trips, decoder fuzz sweeps
+// (every truncation + seeded bit flips, meant to run under ASan), loopback
+// rounds on a virtual clock with bit-identity against the in-process server,
+// backpressure/cutover behavior, slowloris deadlines, and a fork-based
+// multi-process federation proved byte-identical to fl::Simulation.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+#include "fl/simulation.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "nn/model_io.h"
+#include "nn/models.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace oasis::net {
+namespace {
+
+data::InMemoryDataset tiny_dataset(index_t n, index_t classes,
+                                   std::uint64_t seed) {
+  data::SynthConfig cfg;
+  cfg.num_classes = classes;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = n;
+  cfg.test_per_class = 0;
+  cfg.seed = seed;
+  return data::generate(cfg).train;
+}
+
+fl::ModelFactory tiny_factory(std::uint64_t seed) {
+  return [seed] {
+    common::Rng rng(seed);
+    return nn::make_mlp({3, 8, 8}, {16}, 4, rng);
+  };
+}
+
+std::unique_ptr<fl::Client> make_client(std::uint64_t id) {
+  return std::make_unique<fl::Client>(
+      id, tiny_dataset(6, 4, 11 + id), tiny_factory(5), /*batch_size=*/4,
+      std::make_shared<fl::IdentityPreprocessor>(), common::Rng(1000 + id));
+}
+
+/// A real, valid kUpdate frame (header + body) for the fuzz sweeps.
+tensor::ByteBuffer valid_update_frame() {
+  fl::ClientUpdateMessage msg;
+  msg.round = 3;
+  msg.client_id = 7;
+  msg.num_examples = 4;
+  msg.gradients = tensor::serialize_tensors(
+      {tensor::Tensor({2, 3}, {1.0, -2.0, 3.0, -4.0, 5.0, -6.0}),
+       tensor::Tensor({2}, {0.5, -0.5})});
+  return encode_update(msg);
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  return obs::counter(name).value();
+}
+
+TEST(Frame, RoundTripsEveryType) {
+  {
+    const auto bytes = encode_hello(Hello{42});
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    const auto f = d.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::kHello);
+    EXPECT_EQ(decode_hello(f->body).client_id, 42u);
+  }
+  {
+    const auto bytes = encode_welcome(Welcome{9});
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    EXPECT_EQ(decode_welcome(d.next()->body).round, 9u);
+  }
+  {
+    fl::GlobalModelMessage msg;
+    msg.round = 5;
+    msg.model_state = tensor::serialize_tensors({tensor::Tensor({2}, {1., 2.})});
+    const auto bytes = encode_model(msg);
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    const auto back = decode_model(d.next()->body);
+    EXPECT_EQ(back.round, 5u);
+    EXPECT_EQ(back.model_state, msg.model_state);
+  }
+  {
+    const auto bytes = valid_update_frame();
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    const auto f = d.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::kUpdate);
+    const auto back = decode_update(f->body);
+    EXPECT_EQ(back.round, 3u);
+    EXPECT_EQ(back.client_id, 7u);
+    EXPECT_EQ(back.num_examples, 4u);
+    // The embedded tensor payload survives byte-for-byte (CRC intact).
+    EXPECT_NO_THROW((void)tensor::scan_tensors(back.gradients));
+  }
+  {
+    const auto bytes = encode_retry_after(350);
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    EXPECT_EQ(decode_retry_after(d.next()->body), 350u);
+  }
+  {
+    const auto bytes = encode_round_result(RoundResult{12, true});
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    const auto back = decode_round_result(d.next()->body);
+    EXPECT_EQ(back.round, 12u);
+    EXPECT_TRUE(back.committed);
+  }
+  {
+    const auto bytes = encode_goodbye();
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    EXPECT_EQ(d.next()->type, FrameType::kGoodbye);
+    EXPECT_FALSE(d.mid_frame());
+  }
+}
+
+TEST(Frame, HandshakeRejectsBadMagicAndVersion) {
+  auto hello = encode_hello(Hello{1});
+  // Body layout: magic u32 | version u32 | id u64, after the 5-byte header.
+  auto bad_magic = hello;
+  bad_magic[kFrameHeaderBytes] ^= 0xFF;
+  auto bad_version = hello;
+  bad_version[kFrameHeaderBytes + 4] ^= 0xFF;
+  const auto body_of = [](const tensor::ByteBuffer& frame) {
+    FrameDecoder d;
+    d.feed(frame.data(), frame.size());
+    return d.next()->body;
+  };
+  EXPECT_THROW((void)decode_hello(body_of(bad_magic)), NetError);
+  EXPECT_THROW((void)decode_hello(body_of(bad_version)), NetError);
+  try {
+    (void)decode_hello(body_of(bad_magic));
+    FAIL() << "bad magic must throw";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.reason(), NetError::Reason::kBadMagic);
+  }
+}
+
+TEST(FrameDecoder, ReassemblesFromSingleByteFeeds) {
+  // Two frames back to back, delivered one byte at a time — the decoder must
+  // produce exactly both, in order, regardless of feed chunking.
+  auto stream = encode_hello(Hello{5});
+  const auto second = encode_retry_after(99);
+  stream.insert(stream.end(), second.begin(), second.end());
+  FrameDecoder d;
+  std::vector<Frame> frames;
+  for (const auto byte : stream) {
+    d.feed(&byte, 1);
+    while (auto f = d.next()) frames.push_back(std::move(*f));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  EXPECT_EQ(decode_retry_after(frames[1].body), 99u);
+  EXPECT_FALSE(d.mid_frame());
+}
+
+TEST(FrameDecoder, OversizedLengthThrowsBeforeBodyArrives) {
+  // Header advertising a body one byte past the budget: the decoder must
+  // throw from the header alone, before any body bytes exist to buffer.
+  FrameDecoder d(/*max_body_bytes=*/1024);
+  const std::uint32_t len = 1025;
+  std::uint8_t header[kFrameHeaderBytes];
+  header[0] = static_cast<std::uint8_t>(len & 0xFF);
+  header[1] = static_cast<std::uint8_t>((len >> 8) & 0xFF);
+  header[2] = static_cast<std::uint8_t>((len >> 16) & 0xFF);
+  header[3] = static_cast<std::uint8_t>((len >> 24) & 0xFF);
+  header[4] = static_cast<std::uint8_t>(FrameType::kUpdate);
+  d.feed(header, sizeof(header));
+  try {
+    (void)d.next();
+    FAIL() << "oversized length must throw";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.reason(), NetError::Reason::kOversizedFrame);
+  }
+}
+
+TEST(FrameDecoder, UnknownTypeByteThrows) {
+  std::uint8_t header[kFrameHeaderBytes] = {0, 0, 0, 0, 0xEE};
+  FrameDecoder d;
+  d.feed(header, sizeof(header));
+  try {
+    (void)d.next();
+    FAIL() << "unknown frame type must throw";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.reason(), NetError::Reason::kBadFrameType);
+  }
+}
+
+// --- Satellite: decoder fuzz sweep ------------------------------------------
+
+TEST(FrameFuzz, EveryTruncationOfAValidFrameWaitsCleanly) {
+  // A prefix of a valid frame is always just an incomplete stream: the
+  // decoder reports "need more bytes" (and mid_frame() for the close-time
+  // truncation check) — never a crash, never a bogus frame.
+  const auto frame = valid_update_frame();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    FrameDecoder d;
+    d.feed(frame.data(), len);
+    EXPECT_FALSE(d.next().has_value()) << "prefix length " << len;
+    EXPECT_EQ(d.mid_frame(), len > 0) << "prefix length " << len;
+  }
+  // The full frame still decodes.
+  FrameDecoder d;
+  d.feed(frame.data(), frame.size());
+  EXPECT_TRUE(d.next().has_value());
+}
+
+TEST(FrameFuzz, SeededBitFlipsNeverCrashTheDecodePath) {
+  // 200 seeded single-bit flips anywhere in a valid frame. Every outcome
+  // must be a typed error (NetError from the frame layer, Serialization/
+  // ChecksumError from the tensor payload) or a clean decode — the sweep's
+  // real assertion is "no crash / no UB", which the ASan stage enforces.
+  const auto frame = valid_update_frame();
+  common::Rng rng(0x0A5150F1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto damaged = frame;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(damaged.size()) - 1));
+    const auto bit = static_cast<int>(rng.uniform_int(0, 7));
+    damaged[pos] ^= static_cast<std::uint8_t>(1u << bit);
+    try {
+      FrameDecoder d;
+      d.feed(damaged.data(), damaged.size());
+      while (auto f = d.next()) {
+        if (f->type == FrameType::kUpdate) {
+          const auto msg = decode_update(f->body);
+          // The CRC32C trailer inside the tensor payload is what the
+          // server-side validation pipeline checks; damaged bytes must be
+          // caught here, not crash the scan.
+          (void)tensor::scan_tensors(msg.gradients);
+        }
+      }
+    } catch (const Error&) {
+      // Typed rejection is a pass.
+    }
+  }
+}
+
+// --- Loopback rounds on a virtual clock -------------------------------------
+
+/// Steps server + clients on a shared virtual millisecond clock until the
+/// serving schedule completes. Returns false on iteration blow-up (a hang).
+bool drive_loopback(FlServer& server, std::vector<FlClient*> clients,
+                    std::uint64_t& t, int max_iters = 200000) {
+  for (int i = 0; i < max_iters; ++i) {
+    server.step(0);
+    for (auto* c : clients) {
+      if (!c->finished()) c->step(0);
+    }
+    ++t;
+    if (server.finished()) {
+      // Let clients consume their goodbyes.
+      for (auto* c : clients) {
+        for (int k = 0; k < 64 && !c->finished(); ++k) c->step(0);
+      }
+      return true;
+    }
+  }
+  // Stuck: dump the counter fingerprint so the failure is diagnosable.
+  for (const auto& [name, value] : obs::Registry::global().counters()) {
+    if (value != 0 && name.rfind("net.", 0) == 0) {
+      std::cerr << "  " << name << " = " << value << "\n";
+    }
+  }
+  return false;
+}
+
+TEST(NetRound, LoopbackFederationMatchesInProcessServerBitExactly) {
+  constexpr index_t kClients = 3;
+  constexpr std::uint64_t kRounds = 2;
+
+  // Reference: the same rounds driven entirely in process, collecting
+  // updates in ascending id order (the unseeded server's round order).
+  fl::Server ref(tiny_factory(21)(), /*learning_rate=*/0.1);
+  std::vector<std::unique_ptr<fl::Client>> ref_clients;
+  for (index_t i = 0; i < kClients; ++i) ref_clients.push_back(make_client(i));
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    const fl::GlobalModelMessage msg = ref.begin_round();
+    std::vector<fl::ClientUpdateMessage> updates;
+    for (auto& c : ref_clients) updates.push_back(c->handle_round(msg));
+    ref.finish_round(updates, 0);
+  }
+  const auto want = nn::serialize_state(ref.global_model());
+
+  // Served: same construction, every update crossing a real TCP socket.
+  fl::Server core(tiny_factory(21)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = kClients;
+  cfg.rounds = kRounds;
+  std::uint64_t t = 0;
+  const TimeSource clock = [&t] { return t; };
+  FlServer server(core, cfg, clock);
+  server.listen("127.0.0.1", 0);
+
+  std::vector<std::unique_ptr<fl::Client>> cores;
+  std::vector<std::unique_ptr<FlClient>> clients;
+  for (index_t i = 0; i < kClients; ++i) {
+    cores.push_back(make_client(i));
+    FlClientConfig ccfg;
+    ccfg.client_id = i;
+    clients.push_back(std::make_unique<FlClient>(*cores[i], ccfg, clock));
+    clients[i]->connect("127.0.0.1", server.port());
+  }
+  ASSERT_TRUE(drive_loopback(
+      server, {clients[0].get(), clients[1].get(), clients[2].get()}, t));
+
+  EXPECT_EQ(server.rounds_served(), kRounds);
+  EXPECT_EQ(core.round(), kRounds);
+  const auto got = nn::serialize_state(core.global_model());
+  EXPECT_EQ(got, want) << "socket serving must preserve bit-identity";
+  for (const auto& c : clients) {
+    EXPECT_EQ(c->rounds_completed(), kRounds);
+    EXPECT_EQ(c->rounds_committed(), kRounds);
+  }
+  EXPECT_EQ(server.round_latencies_ms().size(), kRounds);
+}
+
+// --- Satellite: graceful cutover + backpressure -----------------------------
+
+TEST(NetRound, MidRoundArrivalBouncesThenJoinsNextRoundBitExactly) {
+  // Reference: round 1 aggregates clients {0, 1}; round 2 aggregates {0, 2}
+  // (ascending id order both times — the fairness rule seats the bounced
+  // newcomer 2 and the id-tiebreak picks 0 over 1).
+  fl::Server ref(tiny_factory(33)(), /*learning_rate=*/0.1);
+  std::vector<std::unique_ptr<fl::Client>> ref_clients;
+  for (index_t i = 0; i < 3; ++i) ref_clients.push_back(make_client(i));
+  {
+    const fl::GlobalModelMessage msg = ref.begin_round();
+    std::vector<fl::ClientUpdateMessage> updates;
+    updates.push_back(ref_clients[0]->handle_round(msg));
+    updates.push_back(ref_clients[1]->handle_round(msg));
+    ref.finish_round(updates, 0);
+  }
+  {
+    const fl::GlobalModelMessage msg = ref.begin_round();
+    std::vector<fl::ClientUpdateMessage> updates;
+    updates.push_back(ref_clients[0]->handle_round(msg));
+    updates.push_back(ref_clients[2]->handle_round(msg));
+    ref.finish_round(updates, 0);
+  }
+  const auto want = nn::serialize_state(ref.global_model());
+
+  fl::Server core(tiny_factory(33)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = 2;
+  cfg.rounds = 2;
+  cfg.retry_after_ms = 2;
+  cfg.admission_window_ms = 20;  // cutover → reconnect gap for the newcomer
+  std::uint64_t t = 0;
+  const TimeSource clock = [&t] { return t; };
+  FlServer server(core, cfg, clock);
+  server.listen("127.0.0.1", 0);
+
+  std::vector<std::unique_ptr<fl::Client>> cores;
+  std::vector<std::unique_ptr<FlClient>> clients;
+  for (index_t i = 0; i < 3; ++i) {
+    cores.push_back(make_client(i));
+    FlClientConfig ccfg;
+    ccfg.client_id = i;
+    clients.push_back(std::make_unique<FlClient>(*cores[i], ccfg, clock));
+  }
+  clients[0]->connect("127.0.0.1", server.port());
+  clients[1]->connect("127.0.0.1", server.port());
+
+  // Step until round 1 is dispatched to {0, 1} — breaking BEFORE the cohort
+  // clients get to read the model, so the round is still open (collecting)
+  // when the newcomer's hello reaches the server.
+  const std::uint64_t started_before = counter_value("net.round.started");
+  for (int i = 0; i < 10000; ++i) {
+    server.step(0);
+    if (counter_value("net.round.started") > started_before) break;
+    clients[0]->step(0);
+    clients[1]->step(0);
+    ++t;
+  }
+  ASSERT_GT(counter_value("net.round.started"), started_before);
+
+  // ...then client 2 arrives mid-round: it must be turned away with a
+  // retry-after frame, reconnect, and participate in round 2.
+  clients[2]->connect("127.0.0.1", server.port());
+  ASSERT_TRUE(drive_loopback(
+      server, {clients[0].get(), clients[1].get(), clients[2].get()}, t));
+
+  EXPECT_GE(clients[2]->retry_after_bounces(), 1u);
+  EXPECT_EQ(clients[2]->rounds_completed(), 1u);
+  EXPECT_EQ(clients[0]->rounds_completed(), 2u);
+  EXPECT_EQ(clients[1]->rounds_completed(), 1u);
+  const auto got = nn::serialize_state(core.global_model());
+  EXPECT_EQ(got, want)
+      << "backpressure + cutover must not perturb the aggregation";
+}
+
+// --- Abuse bounds -----------------------------------------------------------
+
+TEST(NetServer, SlowlorisPartialHelloIsReapedByIdleDeadline) {
+  fl::Server core(tiny_factory(44)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = 1;
+  cfg.rounds = 1;
+  cfg.idle_timeout_ms = 50;
+  std::uint64_t t = 0;
+  FlServer server(core, cfg, [&t] { return t; });
+  server.listen("127.0.0.1", 0);
+
+  const std::uint64_t reaped_before = counter_value("net.conn.idle_timeout");
+  {
+    // A peer that sends 3 bytes of hello and then stalls forever.
+    Socket slow = tcp_connect("127.0.0.1", server.port());
+    const auto hello = encode_hello(Hello{9});
+    ASSERT_EQ(write_some(slow, hello.data(), 3), 3);
+    for (int i = 0; i < 200 && server.connection_count() == 0; ++i) {
+      server.step(0);
+      ++t;
+    }
+    ASSERT_EQ(server.connection_count(), 1u);
+    t += cfg.idle_timeout_ms + 1;
+    server.step(0);
+    EXPECT_EQ(server.connection_count(), 0u);
+    EXPECT_EQ(counter_value("net.conn.idle_timeout"), reaped_before + 1);
+  }
+
+  // The server survives the abuse: an honest client still completes a round.
+  auto honest_core = make_client(0);
+  FlClientConfig ccfg;
+  ccfg.client_id = 0;
+  FlClient honest(*honest_core, ccfg, [&t] { return t; });
+  honest.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(drive_loopback(server, {&honest}, t));
+  EXPECT_EQ(honest.rounds_completed(), 1u);
+}
+
+TEST(NetServer, OversizedFramePrefixSeversOnlyThatConnection) {
+  fl::Server core(tiny_factory(55)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = 1;
+  cfg.rounds = 1;
+  cfg.max_frame_bytes = 1 << 20;  // fits real updates; rejects the 16 MiB lie
+  std::uint64_t t = 0;
+  FlServer server(core, cfg, [&t] { return t; });
+  server.listen("127.0.0.1", 0);
+
+  const std::uint64_t errs_before =
+      counter_value("net.frame.error.oversized_frame");
+  {
+    Socket hostile = tcp_connect("127.0.0.1", server.port());
+    // 16 MiB length prefix against a 4 KiB budget.
+    const std::uint32_t len = 16u << 20;
+    std::uint8_t header[kFrameHeaderBytes];
+    header[0] = static_cast<std::uint8_t>(len & 0xFF);
+    header[1] = static_cast<std::uint8_t>((len >> 8) & 0xFF);
+    header[2] = static_cast<std::uint8_t>((len >> 16) & 0xFF);
+    header[3] = static_cast<std::uint8_t>((len >> 24) & 0xFF);
+    header[4] = static_cast<std::uint8_t>(FrameType::kHello);
+    ASSERT_EQ(write_some(hostile, header, sizeof(header)),
+              static_cast<long>(sizeof(header)));
+    for (int i = 0; i < 200 && counter_value("net.frame.error.oversized_frame")
+                                   == errs_before; ++i) {
+      server.step(0);
+      ++t;
+    }
+    EXPECT_EQ(counter_value("net.frame.error.oversized_frame"),
+              errs_before + 1);
+    EXPECT_EQ(server.connection_count(), 0u);
+  }
+
+  auto honest_core = make_client(0);
+  FlClientConfig ccfg;
+  ccfg.client_id = 0;
+  FlClient honest(*honest_core, ccfg, [&t] { return t; });
+  honest.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(drive_loopback(server, {&honest}, t));
+  EXPECT_EQ(honest.rounds_completed(), 1u);
+}
+
+// --- Multi-process equivalence ----------------------------------------------
+
+TEST(NetMultiProcess, ForkedFederationMatchesSimulationBitExactly) {
+  constexpr index_t kClients = 3;
+  constexpr index_t kRounds = 2;
+  constexpr std::uint64_t kSelectionSeed = 3;
+
+  // Fork discipline (tests/crash_test.cpp): no worker threads across fork.
+  runtime::set_num_threads(1);
+
+  // Reference: the in-process round engine with its seeded M-of-N selection
+  // (full population → per-round permutation of {0, 1, 2}).
+  auto ref_server =
+      std::make_unique<fl::Server>(tiny_factory(66)(), /*learning_rate=*/0.1);
+  std::vector<std::unique_ptr<fl::Client>> ref_clients;
+  for (index_t i = 0; i < kClients; ++i) ref_clients.push_back(make_client(i));
+  fl::SimulationConfig sim_cfg{/*clients_per_round=*/0, kSelectionSeed};
+  fl::Simulation sim(std::move(ref_server), std::move(ref_clients), sim_cfg);
+  sim.run(kRounds);
+  const auto want = nn::serialize_state(sim.server().global_model());
+
+  // Served: identical federation, every client a forked process.
+  fl::Server core(tiny_factory(66)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = kClients;
+  cfg.rounds = kRounds;
+  cfg.selection_seed = kSelectionSeed;
+  FlServer server(core, cfg);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  std::vector<pid_t> children;
+  for (index_t i = 0; i < kClients; ++i) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: no gtest machinery, exit code is the only report channel.
+      // Close inherited fds (notably the parent's listener — keeping it
+      // would hold the port open past the parent's shutdown).
+      for (int fd = 3; fd < 256; ++fd) ::close(fd);
+      int code = 1;
+      try {
+        auto child_core = make_client(i);
+        FlClientConfig ccfg;
+        ccfg.client_id = i;
+        FlClient client(*child_core, ccfg);
+        client.run("127.0.0.1", port);
+        code = client.rounds_completed() == kRounds ? 0 : 3;
+      } catch (...) {
+        code = 1;
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (server.step(20)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "forked federation did not finish";
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  EXPECT_EQ(server.rounds_served(), static_cast<std::uint64_t>(kRounds));
+  const auto got = nn::serialize_state(core.global_model());
+  EXPECT_EQ(got, want)
+      << "multi-process serving must replay the simulation bit-exactly";
+}
+
+}  // namespace
+}  // namespace oasis::net

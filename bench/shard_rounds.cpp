@@ -1,0 +1,214 @@
+// Throughput and memory of the sharded streaming round engine.
+//
+// For each (population, cohort, shard size) configuration the bench runs
+// full federated rounds through fl::ShardedSimulation — virtual clients
+// materialized lazily per shard, folded into one streaming accumulator —
+// and reports clients/s plus the peak RSS of the run. Each configuration
+// executes in a FORKED child so its peak RSS is its own: the parent never
+// builds an engine, and a child's high-water mark cannot leak into the next
+// row's measurement.
+//
+// The rows tell the scale story: across populations {10k, 100k, 1M (--full)}
+// at a fixed shard size, peak RSS stays essentially flat — memory is
+// O(shard), not O(population) — while the shard-size sweep at a fixed
+// population shows RSS tracking the shard size. Results land in
+// bench_out/shard_rounds.json.
+//
+//   $ ./shard_rounds             # quick: 10k + 100k populations
+//   $ ./shard_rounds --full      # adds the 10^6-client round
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "fl/shard.h"
+#include "nn/models.h"
+#include "runtime/parallel.h"
+
+namespace {
+
+using namespace oasis;
+
+struct BenchConfig {
+  std::string label;
+  index_t population = 0;
+  index_t cohort = 0;  // 0 = whole population
+  index_t shard_size = 0;
+};
+
+struct BenchResult {
+  double wall_s = 0.0;
+  double clients_per_s = 0.0;
+  std::uint64_t folded = 0;
+  long max_rss_kb = 0;
+  int ok = 0;
+};
+
+/// The per-client workload: tiny per-client synthetic datasets and a linear
+/// model, keeping one client's round in the tens of microseconds so the
+/// 10^6-client row finishes on one core. The engine's determinism contract
+/// is size-independent — the shard tests pin it at richer configurations.
+fl::VirtualPopulationConfig population_config(index_t population) {
+  fl::VirtualPopulationConfig cfg;
+  cfg.num_clients = population;
+  cfg.seed = 11;
+  cfg.num_classes = 10;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.examples_per_client = 4;
+  cfg.batch_size = 2;
+  const nn::ImageSpec spec{3, cfg.height, cfg.width};
+  const index_t classes = cfg.num_classes;
+  cfg.factory = [spec, classes] {
+    common::Rng init(7);  // fresh per call — the factory must be pure
+    return nn::make_linear_model(spec, classes, init);
+  };
+  return cfg;
+}
+
+BenchResult run_in_process(const BenchConfig& c, index_t rounds) {
+  fl::VirtualPopulationConfig pop_cfg = population_config(c.population);
+  fl::ShardedConfig shard_cfg;
+  shard_cfg.cohort_size = c.cohort;
+  shard_cfg.shard_size = c.shard_size;
+  shard_cfg.seed = 3;
+  shard_cfg.sampler = fl::CohortSampler::kHashThreshold;
+  auto server =
+      std::make_unique<fl::Server>(pop_cfg.factory(), /*learning_rate=*/0.15);
+  fl::ShardedSimulation engine(std::move(server),
+                               fl::VirtualPopulation(pop_cfg), shard_cfg);
+
+  BenchResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (index_t i = 0; i < rounds; ++i) {
+    r.folded += engine.run_round();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+  r.wall_s = wall.count();
+  r.clients_per_s =
+      r.wall_s > 0.0 ? static_cast<double>(r.folded) / r.wall_s : 0.0;
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  r.max_rss_kb = usage.ru_maxrss;  // KiB on Linux
+  r.ok = 1;
+  return r;
+}
+
+/// Runs one configuration in a forked child so its peak RSS is measured in
+/// isolation; the POD result rides back over a pipe.
+BenchResult run_forked(const BenchConfig& c, index_t rounds) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    return {};
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    close(fds[0]);
+    close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    BenchResult r{};
+    try {
+      r = run_in_process(c, rounds);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[%s] failed: %s\n", c.label.c_str(), e.what());
+      r.ok = 0;
+    }
+    ssize_t n = write(fds[1], &r, sizeof(r));
+    close(fds[1]);
+    _exit(n == sizeof(r) ? 0 : 1);
+  }
+  close(fds[1]);
+  BenchResult r{};
+  const ssize_t n = read(fds[0], &r, sizeof(r));
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (n != sizeof(r) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    r.ok = 0;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oasis;
+
+  common::CliParser cli("shard_rounds",
+                        "clients/s and peak RSS of the sharded round engine");
+  cli.add_bool("full", "include the 1M-client population");
+  cli.add_flag("rounds", "federated rounds per configuration", "1");
+  bench::add_metrics_flag(cli);
+  runtime::add_cli_flag(cli);
+  cli.parse(argc, argv);
+  runtime::apply_cli_flag(cli);
+  const bench::MetricsExport metrics(cli);
+  const auto rounds =
+      static_cast<index_t>(cli.get_uint_range("rounds", 1, 1000));
+
+  bench::print_banner(
+      "shard_rounds",
+      "Sharded streaming aggregation: population sweep (RSS should stay "
+      "flat at fixed shard size) and shard-size sweep (RSS tracks shard).");
+
+  std::vector<BenchConfig> configs = {
+      // Population sweep at a fixed shard size: O(shard) memory shows up as
+      // a flat RSS column while clients/s stays level.
+      {"pop=10k   shard=512", 10'000, 0, 512},
+      {"pop=100k  shard=512", 100'000, 0, 512},
+      // Shard-size sweep at a fixed population: RSS tracks the shard.
+      {"pop=100k  shard=64", 100'000, 0, 64},
+      {"pop=100k  shard=4096", 100'000, 0, 4096},
+  };
+  if (cli.get_bool("full")) {
+    configs.push_back({"pop=1M    shard=512", 1'000'000, 0, 512});
+  }
+
+  std::printf("%-22s %12s %12s %14s %12s\n", "config", "clients", "wall_s",
+              "clients/s", "peak_rss_mb");
+  std::vector<std::pair<BenchConfig, BenchResult>> results;
+  for (const auto& c : configs) {
+    const BenchResult r = run_forked(c, rounds);
+    if (!r.ok) {
+      std::printf("%-22s FAILED\n", c.label.c_str());
+      continue;
+    }
+    std::printf("%-22s %12llu %12.2f %14.0f %12.1f\n", c.label.c_str(),
+                static_cast<unsigned long long>(r.folded), r.wall_s,
+                r.clients_per_s, static_cast<double>(r.max_rss_kb) / 1024.0);
+    results.emplace_back(c, r);
+  }
+
+  const std::string out =
+      bench::ensure_output_dir() + "/shard_rounds.json";
+  std::ofstream json(out);
+  json << "{\n  \"bench\": \"shard_rounds\",\n  \"rounds\": " << rounds
+       << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [c, r] = results[i];
+    json << "    {\"population\": " << c.population
+         << ", \"cohort\": " << c.cohort
+         << ", \"shard_size\": " << c.shard_size
+         << ", \"clients\": " << r.folded << ", \"wall_s\": " << r.wall_s
+         << ", \"clients_per_s\": " << r.clients_per_s
+         << ", \"peak_rss_kb\": " << r.max_rss_kb << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "[json] " << out << "\n";
+  return 0;
+}

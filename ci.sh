@@ -3,19 +3,22 @@
 # running the unit + golden labels, a chaos stage running the randomized
 # fault-injection suite under ASan/UBSan, a crash stage running the
 # kill-point checkpoint/resume harness and snapshot-corruption sweeps under
-# ASan/UBSan, then a ThreadSanitizer build exercising the concurrency-heavy
-# tests (runtime pool + FL rounds + chaos + crash/resume at 8 threads).
+# ASan/UBSan, a shard stage running the sharded million-client round engine's
+# differential + crash tests under ASan/UBSan, then a ThreadSanitizer build
+# exercising the concurrency-heavy tests (runtime pool + FL rounds + chaos +
+# crash/resume + the 8-thread sharded differential).
 #
 # Every test carries a ctest LABEL (unit | integration | sanitizer |
-# property | golden | chaos | crash | net) and a hard 30 s per-test
+# property | golden | chaos | crash | net | shard) and a hard 30 s per-test
 # TIMEOUT — a test that exceeds it fails the suite.
 #
-#   ./ci.sh            # all five default stages
+#   ./ci.sh            # all six default stages
 #   ./ci.sh release    # Release + full ctest only
 #   ./ci.sh asan       # ASan build + unit/golden/kernel labels only
 #   ./ci.sh chaos      # ASan build + chaos label only
 #   ./ci.sh crash      # ASan build + crash label only (SIGKILL harness)
 #   ./ci.sh net        # ASan build + net label, then a TSan loopback round
+#   ./ci.sh shard      # ASan build + shard label + sharded crash kill-points
 #   ./ci.sh tsan       # TSan stage only
 #   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards
 #                      # (blocked GEMM >= 1.5x naive); run on quiet hardware
@@ -65,6 +68,20 @@ run_crash() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L crash
 }
 
+run_shard() {
+  # The sharded streaming round engine's whole contract is bit-identity with
+  # the materialized path; its tests chase pointers through lazily
+  # materialized clients, mid-round snapshots, and a streaming accumulator —
+  # ASan/UBSan territory. The sharded SIGKILL kill-points ride along so a
+  # mid-shard crash that leaks or double-frees in the resume path aborts
+  # loudly.
+  echo "==> [ci] Shard stage: sharded round engine differential + crash tests under ASan/UBSan"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}" --target shard_test crash_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L shard
+  ./build-asan/tests/crash_test --gtest_filter='ShardCrashResume.*'
+}
+
 run_net() {
   # The socket serving layer parses hostile bytes (frame fuzz sweeps, every
   # truncation, seeded bit flips) — ASan/UBSan territory — and its
@@ -90,6 +107,11 @@ run_tsan() {
   ./build-tsan/tests/fl_test
   ./build-tsan/tests/chaos_test
   ./build-tsan/tests/crash_test --gtest_filter='*Threads8*:*ReferencesAgree*'
+  # The 8-thread sharded differential: parallel client training inside a
+  # shard must stay race-free while folding stays serial.
+  cmake --build build-tsan -j "${jobs}" --target shard_test
+  ./build-tsan/tests/shard_test \
+    --gtest_filter='ShardDifferential.MatchesMaterializedSimulation_Threads8:ShardDifferential.ThreadCountInvariant'
 }
 
 run_perf() {
@@ -107,6 +129,7 @@ case "${stage}" in
   chaos) run_chaos ;;
   crash) run_crash ;;
   net) run_net ;;
+  shard) run_shard ;;
   tsan) run_tsan ;;
   perf) run_perf ;;
   all)
@@ -114,11 +137,12 @@ case "${stage}" in
     run_asan
     run_chaos
     run_crash
+    run_shard
     run_net
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|chaos|crash|net|tsan|perf|all]" >&2
+    echo "usage: $0 [release|asan|chaos|crash|net|shard|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

@@ -36,6 +36,16 @@
 //   $ for i in 0 1 2 3; do
 //       ./fl_training --connect 127.0.0.1:7400 --clients 4 --client-id $i &
 //     done
+//
+// Million-scale federations run through the sharded streaming engine:
+// --population N switches to lazily materialized virtual clients processed
+// in --shard-size chunks (peak memory is O(shard), not O(N)), with
+// --cohort M of them sampled per round by a stateless hash-threshold
+// sampler:
+//
+//   $ ./fl_training --population 1000000 --cohort 100000
+//                   --shard-size 512 --rounds 3    (one command line)
+#include <chrono>
 #include <iostream>
 #include <memory>
 
@@ -44,6 +54,7 @@
 #include "common/error.h"
 #include "core/oasis.h"
 #include "data/synthetic.h"
+#include "fl/shard.h"
 #include "fl/simulation.h"
 #include "metrics/accuracy.h"
 #include "net/client.h"
@@ -85,6 +96,19 @@ int main(int argc, char** argv) {
   cli.add_flag("connect",
                "join a federation at host:port as one client process", "");
   cli.add_flag("client-id", "client identity for --connect (0-based)", "0");
+  cli.add_flag("population",
+               "virtual clients for the sharded streaming engine "
+               "(0 = materialized simulation)", "0");
+  cli.add_flag("cohort",
+               "cohort target per round under --population (0 = everyone)",
+               "0");
+  cli.add_flag("shard-size",
+               "clients materialized/trained/folded per shard", "256");
+  cli.add_flag("sampler", "cohort sampler under --population (hash|fy)",
+               "hash");
+  cli.add_flag("checkpoint-every-shards",
+               "mid-round shard-boundary checkpoint cadence under "
+               "--population (0 = round boundaries only)", "0");
   runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
   runtime::apply_cli_flag(cli);
@@ -118,12 +142,9 @@ int main(int argc, char** argv) {
 
   if (const std::string target = cli.get("connect"); !target.empty()) {
     // Client process: one shard, one identity, rounds driven by the server.
-    const auto colon = target.rfind(':');
-    OASIS_CHECK_MSG(colon != std::string::npos && colon + 1 < target.size(),
-                    "--connect expects host:port, got " << target);
-    const std::string host = target.substr(0, colon);
-    const auto port =
-        static_cast<std::uint16_t>(std::stoul(target.substr(colon + 1)));
+    // Strict endpoint parse: "host:70000" or "host:7400x" must fail here
+    // with a ConfigError, not connect to a silently truncated port.
+    const common::HostPort endpoint = common::parse_host_port(target);
     const auto id = cli.get_uint("client-id");
     OASIS_CHECK_MSG(id < n_clients,
                     "--client-id " << id << " outside --clients " << n_clients);
@@ -132,13 +153,148 @@ int main(int argc, char** argv) {
     net::FlClientConfig client_cfg;
     client_cfg.client_id = id;
     net::FlClient client(core, client_cfg);
-    const std::uint64_t done = client.run(host, port);
+    std::uint64_t done = 0;
+    try {
+      done = client.run(endpoint.host, endpoint.port);
+    } catch (const net::NetError& e) {
+      // The retry loop exhausted its budget against a dead endpoint (or the
+      // connection died unrecoverably). Report and exit cleanly — the other
+      // client processes and the server are not our problem.
+      std::cerr << "client " << id << ": giving up after "
+                << client.retries() << " reconnect attempt(s): " << e.what()
+                << "\n";
+      return 1;
+    }
     std::cout << "client " << id << ": participated in " << done
               << " round(s), " << client.retry_after_bounces()
               << " backpressure bounce(s), " << client.retries()
               << " reconnect(s)\n";
     if (const std::string path = cli.get("metrics-out"); !path.empty()) {
       obs::dump(path);
+    }
+    return 0;
+  }
+
+  if (const auto population =
+          cli.get_uint_range("population", 0, 100'000'000);
+      population > 0) {
+    // Million-scale path: virtual clients materialized per shard, folded
+    // into one streaming accumulator. A linear model keeps per-client cost
+    // in the tens of microseconds so a 10^6-client round finishes on a CPU.
+    fl::VirtualPopulationConfig pop_cfg;
+    pop_cfg.num_clients = static_cast<index_t>(population);
+    pop_cfg.seed = 11;
+    pop_cfg.height = pop_cfg.width = 12;
+    pop_cfg.examples_per_client = 8;
+    pop_cfg.batch_size = 4;
+    pop_cfg.preprocessor = defense;
+    const nn::ImageSpec pop_spec{3, pop_cfg.height, pop_cfg.width};
+    const index_t pop_classes = pop_cfg.num_classes;
+    pop_cfg.factory = [pop_spec, pop_classes] {
+      common::Rng init(7);  // fresh per call — the factory must be pure
+      return nn::make_linear_model(pop_spec, pop_classes, init);
+    };
+
+    fl::ShardedConfig shard_cfg;
+    shard_cfg.cohort_size =
+        static_cast<index_t>(cli.get_uint_range("cohort", 0, population));
+    shard_cfg.shard_size = static_cast<index_t>(
+        cli.get_uint_range("shard-size", 1, 1'000'000));
+    shard_cfg.seed = 3;
+    const std::string sampler = cli.get("sampler");
+    if (sampler == "hash") {
+      shard_cfg.sampler = fl::CohortSampler::kHashThreshold;
+    } else if (sampler == "fy") {
+      shard_cfg.sampler = fl::CohortSampler::kFisherYates;
+    } else {
+      throw ConfigError("--sampler must be hash or fy, got '" + sampler + "'");
+    }
+    shard_cfg.quorum_fraction = cli.get_real("quorum");
+
+    auto pop_server =
+        std::make_unique<fl::Server>(pop_cfg.factory(), /*learning_rate=*/0.15);
+    fl::ShardedSimulation engine(std::move(pop_server),
+                                 fl::VirtualPopulation(pop_cfg), shard_cfg);
+
+    fl::FaultConfig pop_faults;
+    pop_faults.dropout_prob = cli.get_real("fault-dropout");
+    pop_faults.straggler_prob = cli.get_real("fault-straggler");
+    pop_faults.corrupt_prob = cli.get_real("fault-corrupt");
+    pop_faults.poison_prob = cli.get_real("fault-poison");
+    pop_faults.seed = cli.get_uint("fault-seed");
+    if (pop_faults.any()) engine.set_fault_plan(fl::FaultPlan(pop_faults));
+
+    std::unique_ptr<ckpt::CheckpointManager> pop_manager;
+    const auto pop_ckpt_every = cli.get_uint("checkpoint-every");
+    if (const std::string dir = cli.get("checkpoint-dir"); !dir.empty()) {
+      OASIS_CHECK_MSG(pop_ckpt_every >= 1,
+                      "--checkpoint-every must be >= 1");
+      pop_manager = std::make_unique<ckpt::CheckpointManager>(
+          dir, static_cast<int>(cli.get_int("checkpoint-keep")));
+      if (cli.get_bool("resume")) {
+        try {
+          const std::uint64_t at = engine.resume_from(*pop_manager);
+          std::cout << "resumed at round " << at
+                    << (engine.mid_round() ? " (mid-round)" : "") << "\n";
+        } catch (const CheckpointError& e) {
+          if (e.reason() != CheckpointError::Reason::kNoValidGeneration) {
+            throw;
+          }
+          std::cout << "no checkpoint to resume from; starting fresh\n";
+        }
+      }
+      if (const auto every_shards =
+              cli.get_uint("checkpoint-every-shards");
+          every_shards > 0) {
+        // Shard-boundary snapshots: a SIGKILL mid-round resumes from the
+        // last completed shard instead of replaying the whole round.
+        engine.set_shard_hook(
+            [&engine, &pop_manager, every_shards](const fl::ShardProgress& p) {
+              if ((p.shard + 1) % every_shards == 0 &&
+                  p.shard + 1 < p.num_shards) {
+                engine.save_checkpoint(*pop_manager);
+              }
+            });
+      }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t folded = 0;
+    index_t pop_aborted = 0;
+    for (index_t attempts = 0;
+         engine.server().round() < rounds && attempts < 2 * rounds;
+         ++attempts) {
+      index_t cohort = 0;
+      try {
+        cohort = engine.run_round();
+      } catch (const QuorumError& e) {
+        ++pop_aborted;
+        std::cout << "round " << (engine.server().round() + 1)
+                  << ": aborted (" << e.what() << ")\n";
+        continue;
+      }
+      folded += cohort;
+      const std::uint64_t r = engine.server().round();
+      if (pop_manager != nullptr &&
+          (r % pop_ckpt_every == 0 || r == rounds)) {
+        engine.save_checkpoint(*pop_manager);
+      }
+      std::cout << "round " << r << ": cohort " << cohort << "\n";
+    }
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    if (pop_aborted > 0) {
+      std::cout << pop_aborted << " round attempt(s) aborted on quorum\n";
+    }
+    std::cout << "population " << population << ": " << folded
+              << " client-rounds in " << wall.count() << " s ("
+              << (wall.count() > 0.0
+                      ? static_cast<double>(folded) / wall.count()
+                      : 0.0)
+              << " clients/s)\n";
+    if (const std::string path = cli.get("metrics-out"); !path.empty()) {
+      obs::dump(path);
+      std::cout << "[metrics] " << path << "\n" << obs::summary();
     }
     return 0;
   }

@@ -36,6 +36,21 @@ class SectionWriter {
     u64(b.size());
     out_.insert(out_.end(), b.begin(), b.end());
   }
+  /// Bit-packed flag vector (u64 bit count + ceil(n/8) bytes, LSB-first).
+  /// The sharded round engine stores its completed-shard bitmap this way so
+  /// a mid-round snapshot of a million-shard round costs kilobytes.
+  void bitset(const std::vector<bool>& bits) {
+    u64(bits.size());
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        out_.push_back(acc);
+        acc = 0;
+      }
+    }
+    if (bits.size() % 8 != 0) out_.push_back(acc);
+  }
 
   [[nodiscard]] ByteBuffer take() { return std::move(out_); }
 
@@ -81,6 +96,27 @@ class SectionReader {
                  in_.begin() + static_cast<std::ptrdiff_t>(off_ + n));
     off_ += n;
     return b;
+  }
+  std::vector<bool> bitset() {
+    const std::uint64_t nbits = u64();
+    const std::uint64_t nbytes = (nbits + 7) / 8;
+    need(nbytes);
+    std::vector<bool> bits(nbits);
+    for (std::uint64_t i = 0; i < nbits; ++i) {
+      bits[i] = (in_[off_ + i / 8] >> (i % 8)) & 1u;
+    }
+    // Padding bits beyond nbits must be zero — a set stray bit means the
+    // writer and reader disagree about the count.
+    if (nbits % 8 != 0) {
+      const std::uint8_t tail = in_[off_ + nbytes - 1];
+      if ((tail >> (nbits % 8)) != 0) {
+        throw CheckpointError(
+            CheckpointError::Reason::kMalformedSection,
+            "section '" + section_ + "' bitset has stray padding bits");
+      }
+    }
+    off_ += nbytes;
+    return bits;
   }
 
   [[nodiscard]] std::size_t remaining() const { return in_.size() - off_; }

@@ -111,6 +111,18 @@ std::uint64_t CliParser::get_uint(const std::string& name) const {
   return parsed;
 }
 
+std::uint64_t CliParser::get_uint_range(const std::string& name,
+                                        std::uint64_t lo,
+                                        std::uint64_t hi) const {
+  const std::uint64_t parsed = get_uint(name);
+  if (parsed < lo || parsed > hi) {
+    throw ConfigError("flag --" + name + " expects a value in [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) +
+                      "], got: " + find(name).value);
+  }
+  return parsed;
+}
+
 real CliParser::get_real(const std::string& name) const {
   const auto& v = find(name).value;
   if (leading_space(v)) {
@@ -130,6 +142,31 @@ bool CliParser::get_bool(const std::string& name) const {
   if (v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
   throw ConfigError("flag --" + name + " expects true/false, got: " + v);
+}
+
+HostPort parse_host_port(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    throw ConfigError("expected host:port, got: " + spec);
+  }
+  HostPort hp;
+  hp.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  for (const char c : port_str) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      throw ConfigError("expected host:port with a numeric port, got: " +
+                        spec);
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(port_str.c_str(), &end, 10);
+  if (end != port_str.c_str() + port_str.size() || errno == ERANGE ||
+      parsed < 1 || parsed > 65535) {
+    throw ConfigError("port must be in [1, 65535], got: " + spec);
+  }
+  hp.port = static_cast<std::uint16_t>(parsed);
+  return hp;
 }
 
 std::string CliParser::help() const {

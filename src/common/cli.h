@@ -45,6 +45,14 @@ class CliParser {
   /// flags (--rounds, --checkpoint-every) where -1 silently wrapping to a
   /// huge count would be catastrophic.
   [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  /// get_uint plus an inclusive [lo, hi] range check. The range flags of the
+  /// sharded round engine (--shard-size, --population) go through this so a
+  /// zero shard size or an absurd population fails with a typed ConfigError
+  /// naming the accepted range instead of surfacing later as a division by
+  /// zero or an allocation failure deep inside the engine.
+  [[nodiscard]] std::uint64_t get_uint_range(const std::string& name,
+                                             std::uint64_t lo,
+                                             std::uint64_t hi) const;
   /// Strict floating parse: whole-token, finite-range (ERANGE throws).
   [[nodiscard]] real get_real(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
@@ -66,5 +74,18 @@ class CliParser {
   std::map<std::string, Flag> flags_;
   std::vector<std::string> order_;
 };
+
+/// A parsed "host:port" endpoint.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Strict "host:port" parse for --connect/--listen style flags. The port
+/// must be a full-token base-10 integer in [1, 65535]; a missing colon, an
+/// empty host, trailing garbage ("7400x"), or an out-of-range port all throw
+/// ConfigError. (The previous std::stoul path accepted "7400abc" and
+/// silently truncated ports above 65535 through the uint16 cast.)
+HostPort parse_host_port(const std::string& spec);
 
 }  // namespace oasis::common

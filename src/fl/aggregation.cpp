@@ -4,42 +4,73 @@
 #include "tensor/shape.h"
 
 namespace oasis::fl {
-namespace {
 
-std::vector<tensor::Tensor> weighted_average(
-    std::span<const ClientUpdateMessage> updates, bool weight_by_examples) {
-  if (updates.empty()) {
+void FedAvgAccumulator::add(const ClientUpdateMessage& update) {
+  const real weight =
+      weight_by_examples_ ? static_cast<real>(update.num_examples) : 1.0;
+  if (weight <= 0.0) {
+    throw AggregationError("client " + std::to_string(update.client_id) +
+                           " reported zero examples");
+  }
+  add(tensor::deserialize_tensors(update.gradients), weight);
+}
+
+void FedAvgAccumulator::add(std::vector<tensor::Tensor> gradients,
+                            real weight) {
+  if (weight <= 0.0) {
+    throw AggregationError("FedAvg weight must be positive");
+  }
+  if (total_.empty()) {
+    // First update: scale in place rather than adding into zeros, so -0.0
+    // payload values survive bitwise (0.0 + -0.0 is +0.0) and the stream
+    // reproduces the historical batch fedavg() byte-for-byte.
+    total_ = std::move(gradients);
+    for (auto& t : total_) t *= weight;
+  } else {
+    OASIS_CHECK_MSG(gradients.size() == total_.size(),
+                    "update tensor count mismatch: " << gradients.size()
+                                                     << " vs "
+                                                     << total_.size());
+    for (std::size_t i = 0; i < gradients.size(); ++i) {
+      total_[i].add_scaled_(gradients[i], weight);
+    }
+  }
+  total_weight_ += weight;
+  ++count_;
+}
+
+std::vector<tensor::Tensor> FedAvgAccumulator::average() const {
+  if (count_ == 0) {
     // Typed so the round engine can distinguish "nothing valid survived
     // screening" from a programming error (and never divides by the zero
     // total weight below).
     throw AggregationError("FedAvg over an empty update set");
   }
-  std::vector<tensor::Tensor> total;
-  real total_weight = 0.0;
-  for (const auto& update : updates) {
-    const real weight =
-        weight_by_examples ? static_cast<real>(update.num_examples) : 1.0;
-    if (weight <= 0.0) {
-      throw AggregationError("client " + std::to_string(update.client_id) +
-                             " reported zero examples");
-    }
-    auto grads = tensor::deserialize_tensors(update.gradients);
-    if (total.empty()) {
-      total = std::move(grads);
-      for (auto& t : total) t *= weight;
-    } else {
-      OASIS_CHECK_MSG(grads.size() == total.size(),
-                      "update tensor count mismatch: " << grads.size()
-                                                       << " vs "
-                                                       << total.size());
-      for (std::size_t i = 0; i < grads.size(); ++i) {
-        total[i].add_scaled_(grads[i], weight);
-      }
-    }
-    total_weight += weight;
-  }
-  for (auto& t : total) t /= total_weight;
-  return total;
+  std::vector<tensor::Tensor> result = total_;
+  for (auto& t : result) t /= total_weight_;
+  return result;
+}
+
+void FedAvgAccumulator::reset() {
+  total_.clear();
+  total_weight_ = 0.0;
+  count_ = 0;
+}
+
+void FedAvgAccumulator::restore(std::vector<tensor::Tensor> partials,
+                                real total_weight, std::uint64_t count) {
+  total_ = std::move(partials);
+  total_weight_ = total_weight;
+  count_ = count;
+}
+
+namespace {
+
+std::vector<tensor::Tensor> weighted_average(
+    std::span<const ClientUpdateMessage> updates, bool weight_by_examples) {
+  FedAvgAccumulator acc(weight_by_examples);
+  for (const auto& update : updates) acc.add(update);
+  return acc.average();
 }
 
 }  // namespace

@@ -1,4 +1,12 @@
 // Gradient aggregation rules.
+//
+// Aggregation is built on one primitive — FedAvgAccumulator — a fixed-size
+// streaming reducer that folds weighted client updates one at a time into a
+// single running partial sum. Both the batch fedavg() entry points used by
+// the materialized round path and the sharded million-client engine stream
+// through the SAME accumulator, which is what makes the two paths
+// bit-identical: the floating-point fold order is the order add() is called
+// in, nothing else. See DESIGN.md §5i for the determinism argument.
 #pragma once
 
 #include <span>
@@ -8,6 +16,62 @@
 #include "tensor/tensor.h"
 
 namespace oasis::fl {
+
+/// Fixed-size streaming (weighted) FedAvg reducer.
+///
+/// Memory is O(model): one tensor list shaped like the gradients plus a
+/// scalar total weight, regardless of how many updates stream through —
+/// the property that lets a round over 1M virtual clients run in O(shard)
+/// memory. Determinism: the result is a pure function of the SEQUENCE of
+/// add() calls; the first update is scaled in place and every later one is
+/// folded with add_scaled_, exactly reproducing the historical batch
+/// fedavg() byte-for-byte.
+///
+/// Checkpointable: partials()/total_weight()/count() expose the complete
+/// accumulator state and restore() reinstates it bit-exactly, so a huge
+/// round can resume from a mid-round shard-boundary snapshot.
+class FedAvgAccumulator {
+ public:
+  /// `weight_by_examples` false gives the plain 1/M average (each update
+  /// weighted 1 instead of by its example count).
+  explicit FedAvgAccumulator(bool weight_by_examples = true)
+      : weight_by_examples_(weight_by_examples) {}
+
+  /// Deserializes and folds one update. Throws AggregationError on a zero
+  /// FedAvg weight, Error on tensor count/shape mismatch with the running
+  /// sum, and propagates SerializationError for malformed payloads (callers
+  /// are expected to have screened updates already).
+  void add(const ClientUpdateMessage& update);
+
+  /// Folds pre-deserialized gradients with an explicit weight (> 0).
+  void add(std::vector<tensor::Tensor> gradients, real weight);
+
+  /// Updates folded so far.
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] real total_weight() const { return total_weight_; }
+  [[nodiscard]] bool weight_by_examples() const { return weight_by_examples_; }
+  /// The running weighted partial sum (empty before the first add()).
+  [[nodiscard]] const std::vector<tensor::Tensor>& partials() const {
+    return total_;
+  }
+
+  /// The weighted average over everything folded so far. Does not consume
+  /// the accumulator. Throws AggregationError when count() == 0.
+  [[nodiscard]] std::vector<tensor::Tensor> average() const;
+
+  /// Drops all folded state (ready for the next round).
+  void reset();
+
+  /// Checkpoint restore: reinstates a previously captured state bit-exactly.
+  void restore(std::vector<tensor::Tensor> partials, real total_weight,
+               std::uint64_t count);
+
+ private:
+  bool weight_by_examples_;
+  std::vector<tensor::Tensor> total_;
+  real total_weight_ = 0.0;
+  std::uint64_t count_ = 0;
+};
 
 /// FedAvg (paper Eq. 1): example-weighted average of client gradients.
 /// All updates must deserialize to identically-shaped tensor lists.

@@ -27,6 +27,20 @@ void Client::set_update_postprocessor(PostprocessorPtr postprocessor) {
   postprocessor_ = std::move(postprocessor);
 }
 
+void Client::set_round_keyed_rng(std::uint64_t base_seed) {
+  round_keyed_rng_ = true;
+  round_key_seed_ = base_seed;
+}
+
+common::Rng client_round_stream(std::uint64_t base_seed, std::uint64_t round,
+                                std::uint64_t client_id) {
+  // Fresh root each call keeps this a pure function of the tuple: split()
+  // consumes parent state, but the parent is rebuilt from the seed here.
+  common::Rng root(base_seed);
+  common::Rng per_round = root.split(round * 0x9E3779B97F4A7C15ULL + 1);
+  return per_round.split(client_id);
+}
+
 void Client::set_local_training(index_t steps, real lr) {
   OASIS_CHECK(steps >= 1 && lr > 0.0);
   local_steps_ = steps;
@@ -59,6 +73,9 @@ std::vector<index_t> Client::sample_batch_indices() {
 }
 
 ClientUpdateMessage Client::handle_round(const GlobalModelMessage& msg) {
+  if (round_keyed_rng_) {
+    rng_ = client_round_stream(round_key_seed_, msg.round, id_);
+  }
   nn::deserialize_state(*model_, msg.model_state);
 
   // Parameter snapshot for multi-step pseudo-gradient mode.

@@ -53,8 +53,16 @@ GlobalModelMessage Server::dispatch_to(std::uint64_t /*client_id*/) {
   return current_dispatch_;
 }
 
-RoundOutcome Server::validate_updates(
-    std::span<const ClientUpdateMessage> updates) {
+UpdateScreen Server::begin_screen() const {
+  UpdateScreen screen;
+  for (auto* p : model_->parameters()) {
+    screen.expected_shapes.push_back(p->value.shape());
+  }
+  return screen;
+}
+
+RejectReason Server::screen_update(const ClientUpdateMessage& update,
+                                   UpdateScreen& screen) {
   static obs::Counter& accepted_c = obs::counter("fl.validate.accepted");
   static obs::Counter& rejected_c = obs::counter("fl.validate.rejected");
   static obs::Counter& malformed_c =
@@ -72,70 +80,94 @@ RoundOutcome Server::validate_updates(
   static obs::Counter& checksum_c =
       obs::counter("fl.validate.reject.checksum");
 
-  std::vector<tensor::Shape> expected;
-  for (auto* p : model_->parameters()) expected.push_back(p->value.shape());
+  RejectReason reason = RejectReason::kAccepted;
+  if (validation_.check_round_id && update.round != round_) {
+    reason = RejectReason::kWrongRound;
+  } else if (validation_.check_duplicates &&
+             !screen.seen_ids.insert(update.client_id).second) {
+    reason = RejectReason::kDuplicate;
+  } else if (update.num_examples == 0) {
+    reason = RejectReason::kZeroExamples;
+  } else {
+    // Structural walk + numeric screens without materialising tensors; a
+    // hostile payload must fail HERE, inside the catch boundary, never in
+    // the aggregation hot loop.
+    try {
+      const tensor::TensorScan scan = tensor::scan_tensors(update.gradients);
+      if (scan.shapes != screen.expected_shapes) {
+        reason = RejectReason::kShapeMismatch;
+      } else if (validation_.check_finite && !scan.all_finite) {
+        reason = RejectReason::kNonFinite;
+      } else if (validation_.max_grad_norm > 0.0 &&
+                 std::sqrt(scan.sum_squares) > validation_.max_grad_norm) {
+        reason = RejectReason::kNormTooLarge;
+      }
+    } catch (const ChecksumError&) {
+      // CRC trailer mismatch: the bytes were damaged in flight. Checked
+      // first (inside scan_tensors) so a bit flip that happens to keep the
+      // structure parseable is still rejected.
+      reason = RejectReason::kChecksumMismatch;
+    } catch (const SerializationError&) {
+      reason = RejectReason::kMalformed;
+    }
+  }
+  if (reason == RejectReason::kAccepted) {
+    accepted_c.add(1);
+  } else {
+    rejected_c.add(1);
+    switch (reason) {
+      case RejectReason::kMalformed: malformed_c.add(1); break;
+      case RejectReason::kWrongRound: wrong_round_c.add(1); break;
+      case RejectReason::kDuplicate: duplicate_c.add(1); break;
+      case RejectReason::kZeroExamples: zero_examples_c.add(1); break;
+      case RejectReason::kShapeMismatch: shape_c.add(1); break;
+      case RejectReason::kNonFinite: non_finite_c.add(1); break;
+      case RejectReason::kNormTooLarge: norm_c.add(1); break;
+      case RejectReason::kChecksumMismatch: checksum_c.add(1); break;
+      case RejectReason::kAccepted: break;
+    }
+  }
+  return reason;
+}
 
+RoundOutcome Server::validate_updates(
+    std::span<const ClientUpdateMessage> updates) {
+  UpdateScreen screen = begin_screen();
   RoundOutcome outcome;
   outcome.reasons.reserve(updates.size());
-  std::unordered_set<std::uint64_t> seen;
   for (const auto& update : updates) {
-    RejectReason reason = RejectReason::kAccepted;
-    if (validation_.check_round_id && update.round != round_) {
-      reason = RejectReason::kWrongRound;
-    } else if (validation_.check_duplicates &&
-               !seen.insert(update.client_id).second) {
-      reason = RejectReason::kDuplicate;
-    } else if (update.num_examples == 0) {
-      reason = RejectReason::kZeroExamples;
-    } else {
-      // Structural walk + numeric screens without materialising tensors; a
-      // hostile payload must fail HERE, inside the catch boundary, never in
-      // the aggregation hot loop.
-      try {
-        const tensor::TensorScan scan = tensor::scan_tensors(update.gradients);
-        if (scan.shapes != expected) {
-          reason = RejectReason::kShapeMismatch;
-        } else if (validation_.check_finite && !scan.all_finite) {
-          reason = RejectReason::kNonFinite;
-        } else if (validation_.max_grad_norm > 0.0 &&
-                   std::sqrt(scan.sum_squares) > validation_.max_grad_norm) {
-          reason = RejectReason::kNormTooLarge;
-        }
-      } catch (const ChecksumError&) {
-        // CRC trailer mismatch: the bytes were damaged in flight. Checked
-        // first (inside scan_tensors) so a bit flip that happens to keep the
-        // structure parseable is still rejected.
-        reason = RejectReason::kChecksumMismatch;
-      } catch (const SerializationError&) {
-        reason = RejectReason::kMalformed;
-      }
-    }
+    const RejectReason reason = screen_update(update, screen);
     outcome.reasons.push_back(reason);
     if (reason == RejectReason::kAccepted) {
       ++outcome.accepted;
-      accepted_c.add(1);
     } else {
       ++outcome.rejected;
-      rejected_c.add(1);
-      switch (reason) {
-        case RejectReason::kMalformed: malformed_c.add(1); break;
-        case RejectReason::kWrongRound: wrong_round_c.add(1); break;
-        case RejectReason::kDuplicate: duplicate_c.add(1); break;
-        case RejectReason::kZeroExamples: zero_examples_c.add(1); break;
-        case RejectReason::kShapeMismatch: shape_c.add(1); break;
-        case RejectReason::kNonFinite: non_finite_c.add(1); break;
-        case RejectReason::kNormTooLarge: norm_c.add(1); break;
-        case RejectReason::kChecksumMismatch: checksum_c.add(1); break;
-        case RejectReason::kAccepted: break;
-      }
     }
   }
   return outcome;
 }
 
+void Server::commit_round(const std::vector<tensor::Tensor>& average) {
+  auto params = model_->parameters();
+  OASIS_CHECK_MSG(average.size() == params.size(),
+                  "aggregated " << average.size() << " tensors for "
+                                << params.size() << " parameters");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value.add_scaled_(average[i], -learning_rate_);
+  }
+  ++round_;
+}
+
+void Server::commit_skipped_round() {
+  // Nothing to aggregate; skip the SGD step instead of dividing by a zero
+  // example count, but still advance the protocol round.
+  static obs::Counter& skipped = obs::counter("fl.rounds_skipped");
+  skipped.add(1);
+  ++round_;
+}
+
 RoundOutcome Server::finish_round(std::span<const ClientUpdateMessage> updates,
                                   index_t min_valid) {
-  static obs::Counter& skipped = obs::counter("fl.rounds_skipped");
   RoundOutcome outcome = validate_updates(updates);
   if (outcome.accepted < min_valid) {
     // Thrown before the model is touched: abort is side-effect free here and
@@ -145,10 +177,7 @@ RoundOutcome Server::finish_round(std::span<const ClientUpdateMessage> updates,
                       std::to_string(min_valid) + " required for quorum");
   }
   if (outcome.accepted == 0) {
-    // Nothing to aggregate; skip the SGD step instead of dividing by a zero
-    // example count, but still advance the protocol round.
-    skipped.add(1);
-    ++round_;
+    commit_skipped_round();
     return outcome;
   }
   // Common case first: everything accepted aggregates straight off the input
@@ -166,14 +195,7 @@ RoundOutcome Server::finish_round(std::span<const ClientUpdateMessage> updates,
     }
     average = fedavg(kept);
   }
-  auto params = model_->parameters();
-  OASIS_CHECK_MSG(average.size() == params.size(),
-                  "aggregated " << average.size() << " tensors for "
-                                << params.size() << " parameters");
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    params[i]->value.add_scaled_(average[i], -learning_rate_);
-  }
-  ++round_;
+  commit_round(average);
   outcome.applied = true;
   return outcome;
 }

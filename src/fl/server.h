@@ -14,11 +14,13 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "fl/message.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "tensor/shape.h"
 
 namespace oasis::fl {
 
@@ -62,6 +64,18 @@ struct RoundOutcome {
   std::vector<RejectReason> reasons;   // one per input update, input order
 };
 
+/// Per-round state the streaming validation path threads between
+/// screen_update() calls: the expected parameter shapes (computed once) and
+/// the client ids accepted so far (duplicate detection). finish_round()
+/// keeps one per round; the sharded engine keeps one per SHARD, which is
+/// equivalent because cohort member ids are distinct across shards by
+/// construction — the only reachable duplicates are same-shard fault
+/// deliveries.
+struct UpdateScreen {
+  std::vector<tensor::Shape> expected_shapes;
+  std::unordered_set<std::uint64_t> seen_ids;
+};
+
 /// Honest central server: owns the global model, dispatches it each round,
 /// aggregates valid client gradients with FedAvg and applies them with SGD
 /// (w ← w − η·Ḡ, paper Eq. 1).
@@ -92,6 +106,34 @@ class Server {
   RoundOutcome finish_round(std::span<const ClientUpdateMessage> updates) {
     return finish_round(updates, 0);
   }
+
+  // --- Streaming round surface (the sharded engine's path) -----------------
+  //
+  // finish_round() is a thin composition of these three calls; the sharded
+  // engine invokes them directly so a round over 1M virtual clients never
+  // materializes an update span. Screening semantics and obs tallies are
+  // IDENTICAL between the two paths — that is what the differential shard
+  // tests prove byte-for-byte.
+
+  /// Fresh per-round screening context (caches the model's parameter
+  /// shapes). Create once per round, pass to every screen_update() call.
+  [[nodiscard]] UpdateScreen begin_screen() const;
+
+  /// Runs one update through the full validation pipeline (round id,
+  /// duplicate, example count, structural scan, finiteness, norm band) and
+  /// tallies the verdict through the fl.validate.* obs counters. Accepted
+  /// updates register their client id in `screen` for duplicate detection.
+  RejectReason screen_update(const ClientUpdateMessage& update,
+                             UpdateScreen& screen);
+
+  /// Applies an aggregated average (SGD step w ← w − η·Ḡ) and advances the
+  /// protocol round. The streaming engine calls this after its reducer
+  /// finishes; finish_round() calls it with the batch fedavg() result.
+  void commit_round(const std::vector<tensor::Tensor>& average);
+
+  /// Advances the protocol round without touching the model (zero valid
+  /// updates). Tallies fl.rounds_skipped.
+  void commit_skipped_round();
 
   void set_validation(const ValidationConfig& config) { validation_ = config; }
   [[nodiscard]] const ValidationConfig& validation() const {

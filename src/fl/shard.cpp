@@ -1,0 +1,555 @@
+#include "fl/shard.h"
+
+#include "ckpt/codec.h"
+#include "ckpt/container.h"
+#include "ckpt/obs_state.h"
+#include "nn/model_io.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+#include "tensor/serialize.h"
+
+namespace oasis::fl {
+
+const char* to_string(CohortSampler sampler) {
+  switch (sampler) {
+    case CohortSampler::kFisherYates: return "fisher_yates";
+    case CohortSampler::kHashThreshold: return "hash_threshold";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Everyone-joins sentinel for cohort_threshold (cohort == population).
+constexpr std::uint64_t kFullCohort = ~std::uint64_t{0};
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer (Steele/Lea/Flood) — full avalanche, so adjacent
+  // client ids land uniformly against the threshold.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+void write_rng_state(ckpt::SectionWriter& w, const common::Rng::State& s) {
+  for (const auto word : s.words) w.u64(word);
+  w.f64(s.spare_normal);
+  w.u8(s.has_spare ? 1 : 0);
+}
+
+common::Rng::State read_rng_state(ckpt::SectionReader& r) {
+  common::Rng::State s;
+  for (auto& word : s.words) word = r.u64();
+  s.spare_normal = r.f64();
+  s.has_spare = r.u8() != 0;
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t cohort_mix(std::uint64_t seed, std::uint64_t ticket,
+                         std::uint64_t client_id) {
+  // Two finalizer passes: the first diffuses (seed, ticket) into a round
+  // key, the second diffuses the client id against it. Golden-ratio offsets
+  // keep ticket 0 / id 0 away from the fixed point mix64(0) == 0.
+  const std::uint64_t round_key =
+      mix64(seed + 0x9E3779B97F4A7C15ULL * (ticket + 1));
+  return mix64(round_key ^ (client_id + 0x9E3779B97F4A7C15ULL));
+}
+
+std::uint64_t cohort_threshold(index_t cohort_size, index_t population) {
+  if (population == 0) {
+    throw ConfigError("cohort_threshold over an empty population");
+  }
+  if (cohort_size > population) {
+    throw ConfigError("cohort " + std::to_string(cohort_size) +
+                      " exceeds population " + std::to_string(population));
+  }
+  if (cohort_size == population) return kFullCohort;
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(cohort_size) << 64) / population);
+}
+
+bool cohort_member(std::uint64_t seed, std::uint64_t ticket,
+                   std::uint64_t client_id, std::uint64_t threshold) {
+  return threshold == kFullCohort ||
+         cohort_mix(seed, ticket, client_id) < threshold;
+}
+
+ShardedSimulation::ShardedSimulation(std::unique_ptr<Server> server,
+                                     VirtualPopulation population,
+                                     ShardedConfig config)
+    : server_(std::move(server)),
+      population_(std::move(population)),
+      config_(config),
+      rng_(config.seed),
+      accumulator_(config.weight_by_examples) {
+  OASIS_CHECK(server_ != nullptr);
+  if (config_.shard_size == 0) {
+    throw ConfigError("shard_size must be >= 1");
+  }
+  if (config_.cohort_size > population_.size()) {
+    throw ConfigError("cohort " + std::to_string(config_.cohort_size) +
+                      " exceeds population " +
+                      std::to_string(population_.size()));
+  }
+  if (config_.quorum_fraction < 0.0 || config_.quorum_fraction > 1.0) {
+    throw ConfigError("quorum_fraction outside [0, 1]");
+  }
+}
+
+void ShardedSimulation::begin_round_state() {
+  rng_at_round_start_ = rng_.state();
+  ticket_ = round_tickets_++;
+  const index_t target = config_.cohort_size == 0 ? population_.size()
+                                                  : config_.cohort_size;
+  if (config_.sampler == CohortSampler::kFisherYates) {
+    cohort_ids_ = rng_.sample_without_replacement(population_.size(), target);
+    cohort_size_ = target;
+  } else {
+    threshold_ = cohort_threshold(target, population_.size());
+    // Pre-count the actual (binomial) cohort so quorum math and the shard
+    // count are fixed before the first shard runs — ~ns per hash, and the
+    // scan keeps no per-client state.
+    index_t count = 0;
+    for (index_t id = 0; id < population_.size(); ++id) {
+      if (cohort_member(config_.seed, ticket_, id, threshold_)) ++count;
+    }
+    cohort_size_ = count;
+    scan_pos_ = 0;
+  }
+  num_shards_ = (cohort_size_ + config_.shard_size - 1) / config_.shard_size;
+  OASIS_CHECK_MSG(num_shards_ < kMaxShardsPerRound,
+                  num_shards_ << " shards exceed the generation-numbering "
+                                 "ceiling; raise shard_size");
+  shard_done_.assign(num_shards_, false);
+  accumulator_.reset();
+  next_shard_ = 0;
+  clients_done_ = 0;
+  accepted_ = 0;
+  rejected_ = 0;
+  mid_round_ = true;
+  server_->begin_round();
+}
+
+void ShardedSimulation::collect_shard_members(std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (config_.sampler == CohortSampler::kFisherYates) {
+    const index_t lo = next_shard_ * config_.shard_size;
+    const index_t hi = lo + config_.shard_size < cohort_ids_.size()
+                           ? lo + config_.shard_size
+                           : cohort_ids_.size();
+    for (index_t i = lo; i < hi; ++i) out.push_back(cohort_ids_[i]);
+  } else {
+    while (out.size() < config_.shard_size &&
+           scan_pos_ < population_.size()) {
+      if (cohort_member(config_.seed, ticket_, scan_pos_, threshold_)) {
+        out.push_back(scan_pos_);
+      }
+      ++scan_pos_;
+    }
+  }
+}
+
+void ShardedSimulation::fold_update(const ClientUpdateMessage& update,
+                                    UpdateScreen& screen) {
+  if (server_->screen_update(update, screen) == RejectReason::kAccepted) {
+    accumulator_.add(update);
+    ++accepted_;
+  } else {
+    ++rejected_;
+  }
+}
+
+void ShardedSimulation::process_shard() {
+  static obs::Counter& trained = obs::counter("fl.clients_trained");
+  static obs::Counter& bytes_down = obs::counter("fl.bytes_dispatched");
+  static obs::Counter& bytes_up = obs::counter("fl.bytes_uploaded");
+  static obs::Counter& dropouts = obs::counter("fl.fault.dropout");
+  static obs::Counter& stragglers = obs::counter("fl.fault.straggler");
+  static obs::Counter& corrupted = obs::counter("fl.fault.corrupt");
+  static obs::Counter& poisoned = obs::counter("fl.fault.poison");
+  static obs::Counter& duplicates = obs::counter("fl.fault.duplicate");
+  static obs::Counter& lost_c = obs::counter("fl.clients_lost");
+  static obs::Counter& shards_c = obs::counter("fl.shard.shards");
+  static obs::Counter& shard_clients = obs::counter("fl.shard.clients");
+
+  std::vector<std::uint64_t> members;
+  collect_shard_members(members);
+
+  // Serial dispatch + fault decisions: faults are pure functions of the
+  // plan, but the (possibly stateful) server builds the payloads, and
+  // dropouts must be decided before training so a dropped client never
+  // trains — matching the materialized engine's counters.
+  struct Slot {
+    std::uint64_t id = 0;
+    ClientFault fault;
+    GlobalModelMessage msg;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(members.size());
+  index_t dropped = 0;
+  {
+    const obs::ScopedTimer dispatch_span("dispatch");
+    for (const auto id : members) {
+      Slot s;
+      s.id = id;
+      s.fault = fault_plan_.decide(ticket_, /*attempt=*/0, id);
+      if (s.fault.kind == FaultKind::kDropout) {
+        // Single-attempt semantics: a dropout is immediately lost.
+        dropouts.add(1);
+        ++dropped;
+        ++clients_done_;
+        continue;
+      }
+      if (s.fault.kind == FaultKind::kStraggler) stragglers.add(1);
+      s.msg = server_->dispatch_to(id);
+      bytes_down.add(s.msg.model_state.size());
+      slots.push_back(std::move(s));
+    }
+  }
+  if (dropped > 0) lost_c.add(dropped);
+
+  // Parallel training: clients are materialized lazily INSIDE the region
+  // (make_client is pure, so construction order cannot matter) and die with
+  // their chunk; updates land in fixed slots, so the fold below sees
+  // cohort order at any thread count.
+  std::vector<ClientUpdateMessage> updates(slots.size());
+  runtime::parallel_for(0, slots.size(), 1, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      // kRoot: the span path must not depend on whether this chunk runs
+      // inline (threads=1) or on a pool worker.
+      const obs::ScopedTimer client_span("fl.client_round",
+                                         obs::ScopedTimer::kRoot);
+      const auto client = population_.make_client(slots[i].id);
+      updates[i] = client->handle_round(slots[i].msg);
+    }
+  });
+  trained.add(slots.size());
+
+  // Serial fold in cohort order — the determinism linchpin (see shard.h).
+  // One screen per shard suffices: cohort member ids are distinct across
+  // shards by construction (a permutation sample or an ascending id scan),
+  // so the only reachable duplicates are kDuplicate faults, delivered
+  // back to back within this shard.
+  UpdateScreen screen = server_->begin_screen();
+  {
+    const obs::ScopedTimer agg_span("aggregate");
+    for (index_t i = 0; i < slots.size(); ++i) {
+      const Slot& s = slots[i];
+      if (s.fault.kind == FaultKind::kCorrupt) corrupted.add(1);
+      if (s.fault.kind == FaultKind::kPoison) poisoned.add(1);
+      fault_plan_.apply(updates[i], s.fault, ticket_, /*attempt=*/0, s.id);
+      bytes_up.add(updates[i].gradients.size());
+      fold_update(updates[i], screen);
+      if (s.fault.kind == FaultKind::kCorrupt &&
+          s.fault.corruption == CorruptionKind::kDuplicate) {
+        duplicates.add(1);
+        fold_update(updates[i], screen);
+      }
+      ++clients_done_;
+      if (client_hook_) client_hook_(s.id, clients_done_);
+    }
+  }
+
+  shard_done_[next_shard_] = true;
+  ++next_shard_;
+  shards_c.add(1);
+  shard_clients.add(members.size());
+  if (shard_hook_) {
+    ShardProgress progress;
+    progress.round = server_->round();
+    progress.ticket = ticket_;
+    progress.shard = next_shard_ - 1;
+    progress.num_shards = num_shards_;
+    progress.cohort_size = cohort_size_;
+    progress.clients_done = clients_done_;
+    shard_hook_(progress);
+  }
+}
+
+void ShardedSimulation::clear_round_state() {
+  mid_round_ = false;
+  cohort_ids_.clear();
+  cohort_ids_.shrink_to_fit();
+  shard_done_.clear();
+  accumulator_.reset();
+  cohort_size_ = 0;
+  num_shards_ = 0;
+  next_shard_ = 0;
+  scan_pos_ = 0;
+  clients_done_ = 0;
+  threshold_ = 0;
+  accepted_ = 0;
+  rejected_ = 0;
+}
+
+index_t ShardedSimulation::run_round() {
+  const obs::ScopedTimer round_span("fl.round");
+  static obs::Counter& rounds = obs::counter("fl.rounds");
+  static obs::Counter& shard_rounds = obs::counter("fl.shard.rounds");
+  static obs::Counter& aborted = obs::counter("fl.rounds_aborted");
+
+  if (!mid_round_) begin_round_state();
+  while (next_shard_ < num_shards_) process_shard();
+
+  const index_t cohort = cohort_size_;
+  const index_t needed = quorum_needed(config_.quorum_fraction, cohort);
+  if (accepted_ < needed) {
+    // The aggregate only ever lived in the accumulator, so an abort needs
+    // no model rollback — dropping the round state IS the rollback.
+    const index_t valid = accepted_;
+    clear_round_state();
+    aborted.add(1);
+    throw QuorumError("round " + std::to_string(server_->round()) + ": " +
+                      std::to_string(valid) + " valid updates < " +
+                      std::to_string(needed) + " required for quorum");
+  }
+  if (accepted_ == 0) {
+    server_->commit_skipped_round();
+  } else {
+    server_->commit_round(accumulator_.average());
+  }
+  clear_round_state();
+  rounds.add(1);
+  shard_rounds.add(1);
+  obs::gauge("fl.shard.last_cohort").set(static_cast<double>(cohort));
+  return cohort;
+}
+
+void ShardedSimulation::run(index_t rounds,
+                            const std::function<void(index_t)>& on_round) {
+  for (index_t r = 0; r < rounds; ++r) {
+    run_round();
+    if (on_round) on_round(r);
+  }
+}
+
+// ---- Checkpoint / resume ----------------------------------------------------
+
+std::uint64_t ShardedSimulation::checkpoint_generation() const {
+  // Monotone across rounds AND shards: a resting snapshot after round t-1
+  // numbers t·2^20, mid-round shard boundaries of the round with ticket t
+  // number t·2^20 + 1 + next_shard. Newest-first restore therefore always
+  // lands on the latest progress point.
+  return mid_round_ ? ticket_ * kMaxShardsPerRound + 1 + next_shard_
+                    : round_tickets_ * kMaxShardsPerRound;
+}
+
+tensor::ByteBuffer ShardedSimulation::encode_checkpoint() {
+  // Counted BEFORE the obs capture so the snapshot records itself (the
+  // Simulation::encode_checkpoint contract).
+  static obs::Counter& saves = obs::counter("ckpt.save_total");
+  saves.add(1);
+
+  ckpt::SnapshotBuilder builder;
+  {
+    ckpt::SectionWriter meta;
+    meta.u64(server_->round());
+    meta.u64(round_tickets_);
+    // Configuration echo: a snapshot only fits the federation it came from.
+    meta.u64(population_.config().seed);
+    meta.u64(population_.size());
+    meta.u64(config_.seed);
+    meta.u64(config_.cohort_size);
+    meta.u64(config_.shard_size);
+    meta.u8(static_cast<std::uint8_t>(config_.sampler));
+    meta.f64(static_cast<double>(config_.quorum_fraction));
+    meta.u8(config_.weight_by_examples ? 1 : 0);
+    meta.u8(mid_round_ ? 1 : 0);
+    if (mid_round_) {
+      meta.u64(ticket_);
+      meta.u64(cohort_size_);
+      meta.u64(num_shards_);
+      meta.u64(next_shard_);
+      meta.u64(scan_pos_);
+      meta.u64(clients_done_);
+      meta.u64(accepted_);
+      meta.u64(rejected_);
+    }
+    builder.add("smeta", meta.take());
+  }
+  builder.add("model", nn::serialize_state(server_->global_model()));
+  {
+    ckpt::SectionWriter rng;
+    write_rng_state(rng, rng_.state());
+    if (mid_round_) write_rng_state(rng, rng_at_round_start_);
+    builder.add("srng", rng.take());
+  }
+  if (mid_round_) {
+    ckpt::SectionWriter agg;
+    agg.bitset(shard_done_);
+    agg.u64(accumulator_.count());
+    agg.f64(static_cast<double>(accumulator_.total_weight()));
+    agg.bytes(tensor::serialize_tensors(accumulator_.partials()));
+    builder.add("agg", agg.take());
+  }
+  builder.add("obs", ckpt::encode_obs(obs::Registry::global()));
+  return builder.finish();
+}
+
+void ShardedSimulation::apply_snapshot(const ckpt::Snapshot& snap) {
+  using Reason = CheckpointError::Reason;
+
+  // Decode and cross-check EVERYTHING before the first mutation, so a
+  // snapshot from the wrong federation (or a malformed section) leaves the
+  // live engine exactly as it was.
+  ckpt::SectionReader meta(snap.section("smeta"), "smeta");
+  const std::uint64_t round = meta.u64();
+  const std::uint64_t tickets = meta.u64();
+  const std::uint64_t pop_seed = meta.u64();
+  const std::uint64_t pop_size = meta.u64();
+  const std::uint64_t sel_seed = meta.u64();
+  const std::uint64_t cohort_cfg = meta.u64();
+  const std::uint64_t shard_size = meta.u64();
+  const std::uint8_t sampler = meta.u8();
+  const double quorum = meta.f64();
+  const bool weighted = meta.u8() != 0;
+  const bool mid = meta.u8() != 0;
+  std::uint64_t ticket = 0, cohort = 0, num_shards = 0, next_shard = 0;
+  std::uint64_t scan_pos = 0, clients_done = 0, accepted = 0, rejected = 0;
+  if (mid) {
+    ticket = meta.u64();
+    cohort = meta.u64();
+    num_shards = meta.u64();
+    next_shard = meta.u64();
+    scan_pos = meta.u64();
+    clients_done = meta.u64();
+    accepted = meta.u64();
+    rejected = meta.u64();
+  }
+  meta.expect_end();
+  if (pop_seed != population_.config().seed || pop_size != population_.size() ||
+      sel_seed != config_.seed || cohort_cfg != config_.cohort_size ||
+      shard_size != config_.shard_size ||
+      sampler != static_cast<std::uint8_t>(config_.sampler) ||
+      quorum != static_cast<double>(config_.quorum_fraction) ||
+      weighted != config_.weight_by_examples) {
+    throw CheckpointError(
+        Reason::kStateMismatch,
+        "snapshot belongs to a differently configured sharded federation "
+        "(population seed " +
+            std::to_string(pop_seed) + ", " + std::to_string(pop_size) +
+            " clients, shard_size " + std::to_string(shard_size) + ")");
+  }
+  if (mid && (next_shard > num_shards || ticket >= tickets ||
+              scan_pos > pop_size)) {
+    throw CheckpointError(Reason::kStateMismatch,
+                          "mid-round snapshot progress is inconsistent "
+                          "(shard " +
+                              std::to_string(next_shard) + " of " +
+                              std::to_string(num_shards) + ")");
+  }
+
+  ckpt::SectionReader rng(snap.section("srng"), "srng");
+  const common::Rng::State rng_now = read_rng_state(rng);
+  common::Rng::State rng_start{};
+  if (mid) rng_start = read_rng_state(rng);
+  rng.expect_end();
+
+  std::vector<bool> done_bits;
+  std::vector<tensor::Tensor> partials;
+  std::uint64_t acc_count = 0;
+  double acc_weight = 0.0;
+  if (mid) {
+    ckpt::SectionReader agg(snap.section("agg"), "agg");
+    done_bits = agg.bitset();
+    acc_count = agg.u64();
+    acc_weight = agg.f64();
+    const ckpt::ByteBuffer partial_bytes = agg.bytes();
+    agg.expect_end();
+    if (done_bits.size() != num_shards) {
+      throw CheckpointError(Reason::kStateMismatch,
+                            "completed-shard bitmap holds " +
+                                std::to_string(done_bits.size()) +
+                                " bits for " + std::to_string(num_shards) +
+                                " shards");
+    }
+    // The fold is strictly in shard order, so progress must be a prefix.
+    for (std::uint64_t i = 0; i < done_bits.size(); ++i) {
+      if (done_bits[i] != (i < next_shard)) {
+        throw CheckpointError(Reason::kStateMismatch,
+                              "completed-shard bitmap is not the prefix "
+                              "next_shard implies");
+      }
+    }
+    try {
+      partials = tensor::deserialize_tensors(partial_bytes);
+    } catch (const Error& e) {
+      throw CheckpointError(
+          Reason::kMalformedSection,
+          std::string("accumulator partials failed to decode: ") + e.what());
+    }
+  }
+
+  const tensor::ByteBuffer& model_bytes = snap.section("model");
+  const tensor::ByteBuffer& obs_bytes = snap.section("obs");
+
+  // Apply. The model payload passed its section CRC, so a failure to load is
+  // an architecture mismatch, not disk damage.
+  try {
+    nn::deserialize_state(server_->global_model(), model_bytes);
+  } catch (const Error& e) {
+    throw CheckpointError(Reason::kStateMismatch,
+                          std::string("model state does not fit the live "
+                                      "architecture: ") +
+                              e.what());
+  }
+  server_->restore_round(round);
+  round_tickets_ = tickets;
+  rng_.set_state(rng_now);
+  clear_round_state();
+  if (mid) {
+    ticket_ = ticket;
+    rng_at_round_start_ = rng_start;
+    cohort_size_ = cohort;
+    num_shards_ = num_shards;
+    next_shard_ = next_shard;
+    scan_pos_ = scan_pos;
+    clients_done_ = clients_done;
+    accepted_ = accepted;
+    rejected_ = rejected;
+    shard_done_ = std::move(done_bits);
+    accumulator_.restore(std::move(partials), static_cast<real>(acc_weight),
+                         acc_count);
+    if (config_.sampler == CohortSampler::kFisherYates) {
+      // Re-derive the cohort by replaying the selection from the round-start
+      // RNG state; rng_ itself already holds the post-selection position.
+      common::Rng replay(0);
+      replay.set_state(rng_at_round_start_);
+      cohort_ids_ =
+          replay.sample_without_replacement(population_.size(), cohort_size_);
+    } else {
+      threshold_ = cohort_threshold(
+          config_.cohort_size == 0 ? population_.size() : config_.cohort_size,
+          population_.size());
+    }
+    // Rebuild the dispatch payload for the round in flight (honest-server
+    // assumption: begin_round is idempotent given unchanged model state).
+    server_->begin_round();
+    mid_round_ = true;
+  }
+  ckpt::apply_obs(obs_bytes);
+  obs::counter("ckpt.restore_total").add(1);
+  if (mid) obs::counter("ckpt.restore.shard_midround").add(1);
+}
+
+void ShardedSimulation::restore_checkpoint(const tensor::ByteBuffer& bytes) {
+  apply_snapshot(ckpt::Snapshot::parse(bytes));
+}
+
+std::string ShardedSimulation::save_checkpoint(
+    ckpt::CheckpointManager& manager) {
+  return manager.save(checkpoint_generation(), encode_checkpoint());
+}
+
+std::uint64_t ShardedSimulation::resume_from(ckpt::CheckpointManager& manager) {
+  const ckpt::CheckpointManager::Loaded loaded = manager.load_latest_valid();
+  apply_snapshot(loaded.snapshot);
+  return server_->round();
+}
+
+}  // namespace oasis::fl

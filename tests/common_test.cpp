@@ -106,6 +106,72 @@ TEST(Cli, UnsignedParsingRejectsNegativeValues) {
   EXPECT_EQ(cli.get_uint("every"), 0u);
 }
 
+TEST(Cli, UintRangeEnforcesInclusiveBounds) {
+  // The sharded engine's --shard-size / --population go through
+  // get_uint_range: a zero shard size or an overflowing population must die
+  // with a typed ConfigError at the flag boundary, never reach the engine.
+  common::CliParser cli("prog", "test");
+  cli.add_flag("shard-size", "clients per shard", "256");
+  cli.add_flag("population", "virtual clients", "0");
+  {
+    const char* argv[] = {"prog", "--shard-size", "0"};
+    cli.parse(3, argv);
+    EXPECT_THROW((void)cli.get_uint_range("shard-size", 1, 1'000'000),
+                 ConfigError);
+  }
+  {
+    const char* argv[] = {"prog", "--shard-size", "1000001"};
+    cli.parse(3, argv);
+    EXPECT_THROW((void)cli.get_uint_range("shard-size", 1, 1'000'000),
+                 ConfigError);
+  }
+  {
+    // Overflows int64 entirely → the strict get_uint parse throws first.
+    const char* argv[] = {"prog", "--population", "99999999999999999999"};
+    cli.parse(3, argv);
+    EXPECT_THROW((void)cli.get_uint_range("population", 0, 100'000'000),
+                 ConfigError);
+  }
+  {
+    const char* argv[] = {"prog", "--shard-size", "1", "--population",
+                          "100000000"};
+    cli.parse(5, argv);
+    EXPECT_EQ(cli.get_uint_range("shard-size", 1, 1'000'000), 1u);
+    EXPECT_EQ(cli.get_uint_range("population", 0, 100'000'000), 100'000'000u);
+  }
+  {
+    // Bounds are inclusive on both ends.
+    const char* argv[] = {"prog", "--shard-size", "1000000"};
+    cli.parse(3, argv);
+    EXPECT_EQ(cli.get_uint_range("shard-size", 1, 1'000'000), 1'000'000u);
+  }
+}
+
+TEST(Cli, ParseHostPortAcceptsValidSpecs) {
+  const common::HostPort a = common::parse_host_port("localhost:7400");
+  EXPECT_EQ(a.host, "localhost");
+  EXPECT_EQ(a.port, 7400);
+  const common::HostPort b = common::parse_host_port("10.0.0.2:1");
+  EXPECT_EQ(b.host, "10.0.0.2");
+  EXPECT_EQ(b.port, 1);
+  const common::HostPort c = common::parse_host_port("example.org:65535");
+  EXPECT_EQ(c.port, 65535);
+}
+
+TEST(Cli, ParseHostPortRejectsMalformedSpecs) {
+  // The --connect retry loop reports these once, up front, instead of
+  // burning its reconnect budget against a target that can never resolve.
+  EXPECT_THROW((void)common::parse_host_port("no-colon"), ConfigError);
+  EXPECT_THROW((void)common::parse_host_port(":7400"), ConfigError);
+  EXPECT_THROW((void)common::parse_host_port("host:"), ConfigError);
+  EXPECT_THROW((void)common::parse_host_port("host:7400x"), ConfigError);
+  EXPECT_THROW((void)common::parse_host_port("host:0"), ConfigError);
+  EXPECT_THROW((void)common::parse_host_port("host:65536"), ConfigError);
+  EXPECT_THROW((void)common::parse_host_port("host:99999999999999999999"),
+               ConfigError);
+  EXPECT_THROW((void)common::parse_host_port(""), ConfigError);
+}
+
 TEST(Cli, RealParsingRejectsTrailingGarbageAndOverflow) {
   common::CliParser cli("prog", "test");
   cli.add_flag("rate", "r", "0");

@@ -31,8 +31,10 @@
 #include "common/rng.h"
 #include "data/synthetic.h"
 #include "fl/client.h"
+#include "fl/population.h"
 #include "fl/preprocessor.h"
 #include "fl/server.h"
+#include "fl/shard.h"
 #include "fl/simulation.h"
 #include "nn/model_io.h"
 #include "nn/models.h"
@@ -160,11 +162,12 @@ struct ChildResult {
   int exit_code = -1;
 };
 
-ChildResult spawn_child(const ChildSpec& spec) {
+ChildResult spawn_child(const ChildSpec& spec,
+                        void (*runner)(const ChildSpec&) = run_child) {
   // No pool threads may exist across fork(): serial mode tears them down.
   runtime::set_num_threads(1);
   const pid_t pid = fork();
-  if (pid == 0) run_child(spec);  // never returns
+  if (pid == 0) runner(spec);  // never returns
   ChildResult result;
   int status = 0;
   const pid_t waited = waitpid(pid, &status, 0);
@@ -283,6 +286,144 @@ void run_sweep(const std::string& tag, index_t threads, std::uint64_t lo,
   }
 }
 
+// ---- Sharded engine: SIGKILL mid-shard, resume from a shard boundary -------
+//
+// The sharded analogue of the sweep above, with a different kill site: the
+// child checkpoints at EVERY shard boundary and dies by SIGKILL after a
+// seed-derived number of client folds — i.e. in the middle of a shard, with
+// the accumulator holding a partial sum that never reaches disk. Resume must
+// land on the last shard-boundary snapshot, re-derive the cohort, replay the
+// lost shard, and finish bit-identical to the uninterrupted reference.
+
+constexpr std::uint64_t kShardRounds = 4;
+constexpr index_t kShardCohort = 6;  // shard_size 2 → 3 boundaries per round
+
+fl::ShardedSimulation make_sharded_federation() {
+  fl::VirtualPopulationConfig pop;
+  pop.num_clients = 16;
+  pop.seed = kFederationSeed ^ 0x5AD;
+  pop.num_classes = 4;
+  pop.height = pop.width = 8;
+  pop.examples_per_client = 6;
+  pop.batch_size = 3;
+  pop.factory = [] {
+    common::Rng rng(kFederationSeed ^ 0x5EED);
+    return nn::make_mlp({3, 8, 8}, {8}, 4, rng);
+  };
+  fl::ShardedConfig cfg;
+  cfg.cohort_size = kShardCohort;
+  cfg.shard_size = 2;
+  cfg.seed = kFederationSeed;
+  auto server =
+      std::make_unique<fl::Server>(pop.factory(), /*learning_rate=*/0.05);
+  return fl::ShardedSimulation(std::move(server), fl::VirtualPopulation(pop),
+                               std::move(cfg));
+}
+
+/// Sharded-engine child: resume if possible, checkpoint at every shard
+/// boundary, optionally SIGKILL itself after `kill_offset` client folds.
+[[noreturn]] void run_shard_child(const ChildSpec& spec) {
+  try {
+    runtime::set_num_threads(spec.threads);
+    obs::Registry::global().reset();
+    fl::ShardedSimulation sim = make_sharded_federation();
+    CheckpointManager manager(spec.ckpt_dir, /*keep=*/3);
+    try {
+      (void)sim.resume_from(manager);
+    } catch (const CheckpointError& e) {
+      if (e.reason() != CheckpointError::Reason::kNoValidGeneration) {
+        _exit(kResumeFailedExit);
+      }
+    }
+    sim.set_shard_hook([&sim, &manager](const fl::ShardProgress&) {
+      (void)sim.save_checkpoint(manager);
+    });
+    if (spec.arm_kill) {
+      // kill_offset doubles as the fold countdown: the SIGKILL lands inside
+      // a shard, between two serial folds, never at a tidy boundary.
+      sim.set_client_hook(
+          [remaining = spec.kill_offset](std::uint64_t, index_t) mutable {
+            if (--remaining <= 0) ::kill(::getpid(), SIGKILL);
+          });
+    }
+    while (sim.server().round() < kShardRounds) {
+      sim.run_round();
+    }
+    write_bytes(spec.model_out,
+                nn::serialize_state(sim.server().global_model()));
+    write_text(spec.obs_out, comparable_obs_dump());
+    _exit(kOkExit);
+  } catch (...) {
+    _exit(kUncaughtExit);
+  }
+}
+
+Reference run_shard_reference(const Scenario& scenario, index_t threads) {
+  ChildSpec spec;
+  spec.threads = threads;
+  spec.ckpt_dir = scenario.path("ref_ckpt");
+  spec.model_out = scenario.path("ref_model");
+  spec.obs_out = scenario.path("ref_obs");
+  const ChildResult r = spawn_child(spec, run_shard_child);
+  EXPECT_FALSE(r.signaled) << "reference child died on signal " << r.signal;
+  EXPECT_EQ(r.exit_code, kOkExit);
+  Reference ref;
+  ref.model = read_file(spec.model_out);
+  ref.obs = read_text(spec.obs_out);
+  return ref;
+}
+
+void run_shard_crash_seed(const Scenario& scenario, const Reference& ref,
+                          index_t threads, std::uint64_t seed) {
+  common::Rng rng(seed ^ 0x5A4D);
+  // 4 rounds × 6 folds = 24 total; stay below so the crash child always dies.
+  const auto kill_after =
+      rng.uniform_int(1, kShardRounds * kShardCohort - 2);
+
+  const std::string tag = "s" + std::to_string(seed);
+  ChildSpec crash;
+  crash.threads = threads;
+  crash.ckpt_dir = scenario.path(tag + "_ckpt");
+  crash.model_out = scenario.path(tag + "_crash_model");
+  crash.obs_out = scenario.path(tag + "_crash_obs");
+  crash.arm_kill = true;
+  crash.kill_offset = kill_after;
+  const ChildResult crashed = spawn_child(crash, run_shard_child);
+  ASSERT_TRUE(crashed.signaled)
+      << "seed " << seed << ": crash child exited " << crashed.exit_code
+      << " instead of dying after " << kill_after << " folds";
+  ASSERT_EQ(crashed.signal, SIGKILL) << "seed " << seed;
+
+  ChildSpec resume;
+  resume.threads = threads;
+  resume.ckpt_dir = crash.ckpt_dir;  // same directory: whatever survived
+  resume.model_out = scenario.path(tag + "_resume_model");
+  resume.obs_out = scenario.path(tag + "_resume_obs");
+  const ChildResult resumed = spawn_child(resume, run_shard_child);
+  ASSERT_FALSE(resumed.signaled)
+      << "seed " << seed << ": resume child died on signal " << resumed.signal;
+  ASSERT_EQ(resumed.exit_code, kOkExit)
+      << "seed " << seed << " (killed after " << kill_after << " folds)";
+
+  EXPECT_EQ(read_file(resume.model_out), ref.model)
+      << "seed " << seed
+      << ": final model bytes diverged after mid-shard SIGKILL at fold "
+      << kill_after;
+  EXPECT_EQ(read_text(resume.obs_out), ref.obs)
+      << "seed " << seed << ": obs dump diverged after mid-shard SIGKILL";
+}
+
+void run_shard_sweep(const std::string& tag, index_t threads, std::uint64_t lo,
+                     std::uint64_t hi) {
+  Scenario scenario(tag);
+  const Reference ref = run_shard_reference(scenario, threads);
+  ASSERT_FALSE(ref.model.empty());
+  for (std::uint64_t seed = lo; seed < hi; ++seed) {
+    run_shard_crash_seed(scenario, ref, threads, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 // 100 seeds per thread count, split into 25-seed shards to stay inside the
 // per-test CI timeout. Seed ranges are disjoint so the sweep covers 100
 // DISTINCT kill points at each thread count.
@@ -296,6 +437,27 @@ TEST(CrashResume, Threads8_Seeds0To24) { run_sweep("t8a", 8, 0, 25); }
 TEST(CrashResume, Threads8_Seeds25To49) { run_sweep("t8b", 8, 25, 50); }
 TEST(CrashResume, Threads8_Seeds50To74) { run_sweep("t8c", 8, 50, 75); }
 TEST(CrashResume, Threads8_Seeds75To99) { run_sweep("t8d", 8, 75, 100); }
+
+// Mid-shard SIGKILL sweep for the sharded engine: 50 distinct kill points
+// serial, 25 at 8 threads, in 25-seed shards for the per-test CI timeout.
+
+TEST(ShardCrashResume, Serial_Seeds0To24) { run_shard_sweep("sh1a", 1, 0, 25); }
+TEST(ShardCrashResume, Serial_Seeds25To49) {
+  run_shard_sweep("sh1b", 1, 25, 50);
+}
+TEST(ShardCrashResume, Threads8_Seeds0To24) {
+  run_shard_sweep("sh8a", 8, 0, 25);
+}
+
+// The sharded references must agree across thread counts too.
+TEST(ShardCrashResume, ReferencesAgreeAcrossThreadCounts) {
+  Scenario s1("shref1");
+  Scenario s8("shref8");
+  const Reference a = run_shard_reference(s1, 1);
+  const Reference b = run_shard_reference(s8, 8);
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.obs, b.obs);
+}
 
 // The serial and 8-thread references themselves must agree: checkpointing
 // must not break the runtime's thread-count determinism contract.

@@ -12,7 +12,12 @@
 #include "augment/affine.h"
 #include "augment/policy.h"
 #include "fl/aggregation.h"
+#include "fl/population.h"
+#include "fl/shard.h"
 #include "nn/conv2d.h"
+#include "nn/model_io.h"
+#include "nn/models.h"
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 #include "test_util.h"
 
@@ -396,6 +401,170 @@ TEST(GemmAlgebra, KPartitionDistributesOverAddition) {
   const tensor::Tensor whole = tensor::matmul(a, b);
   const tensor::Tensor split = tensor::matmul(a1, b1) + tensor::matmul(a2, b2);
   EXPECT_TRUE(tensor::allclose(whole, split, 1e-12, 1e-12));
+}
+
+// ---- Sharded round engine properties ----------------------------------------
+
+/// Final model bytes of a small sharded federation — the partition-invariance
+/// probe. Everything except the shard size is pinned, so any byte difference
+/// between two calls is the partition leaking into the protocol.
+tensor::ByteBuffer sharded_model_bytes(index_t shard_size,
+                                       std::uint64_t pop_seed) {
+  runtime::set_num_threads(1);
+  fl::VirtualPopulationConfig pop;
+  pop.num_clients = 18;
+  pop.seed = pop_seed;
+  pop.num_classes = 3;
+  pop.height = pop.width = 6;
+  pop.examples_per_client = 4;
+  pop.batch_size = 2;
+  pop.factory = [] {
+    common::Rng init(0xF00D);
+    return nn::make_linear_model({3, 6, 6}, 3, init);
+  };
+  fl::ShardedConfig cfg;
+  cfg.cohort_size = 8;
+  cfg.shard_size = shard_size;
+  cfg.seed = 5;
+  auto server = std::make_unique<fl::Server>(pop.factory(), 0.1);
+  fl::ShardedSimulation engine(std::move(server), fl::VirtualPopulation(pop),
+                               cfg);
+  engine.run(2);
+  return nn::serialize_state(engine.server().global_model());
+}
+
+class ShardSizeSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(ShardSizeSweep, PartitionDoesNotChangeTheRound) {
+  // The shard size is an execution detail: the fold order is the cohort
+  // order regardless of where the shard boundaries fall, so the final model
+  // must be BYTE-identical at every partition — including shard_size 1
+  // (every client its own shard) and 64 (the whole cohort in one shard).
+  const tensor::ByteBuffer base = sharded_model_bytes(8, 0xA11CE);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(sharded_model_bytes(GetParam(), 0xA11CE), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, ShardSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 13, 64));
+
+TEST(CohortSampling, MembershipIsPureAndTicketKeyed) {
+  // Hash-threshold cohort membership is a pure function of
+  // (seed, ticket, id): re-evaluating reproduces the cohort exactly, while
+  // a fresh ticket or a different seed draws a fresh cohort.
+  constexpr index_t kN = 997;
+  constexpr index_t kM = 313;
+  const std::uint64_t threshold = fl::cohort_threshold(kM, kN);
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    std::vector<std::uint64_t> t0, t0_again, t1, other_seed;
+    for (std::uint64_t id = 0; id < kN; ++id) {
+      if (fl::cohort_member(seed, 0, id, threshold)) t0.push_back(id);
+      if (fl::cohort_member(seed, 0, id, threshold)) t0_again.push_back(id);
+      if (fl::cohort_member(seed, 1, id, threshold)) t1.push_back(id);
+      if (fl::cohort_member(seed ^ 0x5A5A, 0, id, threshold)) {
+        other_seed.push_back(id);
+      }
+    }
+    EXPECT_EQ(t0, t0_again) << "seed " << seed;
+    EXPECT_NE(t0, t1) << "seed " << seed << ": ticket not keyed in";
+    EXPECT_NE(t0, other_seed) << "seed " << seed << ": seed not keyed in";
+    // Binomial(kN, kM/kN) concentrates near kM; a sampler that ignores the
+    // threshold would land near 0, kN/2, or kN.
+    EXPECT_GT(t0.size(), kM / 2) << "seed " << seed;
+    EXPECT_LT(t0.size(), 2 * kM) << "seed " << seed;
+  }
+}
+
+TEST(CohortSampling, GrowingTheTargetOnlyAddsMembers) {
+  // Thresholds are monotone in the target and membership is mix < threshold,
+  // so cohorts are NESTED as the participation target grows — raising M
+  // never evicts a client that was already in.
+  constexpr index_t kN = 499;
+  for (const std::uint64_t seed : {3ULL, 9ULL, 27ULL}) {
+    std::uint64_t prev_threshold = 0;
+    std::vector<std::uint64_t> prev_members;
+    for (const index_t target : {index_t{50}, index_t{125}, index_t{250},
+                                 index_t{499}}) {
+      const std::uint64_t threshold = fl::cohort_threshold(target, kN);
+      EXPECT_GE(threshold, prev_threshold);
+      std::vector<std::uint64_t> members;
+      for (std::uint64_t id = 0; id < kN; ++id) {
+        if (fl::cohort_member(seed, 2, id, threshold)) members.push_back(id);
+      }
+      EXPECT_TRUE(std::includes(members.begin(), members.end(),
+                                prev_members.begin(), prev_members.end()))
+          << "seed " << seed << " target " << target;
+      prev_threshold = threshold;
+      prev_members = std::move(members);
+    }
+    // target == population is the everyone-joins sentinel.
+    EXPECT_EQ(prev_members.size(), kN);
+  }
+}
+
+TEST(ShardedFedAvg, StreamingAccumulatorMatchesBatchFedavgExactly) {
+  // The sharded engine streams through FedAvgAccumulator; the materialized
+  // path batches through fedavg(). Same update sequence → same fold order →
+  // byte-identical averages. This is the reducer half of the differential
+  // shard tests, isolated from the round machinery.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto updates = random_updates(seed ^ 0x51A2D, 7, 6);
+    fl::FedAvgAccumulator acc;
+    for (const auto& u : updates) acc.add(u);
+    const auto streamed = acc.average();
+    const auto batched = fl::fedavg(updates);
+    ASSERT_EQ(streamed.size(), batched.size());
+    for (std::size_t t = 0; t < batched.size(); ++t) {
+      EXPECT_TRUE(streamed[t] == batched[t]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ShardedFedAvg, HomogeneousUnderPowerOfTwoWeightScaling) {
+  // Scaling every weight by 2^k shifts exponents without touching mantissas,
+  // so the weighted average is not just close — it is BIT-identical. (The
+  // general-factor version, with rounding slack, is
+  // FedAvgAlgebra.AverageIsHomogeneousInExampleWeights.)
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto updates = random_updates(seed ^ 0x0EED, 5, 8);
+    auto scaled = updates;
+    for (auto& u : scaled) u.num_examples *= 8;
+    fl::FedAvgAccumulator base_acc;
+    fl::FedAvgAccumulator scaled_acc;
+    for (const auto& u : updates) base_acc.add(u);
+    for (const auto& u : scaled) scaled_acc.add(u);
+    const auto base = base_acc.average();
+    const auto rescaled = scaled_acc.average();
+    for (std::size_t t = 0; t < base.size(); ++t) {
+      EXPECT_TRUE(base[t] == rescaled[t]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ShardedFedAvg, PermutationWithinAShardPerturbsOnlyLastBits) {
+  // Reordering clients WITHIN a shard permutes the float fold order — the
+  // mathematical mean is unchanged, so results agree to strict tolerance
+  // (that they need not agree in bytes is exactly why the engine pins the
+  // fold order to the cohort order).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto updates = random_updates(seed ^ 0xD00F, 6, 9);
+    auto reversed = updates;
+    std::reverse(reversed.begin(), reversed.end());
+    auto rotated = updates;
+    std::rotate(rotated.begin(), rotated.begin() + 2, rotated.end());
+    fl::FedAvgAccumulator base_acc;
+    for (const auto& u : updates) base_acc.add(u);
+    const auto base = base_acc.average();
+    for (const auto& permuted : {reversed, rotated}) {
+      fl::FedAvgAccumulator acc;
+      for (const auto& u : permuted) acc.add(u);
+      const auto avg = acc.average();
+      for (std::size_t t = 0; t < base.size(); ++t) {
+        EXPECT_TRUE(tensor::allclose(avg[t], base[t], 1e-12, 1e-12))
+            << "seed " << seed << " tensor " << t;
+      }
+    }
+  }
 }
 
 TEST(RtfCalibration, QuantileCutoffsRefineMonotonically) {

@@ -4,20 +4,23 @@
 # fault-injection suite under ASan/UBSan, a crash stage running the
 # kill-point checkpoint/resume harness and snapshot-corruption sweeps under
 # ASan/UBSan, a shard stage running the sharded million-client round engine's
-# differential + crash tests under ASan/UBSan, then a ThreadSanitizer build
-# exercising the concurrency-heavy tests (runtime pool + FL rounds + chaos +
-# crash/resume + the 8-thread sharded differential).
+# differential + crash tests under ASan/UBSan, a net-chaos stage SIGKILLing a
+# live socket server at four kill points and memcmping the recovered model,
+# then a ThreadSanitizer build exercising the concurrency-heavy tests
+# (runtime pool + FL rounds + chaos + crash/resume + the 8-thread sharded
+# differential).
 #
 # Every test carries a ctest LABEL (unit | integration | sanitizer |
-# property | golden | chaos | crash | net | shard) and a hard 30 s per-test
-# TIMEOUT — a test that exceeds it fails the suite.
+# property | golden | chaos | crash | net | net_chaos | shard) and a hard
+# 30 s per-test TIMEOUT — a test that exceeds it fails the suite.
 #
-#   ./ci.sh            # all six default stages
+#   ./ci.sh            # all seven default stages
 #   ./ci.sh release    # Release + full ctest only
 #   ./ci.sh asan       # ASan build + unit/golden/kernel labels only
 #   ./ci.sh chaos      # ASan build + chaos label only
 #   ./ci.sh crash      # ASan build + crash label only (SIGKILL harness)
 #   ./ci.sh net        # ASan build + net label, then a TSan loopback round
+#   ./ci.sh net-chaos  # ASan server-kill harness + TSan reconnect/backoff
 #   ./ci.sh shard      # ASan build + shard label + sharded crash kill-points
 #   ./ci.sh tsan       # TSan stage only
 #   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards
@@ -97,6 +100,25 @@ run_net() {
     --gtest_filter='NetRound.LoopbackFederationMatchesInProcessServerBitExactly'
 }
 
+run_net_chaos() {
+  # Survivable-serving stage: the fork-based server-kill harness SIGKILLs a
+  # live FlServer at four kill points (mid-accept, mid-frame,
+  # post-accept-pre-ack, post-checkpoint), restarts it from its checkpoint
+  # directory, and memcmps the final model against an uninterrupted
+  # reference — under ASan/UBSan so a use-after-restore or snapshot overrun
+  # aborts loudly. The reconnect/backoff/heartbeat client tests then run
+  # under TSan: reconnect loops, idle deadlines, and heartbeat timers are
+  # exactly where a racy session teardown would surface.
+  echo "==> [ci] Net-chaos stage: server-kill harness under ASan/UBSan + reconnect tests under TSan"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}" --target net_chaos_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L net_chaos
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
+  cmake --build build-tsan -j "${jobs}" --target net_test
+  ./build-tsan/tests/net_test \
+    --gtest_filter='NetClient.StalledServerTripsIdleDeadlineIntoReconnect:NetClient.HeartbeatingServerHoldsSessionWithoutReconnect:NetClient.BackoffScheduleIsExponentialCappedAndReproducible:NetRestart.MidRoundRestartWithPendingAcceptsIsBitExact'
+}
+
 run_tsan() {
   # crash_test rides along: its 8-thread shards resume checkpoints into a
   # freshly spawned pool, exactly where a racy restore would surface.
@@ -129,6 +151,7 @@ case "${stage}" in
   chaos) run_chaos ;;
   crash) run_crash ;;
   net) run_net ;;
+  net-chaos) run_net_chaos ;;
   shard) run_shard ;;
   tsan) run_tsan ;;
   perf) run_perf ;;
@@ -139,10 +162,11 @@ case "${stage}" in
     run_crash
     run_shard
     run_net
+    run_net_chaos
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|chaos|crash|net|shard|tsan|perf|all]" >&2
+    echo "usage: $0 [release|asan|chaos|crash|net|shard|net-chaos|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

@@ -37,6 +37,16 @@
 //       ./fl_training --connect 127.0.0.1:7400 --clients 4 --client-id $i &
 //     done
 //
+// The serving path survives the same SIGKILL: add --checkpoint-dir and every
+// accepted update is durably folded (plus a snapshot at each round
+// boundary); rerunning the SAME --listen command restores the open round and
+// the reconnecting clients resolve their in-flight updates via the session-
+// resume handshake (see DESIGN.md §5j):
+//
+//   $ ./fl_training --listen 7400 --clients 4 --per-round 0 --rounds 20 \
+//                   --checkpoint-dir net-ckpts &
+//   ... SIGKILL the server mid-round, then rerun the same command ...
+//
 // Million-scale federations run through the sharded streaming engine:
 // --population N switches to lazily materialized virtual clients processed
 // in --shard-size chunks (peak memory is O(shard), not O(N)), with
@@ -109,6 +119,9 @@ int main(int argc, char** argv) {
   cli.add_flag("checkpoint-every-shards",
                "mid-round shard-boundary checkpoint cadence under "
                "--population (0 = round boundaries only)", "0");
+  cli.add_flag("checkpoint-every-accepts",
+               "mid-round checkpoint cadence, in folded updates, under "
+               "--listen (0 = round boundaries only)", "1");
   runtime::add_cli_flag(cli);
   cli.parse(argc, argv);
   runtime::apply_cli_flag(cli);
@@ -312,7 +325,29 @@ int main(int argc, char** argv) {
     server_cfg.rounds = rounds;
     server_cfg.quorum_fraction = cli.get_real("quorum");
     server_cfg.selection_seed = 3;  // SimulationConfig's seed below
+    // Survivable serving (DESIGN.md §5j): with --checkpoint-dir the accepted
+    // updates are durably folded and a killed server restarted with the SAME
+    // command line picks the round back up — reconnecting clients resolve
+    // their in-flight updates via the resume handshake.
+    std::unique_ptr<ckpt::CheckpointManager> net_manager;
+    if (const std::string dir = cli.get("checkpoint-dir"); !dir.empty()) {
+      net_manager = std::make_unique<ckpt::CheckpointManager>(
+          dir, static_cast<int>(cli.get_int("checkpoint-keep")));
+      server_cfg.checkpoint = net_manager.get();
+      server_cfg.checkpoint_every_accepts =
+          cli.get_uint("checkpoint-every-accepts");
+    }
     net::FlServer net_server(*server_ptr, server_cfg);
+    if (net_manager && !net_manager->generations().empty()) {
+      const std::uint64_t round = net_server.resume_from();
+      std::cout << "resumed from " << net_manager->dir() << " at round "
+                << round << " (" << net_server.rounds_served()
+                << " served)\n";
+    } else if (cli.get_bool("resume")) {
+      OASIS_CHECK_MSG(net_manager != nullptr,
+                      "--resume requires --checkpoint-dir");
+      std::cout << "no checkpoint to resume from; starting fresh\n";
+    }
     net_server.listen(cli.get("host"),
                      static_cast<std::uint16_t>(cli.get_uint("listen")));
     std::cout << "listening on " << cli.get("host") << ":" << net_server.port()

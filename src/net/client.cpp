@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "obs/obs.h"
 
 namespace oasis::net {
@@ -15,6 +16,7 @@ FlClient::FlClient(fl::Client& core, FlClientConfig config, TimeSource now)
       now_(std::move(now)),
       decoder_(config.max_frame_bytes) {
   OASIS_CHECK_MSG(config_.max_attempts >= 1, "max_attempts must be >= 1");
+  OASIS_CHECK_MSG(config_.backoff_ms >= 1, "backoff_ms must be >= 1");
   if (!now_) now_ = steady_now_ms;
 }
 
@@ -32,8 +34,32 @@ void FlClient::connect(std::string host, std::uint16_t port) {
   next_connect_ms_ = 0;  // first attempt is immediate
 }
 
+std::uint64_t FlClient::backoff_wait() const {
+  // Exponential: attempt k waits backoff_ms · 2^(k-1), capped. The shift is
+  // clamped so a long outage cannot overflow the doubling before the cap
+  // applies.
+  const std::uint64_t doublings =
+      std::min<std::uint64_t>(attempt_ > 0 ? attempt_ - 1 : 0, 20);
+  std::uint64_t wait =
+      std::min(config_.backoff_ms << doublings, config_.backoff_max_ms);
+  if (config_.jitter_seed && wait > 1) {
+    // Deterministic de-synchronization: a pure function of (seed, client,
+    // attempt) — every client lands on a different phase after a server
+    // restart, yet the same run replays the same schedule.
+    common::Rng rng(*config_.jitter_seed ^
+                    (config_.client_id * 0x9E3779B97F4A7C15ULL) ^
+                    (static_cast<std::uint64_t>(attempt_) << 32));
+    wait += static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(wait / 2)));
+  }
+  return wait;
+}
+
 void FlClient::schedule_retry(std::uint64_t now) {
   static obs::Counter& retries = obs::counter("net.client.retries");
+  static obs::Counter& attempts_c = obs::counter("net.reconnect.attempts");
+  static obs::Counter& backoff_c =
+      obs::counter("net.reconnect.backoff_ms_total");
   drop_connection();
   ++attempt_;
   if (attempt_ >= config_.max_attempts) {
@@ -43,13 +69,18 @@ void FlClient::schedule_retry(std::uint64_t now) {
   }
   retries.add(1);
   ++retries_;
-  // Linear backoff like the round engine's straggler schedule; a retry-after
-  // hint from the server's backpressure overrides it.
-  const std::uint64_t wait = retry_hint_ms_
-                                 ? *retry_hint_ms_
-                                 : static_cast<std::uint64_t>(attempt_) *
-                                       config_.backoff_ms;
-  retry_hint_ms_.reset();
+  attempts_c.add(1);
+  // A retry-after hint from the server's backpressure overrides the
+  // exponential schedule — the server knows when the next admission opens.
+  std::uint64_t wait;
+  if (retry_hint_ms_) {
+    wait = *retry_hint_ms_;
+    retry_hint_ms_.reset();
+  } else {
+    wait = backoff_wait();
+  }
+  backoff_c.add(wait);
+  backoff_total_ += wait;
   next_connect_ms_ = now + wait;
   state_ = State::kBackoff;
 }
@@ -65,12 +96,26 @@ void FlClient::drop_connection() {
 
 void FlClient::open_connection(std::uint64_t now) {
   static obs::Counter& connects = obs::counter("net.client.connects");
+  static obs::Counter& resumes_c =
+      obs::counter("net.reconnect.sessions_resumed");
   sock_ = tcp_connect(host_, port_);
   connects.add(1);
   state_ = State::kActive;
   last_activity_ms_ = now;
-  const auto hello = encode_hello(Hello{config_.client_id});
-  outbox_.insert(outbox_.end(), hello.begin(), hello.end());
+  next_heartbeat_ms_ = now + config_.heartbeat_ms;
+  tensor::ByteBuffer opener;
+  if (session_ && config_.enable_resume) {
+    // The resume handshake carries the in-flight-update claim that resolves
+    // the lost-ack ambiguity server-side.
+    resumes_c.add(1);
+    ++resumed_;
+    opener = encode_resume(Resume{config_.client_id, last_round_,
+                                  cache_.has_value(),
+                                  cache_ ? cache_->round : 0});
+  } else {
+    opener = encode_hello(Hello{config_.client_id});
+  }
+  outbox_.insert(outbox_.end(), opener.begin(), opener.end());
   flush_outbox();
 }
 
@@ -90,21 +135,46 @@ void FlClient::flush_outbox() {
   }
 }
 
+void FlClient::resend_cached() {
+  static obs::Counter& resends_c = obs::counter("net.reconnect.cached_resends");
+  resends_c.add(1);
+  ++resends_;
+  outbox_.insert(outbox_.end(), cache_->frame.begin(), cache_->frame.end());
+  replied_this_conn_ = true;
+  flush_outbox();
+}
+
 void FlClient::handle_model(const fl::GlobalModelMessage& msg) {
   static obs::Counter& models = obs::counter("net.client.models_received");
   static obs::Counter& sent_c = obs::counter("net.client.updates_sent");
   static obs::Counter& dropped_c = obs::counter("net.client.updates_dropped");
   models.add(1);
   ++models_;
+  if (cache_) {
+    if (msg.round == cache_->round) {
+      // A round this client already trained, re-dispatched: the server
+      // restored a resting snapshot and re-opened it. Answer from the cache
+      // — handle_round must not run twice for one round, or the local RNG
+      // stream advances twice and the run stops being bit-identical to its
+      // uninterrupted twin.
+      resend_cached();
+      return;
+    }
+    if (msg.round < cache_->round) return;  // stale dispatch; ignore
+    cache_.reset();  // a newer round supersedes the in-flight one
+  }
   fl::ClientUpdateMessage update = core_.handle_round(msg);
   UpdateFault fault;
   if (fault_hook_) fault = fault_hook_(msg.round, update);
   switch (fault.action) {
     case UpdateFault::Action::kDrop:
       // Dropout: vanish without a word; the server's round deadline (or the
-      // rest of the cohort) moves on without us. Reconnect for a later
-      // round.
+      // rest of the cohort) moves on without us. The session is forgotten
+      // too — the faulty client rejoins with a plain hello and is bounced
+      // until the round closes, never resuming into the round it abandoned.
       dropped_c.add(1);
+      session_ = false;
+      cache_.reset();
       drop_connection();
       state_ = State::kBackoff;
       next_connect_ms_ = now_() + config_.backoff_ms;
@@ -118,11 +188,18 @@ void FlClient::handle_model(const fl::GlobalModelMessage& msg) {
                        frame.begin() +
                            static_cast<std::ptrdiff_t>(frame.size() / 2));
         close_after_flush_ = true;
+        // Like kDrop: a truncating client does not get to resume and
+        // complete the round it sabotaged.
+        session_ = false;
+        cache_.reset();
       } else {
         outbox_.insert(outbox_.end(), frame.begin(), frame.end());
         if (fault.action == UpdateFault::Action::kDuplicate) {
           outbox_.insert(outbox_.end(), frame.begin(), frame.end());
         }
+        // Cache the frame exactly as sent: a reconnect retransmits these
+        // bytes, so the server-side fold sees identical input either way.
+        cache_ = CachedUpdate{msg.round, frame};
       }
       sent_c.add(1);
       ++sent_;
@@ -138,6 +215,37 @@ void FlClient::handle_model(const fl::GlobalModelMessage& msg) {
   }
 }
 
+void FlClient::handle_resume_ack(const ResumeAck& ack) {
+  session_ = true;
+  last_round_ = ack.round;
+  switch (ack.status) {
+    case ResumeStatus::kAccepted:
+      // The update is durably folded server-side; retransmitting would just
+      // bounce off the duplicate screen. Hold the cache until the round's
+      // result lands (a second crash may still rewind past this fold's
+      // snapshot only if it was never saved — in which case the server
+      // answers kPending next time).
+      replied_this_conn_ = true;
+      return;
+    case ResumeStatus::kPending:
+      // Wanted and not held. If the cache matches the open round, those
+      // exact bytes go back on the wire; otherwise the server is already
+      // re-dispatching the model and handle_model takes it from there.
+      if (cache_ && cache_->round == ack.round) resend_cached();
+      return;
+    case ResumeStatus::kExpired:
+      // The round the cache targeted closed without us (committed before
+      // the crash, or sealed by deadline). Either way it is unusable now.
+      cache_.reset();
+      return;
+    case ResumeStatus::kNone:
+      // Parked between rounds. The cache, if any, survives: a resting
+      // restore re-opens the same round and the cached bytes answer its
+      // re-dispatch.
+      return;
+  }
+}
+
 void FlClient::handle_frame(const Frame& frame, std::uint64_t now) {
   static obs::Counter& bounced_c = obs::counter("net.client.retry_after");
   static obs::Counter& committed_c = obs::counter("net.client.rounds_committed");
@@ -148,7 +256,9 @@ void FlClient::handle_frame(const Frame& frame, std::uint64_t now) {
   attempt_ = 0;
   switch (frame.type) {
     case FrameType::kWelcome: {
-      (void)decode_welcome(frame.body);  // validates magic/version
+      const Welcome welcome = decode_welcome(frame.body);
+      session_ = true;
+      last_round_ = welcome.round;
       return;
     }
     case FrameType::kModel:
@@ -165,6 +275,8 @@ void FlClient::handle_frame(const Frame& frame, std::uint64_t now) {
     }
     case FrameType::kRoundResult: {
       const RoundResult result = decode_round_result(frame.body);
+      if (cache_ && result.round >= cache_->round) cache_.reset();
+      last_round_ = result.round + 1;
       if (replied_this_conn_) {
         ++completed_;
         replied_this_conn_ = false;
@@ -175,6 +287,22 @@ void FlClient::handle_frame(const Frame& frame, std::uint64_t now) {
       }
       return;
     }
+    case FrameType::kResumeAck:
+      handle_resume_ack(decode_resume_ack(frame.body));
+      return;
+    case FrameType::kHeartbeat:
+      // Liveness only; the read that delivered it already refreshed
+      // last_activity_ms_, which is the whole point.
+      return;
+    case FrameType::kVersionReject: {
+      // Fatal, not retryable: the endpoint speaks a different protocol
+      // version, and reconnecting will only be rejected again.
+      const VersionReject reject = decode_version_reject(frame.body);
+      throw NetError(NetError::Reason::kBadVersion,
+                     "server rejected protocol version " +
+                         std::to_string(kProtocolVersion) + "; it speaks " +
+                         std::to_string(reject.supported_version));
+    }
     case FrameType::kGoodbye:
       goodbye_ = true;
       drop_connection();
@@ -182,6 +310,7 @@ void FlClient::handle_frame(const Frame& frame, std::uint64_t now) {
       return;
     case FrameType::kHello:
     case FrameType::kUpdate:
+    case FrameType::kResume:
       // Client-to-server vocabulary arriving at the client.
       throw NetError(NetError::Reason::kProtocol,
                      std::string("unexpected ") + to_string(frame.type) +
@@ -218,12 +347,26 @@ void FlClient::pump_active(int timeout_ms, std::uint64_t now) {
         if (state_ != State::kActive) return;
       }
     }
+    if (config_.heartbeat_ms > 0 && state_ == State::kActive &&
+        now >= next_heartbeat_ms_) {
+      static obs::Counter& heartbeats = obs::counter("net.heartbeat.sent");
+      next_heartbeat_ms_ = now + config_.heartbeat_ms;
+      heartbeats.add(1);
+      const auto hb = encode_heartbeat();
+      outbox_.insert(outbox_.end(), hb.begin(), hb.end());
+      flush_outbox();
+    }
     if (state_ == State::kActive &&
         now - last_activity_ms_ >= config_.io_timeout_ms) {
+      // No bytes (not even a heartbeat) inside the deadline: the peer may be
+      // a dead-but-open socket. Reconnect — resuming beats hanging.
       schedule_retry(now);
     }
   } catch (const NetError& e) {
-    if (e.reason() == NetError::Reason::kRetryExhausted) throw;
+    if (e.reason() == NetError::Reason::kRetryExhausted ||
+        e.reason() == NetError::Reason::kBadVersion) {
+      throw;
+    }
     obs::counter(std::string("net.client.error.") +
                  NetError::reason_name(e.reason()))
         .add(1);

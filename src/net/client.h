@@ -1,21 +1,45 @@
 // net::FlClient — drives an fl::Client's training over a socket.
 //
 // A steppable state machine mirroring net::FlServer: step() connects (with
-// linear retry backoff, honoring retry-after hints from the server's
-// backpressure), handshakes, trains on each dispatched model via
-// fl::Client::handle_round, and uploads the resulting update, until the
-// server says goodbye or the retry budget is exhausted.
+// exponential retry backoff and deterministic seeded jitter, honoring
+// retry-after hints from the server's backpressure), handshakes, trains on
+// each dispatched model via fl::Client::handle_round, and uploads the
+// resulting update, until the server says goodbye or the retry budget is
+// exhausted.
+//
+// Session resumption (DESIGN.md §5j): after the first welcome the client
+// holds a session; every reconnect replaces the hello with a kResume frame
+// carrying its id and — crucially — whether it still holds a computed update
+// that was never acknowledged. The server's ResumeAck resolves the lost-ack
+// ambiguity: kAccepted (the update is durably folded; do not retransmit),
+// kPending (retransmit the CACHED frame bytes), or kExpired (the round
+// closed; discard). The client never calls handle_round twice for the same
+// round — retraining would advance the local RNG stream a second time and
+// break the bit-identity contract — so a re-dispatched round it already
+// trained is answered from the cache, byte-for-byte what it sent the first
+// time.
+//
+// Liveness: the client enforces a no-progress deadline (io_timeout_ms) and
+// reconnects through a dead-but-open socket instead of hanging; a slow but
+// alive server keeps the session up by heartbeating (FlServerConfig::
+// heartbeat_ms). With heartbeat_ms set here, the client heartbeats too, so
+// the server's idle deadline tolerates long client-side stalls.
 //
 // Determinism: all deadlines and backoff go through the injected TimeSource
 // (the runtime::VirtualClock idiom) — a test advancing a tick counter by
-// hand observes the exact same reconnect schedule on every run. The blocking
-// run() wraps step() with the steady clock for real deployments.
+// hand observes the exact same reconnect schedule on every run, and the
+// backoff jitter is a pure function of (jitter_seed, client_id, attempt),
+// never of wall time. The blocking run() wraps step() with the steady clock
+// for real deployments.
 //
 // Fault injection: the load bench installs a FaultHook that inspects (and
 // may mutate, e.g. via fl::FaultPlan::apply) each outgoing update and picks
 // a delivery action — send faithfully, drop the connection without sending
 // (dropout), send twice (duplicate delivery), or close mid-frame (the
-// truncation fault the server's decoder must survive).
+// truncation fault the server's decoder must survive). A faulty delivery
+// also forgets the session: the client rejoins with a plain hello and sits
+// out the rest of the round under the server's backpressure, exactly like
+// the pre-resume dropout behavior the fault tests pin down.
 #pragma once
 
 #include <cstdint>
@@ -55,11 +79,25 @@ struct FlClientConfig {
   /// retry-after bounce) resets the budget; only a dead endpoint — refused
   /// connections or silence, over and over — exhausts it.
   index_t max_attempts = 64;
-  /// Linear backoff base: attempt k waits k·backoff_ms (a retry-after frame
-  /// overrides the wait with the server's hint).
+  /// Exponential backoff base: attempt k waits min(backoff_ms · 2^(k-1),
+  /// backoff_max_ms), plus jitter when seeded. A retry-after frame
+  /// overrides the wait with the server's hint.
   std::uint64_t backoff_ms = 10;
+  /// Ceiling on one backoff wait (pre-jitter).
+  std::uint64_t backoff_max_ms = 2'000;
+  /// When set, each wait adds a deterministic jitter in [0, wait/2] drawn
+  /// from this seed, the client id, and the attempt number — a restarted
+  /// server is not greeted by a synchronized thundering herd, yet the
+  /// schedule is still replayable. Unset = no jitter.
+  std::optional<std::uint64_t> jitter_seed;
   /// No-progress deadline while connected; expiry forces a reconnect.
   std::uint64_t io_timeout_ms = 30'000;
+  /// Interval between client-sent kHeartbeat frames while connected and
+  /// handshaked. 0 = no heartbeats.
+  std::uint64_t heartbeat_ms = 0;
+  /// Reconnects use the kResume session handshake once a session exists.
+  /// Disabled, every reconnect is a fresh hello (pre-§5j behavior).
+  bool enable_resume = true;
   /// Hard ceiling on one inbound frame body.
   std::size_t max_frame_bytes = kDefaultMaxBodyBytes;
 };
@@ -82,7 +120,9 @@ class FlClient {
   /// One iteration: connect/reconnect when due, pump socket IO, train on any
   /// dispatched model, queue the update. Returns false once the server said
   /// goodbye and the connection drained. Throws NetError{kRetryExhausted}
-  /// when the attempt budget runs out. `timeout_ms` bounds the internal
+  /// when the attempt budget runs out and NetError{kBadVersion} when the
+  /// server rejects this protocol version (fatal — no amount of retrying
+  /// fixes an incompatible dialect). `timeout_ms` bounds the internal
   /// poll/backoff sleep; pass 0 under a virtual TimeSource.
   bool step(int timeout_ms);
 
@@ -96,20 +136,38 @@ class FlClient {
   [[nodiscard]] std::uint64_t updates_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   [[nodiscard]] std::uint64_t retry_after_bounces() const { return bounced_; }
+  /// Reconnects that used the kResume session handshake.
+  [[nodiscard]] std::uint64_t sessions_resumed() const { return resumed_; }
+  /// Updates answered from the cache instead of retraining (lost-ack
+  /// recoveries and resting-restore re-dispatches).
+  [[nodiscard]] std::uint64_t cached_resends() const { return resends_; }
+  /// Total milliseconds spent in backoff waits (jitter included).
+  [[nodiscard]] std::uint64_t backoff_ms_total() const { return backoff_total_; }
   [[nodiscard]] bool finished() const { return state_ == State::kDone; }
 
  private:
   enum class State : std::uint8_t {
     kBackoff,  // disconnected, waiting for next_connect_ms_
-    kActive,   // connected (hello queued), serving frames
+    kActive,   // connected (hello/resume queued), serving frames
     kDone,     // goodbye received, socket drained
   };
 
+  /// The trained-and-encoded update for one round, byte-for-byte as first
+  /// sent. Held until the server acknowledges the round's outcome, so a
+  /// reconnect can retransmit without retraining.
+  struct CachedUpdate {
+    std::uint64_t round = 0;
+    tensor::ByteBuffer frame;
+  };
+
   void schedule_retry(std::uint64_t now);
+  [[nodiscard]] std::uint64_t backoff_wait() const;
   void open_connection(std::uint64_t now);
   void pump_active(int timeout_ms, std::uint64_t now);
   void handle_frame(const Frame& frame, std::uint64_t now);
   void handle_model(const fl::GlobalModelMessage& msg);
+  void handle_resume_ack(const ResumeAck& ack);
+  void resend_cached();
   void flush_outbox();
   void drop_connection();
 
@@ -129,13 +187,20 @@ class FlClient {
   index_t attempt_ = 0;
   std::uint64_t next_connect_ms_ = 0;
   std::uint64_t last_activity_ms_ = 0;
+  std::uint64_t next_heartbeat_ms_ = 0;
   std::optional<std::uint64_t> retry_hint_ms_;
+  bool session_ = false;             // a welcome/resume-ack has been seen
+  std::uint64_t last_round_ = 0;     // latest round id the server reported
+  std::optional<CachedUpdate> cache_;
   std::uint64_t completed_ = 0;
   std::uint64_t committed_ = 0;
   std::uint64_t models_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t bounced_ = 0;
+  std::uint64_t resumed_ = 0;
+  std::uint64_t resends_ = 0;
+  std::uint64_t backoff_total_ = 0;
   bool replied_this_conn_ = false;
 };
 

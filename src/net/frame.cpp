@@ -110,7 +110,7 @@ void check_magic(BodyReader& r, const char* what) {
 
 bool frame_type_known(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kGoodbye);
+         t <= static_cast<std::uint8_t>(FrameType::kVersionReject);
 }
 
 const char* to_string(FrameType t) {
@@ -122,6 +122,10 @@ const char* to_string(FrameType t) {
     case FrameType::kRetryAfter: return "retry_after";
     case FrameType::kRoundResult: return "round_result";
     case FrameType::kGoodbye: return "goodbye";
+    case FrameType::kResume: return "resume";
+    case FrameType::kResumeAck: return "resume_ack";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kVersionReject: return "version_reject";
   }
   return "unknown";
 }
@@ -177,6 +181,37 @@ tensor::ByteBuffer encode_goodbye() {
   return make_frame(FrameType::kGoodbye, {});
 }
 
+tensor::ByteBuffer encode_resume(const Resume& resume) {
+  tensor::ByteBuffer body;
+  put_u32(body, kProtocolMagic);
+  put_u32(body, kProtocolVersion);
+  put_u64(body, resume.client_id);
+  put_u64(body, resume.last_round);
+  body.push_back(resume.has_update ? 1 : 0);
+  put_u64(body, resume.update_round);
+  return make_frame(FrameType::kResume, body);
+}
+
+tensor::ByteBuffer encode_resume_ack(const ResumeAck& ack) {
+  tensor::ByteBuffer body;
+  put_u32(body, kProtocolMagic);
+  put_u32(body, kProtocolVersion);
+  put_u64(body, ack.round);
+  body.push_back(static_cast<std::uint8_t>(ack.status));
+  return make_frame(FrameType::kResumeAck, body);
+}
+
+tensor::ByteBuffer encode_heartbeat() {
+  return make_frame(FrameType::kHeartbeat, {});
+}
+
+tensor::ByteBuffer encode_version_reject(const VersionReject& reject) {
+  tensor::ByteBuffer body;
+  put_u32(body, kProtocolMagic);
+  put_u32(body, reject.supported_version);
+  return make_frame(FrameType::kVersionReject, body);
+}
+
 Hello decode_hello(const tensor::ByteBuffer& body) {
   BodyReader r(body, "hello");
   check_magic(r, "hello");
@@ -227,6 +262,46 @@ RoundResult decode_round_result(const tensor::ByteBuffer& body) {
   result.committed = r.u8() != 0;
   r.expect_end();
   return result;
+}
+
+Resume decode_resume(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "resume");
+  check_magic(r, "resume");
+  Resume resume;
+  resume.client_id = r.u64();
+  resume.last_round = r.u64();
+  resume.has_update = r.u8() != 0;
+  resume.update_round = r.u64();
+  r.expect_end();
+  return resume;
+}
+
+ResumeAck decode_resume_ack(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "resume_ack");
+  check_magic(r, "resume_ack");
+  ResumeAck ack;
+  ack.round = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ResumeStatus::kExpired)) {
+    throw NetError(NetError::Reason::kMalformedFrame,
+                   "resume_ack status byte " + std::to_string(status));
+  }
+  ack.status = static_cast<ResumeStatus>(status);
+  r.expect_end();
+  return ack;
+}
+
+VersionReject decode_version_reject(const tensor::ByteBuffer& body) {
+  BodyReader r(body, "version_reject");
+  const std::uint32_t magic = r.u32();
+  if (magic != kProtocolMagic) {
+    throw NetError(NetError::Reason::kBadMagic,
+                   "version_reject frame magic " + std::to_string(magic));
+  }
+  VersionReject reject;
+  reject.supported_version = r.u32();
+  r.expect_end();
+  return reject;
 }
 
 FrameDecoder::FrameDecoder(std::size_t max_body_bytes)

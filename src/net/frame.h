@@ -49,6 +49,10 @@ enum class FrameType : std::uint8_t {
   kRetryAfter = 5,   // server → client: backpressure, retry-after hint (ms)
   kRoundResult = 6,  // server → client: round id + committed flag
   kGoodbye = 7,      // server → client: serving finished, drain and close
+  kResume = 8,       // client → server: session-resume handshake
+  kResumeAck = 9,    // server → client: resume verdict for the in-flight update
+  kHeartbeat = 10,   // either direction: liveness; refreshes idle deadlines
+  kVersionReject = 11,  // server → client: unsupported version, then close
 };
 
 /// True when `t` names a frame type this protocol version understands.
@@ -77,6 +81,39 @@ struct RoundResult {
   bool committed = false;
 };
 
+/// Session-resume handshake: a reconnecting client replaces its hello with
+/// this so the server can resolve the lost-ack ambiguity — "I computed an
+/// update for round `update_round` but the connection died before I saw a
+/// result; did you take it?" — deterministically and without double-counting.
+struct Resume {
+  std::uint64_t client_id = 0;
+  /// Last round id the client observed (welcome or model dispatch).
+  std::uint64_t last_round = 0;
+  /// True when the client still holds a computed update it never saw acked.
+  bool has_update = false;
+  /// Round that cached update was computed for (meaningful iff has_update).
+  std::uint64_t update_round = 0;
+};
+
+/// Server verdict on the resume's claimed in-flight update.
+enum class ResumeStatus : std::uint8_t {
+  kNone = 0,      // no in-flight state to resolve; park for a later round
+  kPending = 1,   // the update is wanted and NOT held — retransmit it
+  kAccepted = 2,  // already durably folded; retransmitting would be rejected
+  kExpired = 3,   // the round it targeted has closed; discard the cache
+};
+
+struct ResumeAck {
+  std::uint64_t round = 0;  // server's current protocol round
+  ResumeStatus status = ResumeStatus::kNone;
+};
+
+/// Carried by kVersionReject so an incompatible client can report what the
+/// server actually speaks instead of dying on a silent close.
+struct VersionReject {
+  std::uint32_t supported_version = 0;
+};
+
 // --- Encoding ---------------------------------------------------------------
 // Each encode_* returns the COMPLETE frame (header included), ready to queue
 // on a connection's outbox.
@@ -88,6 +125,10 @@ tensor::ByteBuffer encode_update(const fl::ClientUpdateMessage& msg);
 tensor::ByteBuffer encode_retry_after(std::uint64_t retry_after_ms);
 tensor::ByteBuffer encode_round_result(const RoundResult& result);
 tensor::ByteBuffer encode_goodbye();
+tensor::ByteBuffer encode_resume(const Resume& resume);
+tensor::ByteBuffer encode_resume_ack(const ResumeAck& ack);
+tensor::ByteBuffer encode_heartbeat();
+tensor::ByteBuffer encode_version_reject(const VersionReject& reject);
 
 // --- Decoding ---------------------------------------------------------------
 // Each decode_* consumes a frame BODY (header already stripped by the
@@ -100,6 +141,11 @@ fl::GlobalModelMessage decode_model(const tensor::ByteBuffer& body);
 fl::ClientUpdateMessage decode_update(const tensor::ByteBuffer& body);
 std::uint64_t decode_retry_after(const tensor::ByteBuffer& body);
 RoundResult decode_round_result(const tensor::ByteBuffer& body);
+Resume decode_resume(const tensor::ByteBuffer& body);
+ResumeAck decode_resume_ack(const tensor::ByteBuffer& body);
+/// Checks magic only — the whole point of this frame is a version mismatch,
+/// so the version word is DATA here, not a validity condition.
+VersionReject decode_version_reject(const tensor::ByteBuffer& body);
 
 /// Incremental frame parser over a byte stream.
 class FrameDecoder {

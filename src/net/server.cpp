@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <chrono>
 
+#include "ckpt/codec.h"
 #include "common/error.h"
 #include "nn/model_io.h"
 #include "obs/obs.h"
+#include "tensor/serialize.h"
 
 namespace oasis::net {
 
@@ -17,6 +19,26 @@ obs::Counter& frame_error_counter(NetError::Reason reason) {
   // A handful of distinct reasons; the registry caches by name.
   return obs::counter(std::string("net.frame.error.") +
                       NetError::reason_name(reason));
+}
+
+/// Generation-number stride between resting snapshots: resting state after
+/// protocol round t numbers t·2^20, a mid-round snapshot of round t with
+/// fold frontier f numbers t·2^20 + 1 + f — the shard engine's monotone
+/// numbering, so newest-first restore always lands on the latest progress.
+constexpr std::uint64_t kMaxFoldsPerRound = 1ULL << 20;
+
+void write_rng_state(ckpt::SectionWriter& w, const common::Rng::State& s) {
+  for (const auto word : s.words) w.u64(word);
+  w.f64(static_cast<double>(s.spare_normal));
+  w.u8(s.has_spare ? 1 : 0);
+}
+
+common::Rng::State read_rng_state(ckpt::SectionReader& r) {
+  common::Rng::State s;
+  for (auto& word : s.words) word = r.u64();
+  s.spare_normal = static_cast<real>(r.f64());
+  s.has_spare = r.u8() != 0;
+  return s;
 }
 
 }  // namespace
@@ -30,7 +52,7 @@ std::uint64_t steady_now_ms() {
 
 struct FlServer::Conn {
   enum class State : std::uint8_t {
-    kHandshake,  // accepted, awaiting hello
+    kHandshake,  // accepted, awaiting hello or resume
     kParked,     // admitted, awaiting round admission
     kInRound,    // model dispatched, awaiting update
     kReplied,    // update received, awaiting cutover
@@ -59,6 +81,9 @@ FlServer::FlServer(fl::Server& core, FlServerConfig config, TimeSource now)
                   "max_connections " << config_.max_connections
                                      << " below cohort_size "
                                      << config_.cohort_size);
+  OASIS_CHECK_MSG(static_cast<std::uint64_t>(config_.cohort_size) <
+                      kMaxFoldsPerRound,
+                  "cohort_size overflows the checkpoint generation stride");
   if (!now_) now_ = steady_now_ms;
   if (config_.selection_seed) {
     selection_.emplace(*config_.selection_seed);
@@ -69,7 +94,15 @@ FlServer::~FlServer() = default;
 
 void FlServer::listen(const std::string& host, std::uint16_t port) {
   listener_ = tcp_listen(host, port);
+  host_ = host;
   port_ = local_port(listener_);
+  // A generation-0 resting snapshot at startup means restore never finds an
+  // empty directory mid-flight — a crash before the first boundary still has
+  // a well-defined (fresh) state to land on. A restarted server already has
+  // generations on disk and skips this.
+  if (config_.checkpoint != nullptr && config_.checkpoint->generations().empty()) {
+    save_checkpoint();
+  }
 }
 
 std::uint16_t FlServer::port() const {
@@ -89,6 +122,10 @@ index_t FlServer::parked_count() const {
     if (c.sock.valid() && c.state == Conn::State::kParked) ++n;
   }
   return n;
+}
+
+void FlServer::fire_event(Event event) {
+  if (event_hook_) event_hook_(event);
 }
 
 void FlServer::send_frame(Conn& conn, tensor::ByteBuffer frame_bytes) {
@@ -139,6 +176,7 @@ void FlServer::pump_read(Conn& conn, std::uint64_t now) {
   static obs::Counter& frames_in = obs::counter("net.frames.received");
   std::uint8_t buf[16 * 1024];
   std::size_t budget = config_.read_budget_bytes;
+  bool read_any = false;
   try {
     while (budget > 0 && conn.sock.valid()) {
       const std::size_t want = std::min(budget, sizeof(buf));
@@ -154,6 +192,7 @@ void FlServer::pump_read(Conn& conn, std::uint64_t now) {
         }
         return;
       }
+      read_any = true;
       bytes_in.add(static_cast<std::uint64_t>(got));
       conn.last_activity_ms = now;
       conn.decoder.feed(buf, static_cast<std::size_t>(got));
@@ -164,6 +203,7 @@ void FlServer::pump_read(Conn& conn, std::uint64_t now) {
         if (!conn.sock.valid()) return;
       }
     }
+    if (read_any && conn.decoder.mid_frame()) fire_event(Event::kMidFrame);
   } catch (const NetError& e) {
     // Connection-scoped damage (oversized/unknown frame, bad handshake,
     // socket error): tally, sever this peer, keep serving everyone else.
@@ -191,6 +231,18 @@ void FlServer::pump_write(Conn& conn) {
   if (conn.close_after_flush) close_conn(conn, "");
 }
 
+bool FlServer::duplicate_live_id(const Conn& conn,
+                                 std::uint64_t client_id) const {
+  for (const auto& other : conns_) {
+    if (&other != &conn && other.sock.valid() &&
+        other.state != Conn::State::kHandshake &&
+        other.client_id == client_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void FlServer::handle_hello(Conn& conn, const Hello& hello,
                             std::uint64_t /*now*/) {
   static obs::Counter& handshakes = obs::counter("net.handshakes");
@@ -203,15 +255,11 @@ void FlServer::handle_hello(Conn& conn, const Hello& hello,
     conn.close_after_flush = true;
     return;
   }
-  for (const auto& other : conns_) {
-    if (&other != &conn && other.sock.valid() &&
-        other.state != Conn::State::kHandshake &&
-        other.client_id == hello.client_id) {
-      dup_id.add(1);
-      send_frame(conn, encode_retry_after(config_.retry_after_ms));
-      conn.close_after_flush = true;
-      return;
-    }
+  if (duplicate_live_id(conn, hello.client_id)) {
+    dup_id.add(1);
+    send_frame(conn, encode_retry_after(config_.retry_after_ms));
+    conn.close_after_flush = true;
+    return;
   }
   // Explicit backpressure: a round in flight, or a full parked pool, turns
   // the handshake away with a backoff hint instead of queueing unboundedly.
@@ -228,19 +276,174 @@ void FlServer::handle_hello(Conn& conn, const Hello& hello,
   send_frame(conn, encode_welcome(Welcome{core_.round()}));
 }
 
-void FlServer::handle_frame(Conn& conn, Frame frame, std::uint64_t now) {
+void FlServer::handle_resume(Conn& conn, const Resume& resume,
+                             std::uint64_t /*now*/) {
+  static obs::Counter& resumes = obs::counter("net.session.resumed");
+  static obs::Counter& acked_accepted =
+      obs::counter("net.session.ack_accepted");
+  static obs::Counter& acked_pending = obs::counter("net.session.ack_pending");
+  static obs::Counter& acked_parked = obs::counter("net.session.ack_parked");
+  static obs::Counter& retry_after = obs::counter("net.admission.retry_after");
+  static obs::Counter& dup_id = obs::counter("net.conn.duplicate_id");
+
+  if (goodbye_sent_) {
+    send_frame(conn, encode_goodbye());
+    conn.close_after_flush = true;
+    return;
+  }
+  if (duplicate_live_id(conn, resume.client_id)) {
+    dup_id.add(1);
+    send_frame(conn, encode_retry_after(config_.retry_after_ms));
+    conn.close_after_flush = true;
+    return;
+  }
+
+  if (round_open_) {
+    const bool member =
+        std::find(round_order_.begin(), round_order_.end(), resume.client_id) !=
+        round_order_.end();
+    if (member) {
+      resumes.add(1);
+      conn.client_id = resume.client_id;
+      conn.updates_this_round = 0;
+      if (round_delivered_.count(resume.client_id) > 0) {
+        // Already delivered this round (typically: folded pre-crash, or the
+        // ack raced the disconnect). The lost-ack resolution: the client
+        // must NOT retransmit — its update is (durably) in the aggregate.
+        acked_accepted.add(1);
+        conn.state = Conn::State::kReplied;
+        send_frame(conn, encode_resume_ack(
+                             ResumeAck{round_id_, ResumeStatus::kAccepted}));
+      } else {
+        // Wanted and not held: the client retransmits its cached update, or
+        // — if it never computed one for this round — gets the dispatch
+        // again. Never both, so the training path runs exactly once.
+        acked_pending.add(1);
+        conn.state = Conn::State::kInRound;
+        const bool holds_this_round =
+            resume.has_update && resume.update_round == round_id_;
+        send_frame(conn, encode_resume_ack(
+                             ResumeAck{round_id_, ResumeStatus::kPending}));
+        if (!holds_this_round) {
+          send_frame(conn, encode_model(core_.dispatch_to(resume.client_id)));
+        }
+      }
+      return;
+    }
+    // Not a member of the open round: same backpressure as a mid-round hello.
+    retry_after.add(1);
+    send_frame(conn, encode_retry_after(config_.retry_after_ms));
+    conn.close_after_flush = true;
+    return;
+  }
+
+  // No round open. A cached update for a round below the current one was
+  // either folded into a committed round or sealed out of it — both closed;
+  // the client discards it and parks for the next admission.
+  if (parked_count() >= max_parked()) {
+    retry_after.add(1);
+    send_frame(conn, encode_retry_after(config_.retry_after_ms));
+    conn.close_after_flush = true;
+    return;
+  }
+  resumes.add(1);
+  acked_parked.add(1);
+  conn.client_id = resume.client_id;
+  conn.state = Conn::State::kParked;
+  const ResumeStatus status =
+      resume.has_update && resume.update_round < core_.round()
+          ? ResumeStatus::kExpired
+          : ResumeStatus::kNone;
+  send_frame(conn, encode_resume_ack(ResumeAck{core_.round(), status}));
+}
+
+void FlServer::handle_update(Conn& conn, const Frame& frame) {
   static obs::Counter& updates_in = obs::counter("net.update.received");
+  updates_in.add(1);
+  fl::ClientUpdateMessage msg = decode_update(frame.body);
+  // The wire-level client id is authoritative for bookkeeping, but the
+  // payload travels unmodified into the validation pipeline — a spoofed
+  // inner id is the pipeline's duplicate screen's problem, same as the
+  // in-process path.
+  round_delivered_.insert(conn.client_id);
+  const fl::RejectReason verdict = core_.screen_update(msg, screen_);
+  if (verdict == fl::RejectReason::kAccepted) {
+    const auto pos = std::find(round_order_.begin(), round_order_.end(),
+                               conn.client_id) -
+                     round_order_.begin();
+    if (static_cast<std::size_t>(pos) < fold_frontier_) {
+      // The fold already passed this member (reachable only via a spoofed
+      // inner id slipping the duplicate screen after the wire id folded):
+      // fold immediately rather than strand it behind the frontier.
+      agg_.add(msg);
+      folded_inner_.push_back(msg.client_id);
+      ++round_accepted_;
+      ++accepts_since_ckpt_;
+      fire_event(Event::kUpdateAccepted);
+    } else {
+      accepted_pending_[conn.client_id].push_back(std::move(msg));
+    }
+  }
+  conn.state = Conn::State::kReplied;
+  fold_ready();
+}
+
+void FlServer::fold_ready() {
+  // Advance the fold frontier over every cohort member whose accepted
+  // update(s) are in hand. Strict round order — never arrival order — keeps
+  // the streamed fold byte-identical to the batch cutover fold, and makes
+  // the snapshot's accepted set a simple prefix of round_order_. A member
+  // that delivered only rejected bytes stalls the frontier (a valid resend
+  // may still arrive); cutover folds past it.
+  while (fold_frontier_ < round_order_.size()) {
+    const auto it = accepted_pending_.find(round_order_[fold_frontier_]);
+    if (it == accepted_pending_.end()) break;
+    for (auto& msg : it->second) {
+      agg_.add(msg);
+      folded_inner_.push_back(msg.client_id);
+      ++round_accepted_;
+      ++accepts_since_ckpt_;
+      fire_event(Event::kUpdateAccepted);
+    }
+    accepted_pending_.erase(it);
+    ++fold_frontier_;
+    if (config_.checkpoint != nullptr && config_.checkpoint_every_accepts > 0 &&
+        accepts_since_ckpt_ >= config_.checkpoint_every_accepts) {
+      save_checkpoint();
+    }
+  }
+}
+
+void FlServer::handle_frame(Conn& conn, Frame frame, std::uint64_t now) {
   static obs::Counter& stale = obs::counter("net.update.stale");
   static obs::Counter& protocol_err = obs::counter("net.protocol_error");
+  static obs::Counter& version_rej = obs::counter("net.version.rejected");
+  static obs::Counter& heartbeats_in = obs::counter("net.heartbeat.received");
 
   switch (frame.type) {
-    case FrameType::kHello: {
+    case FrameType::kHello:
+    case FrameType::kResume: {
       if (conn.state != Conn::State::kHandshake) {
         protocol_err.add(1);
         close_conn(conn, "protocol");
         return;
       }
-      handle_hello(conn, decode_hello(frame.body), now);
+      try {
+        if (frame.type == FrameType::kHello) {
+          handle_hello(conn, decode_hello(frame.body), now);
+        } else {
+          handle_resume(conn, decode_resume(frame.body), now);
+        }
+      } catch (const NetError& e) {
+        if (e.reason() != NetError::Reason::kBadVersion) throw;
+        // Version negotiation: answer an unsupported version with the one we
+        // speak, then close — a typed reject instead of a silent drop.
+        version_rej.add(1);
+        frame_error_counter(NetError::Reason::kBadVersion).add(1);
+        send_frame(conn,
+                   encode_version_reject(VersionReject{kProtocolVersion}));
+        conn.close_after_flush = true;
+      }
       return;
     }
     case FrameType::kUpdate: {
@@ -262,15 +465,19 @@ void FlServer::handle_frame(Conn& conn, Frame frame, std::uint64_t now) {
         close_conn(conn, "update_flood");
         return;
       }
-      updates_in.add(1);
-      fl::ClientUpdateMessage msg = decode_update(frame.body);
-      // The wire-level client id is authoritative for bookkeeping, but the
-      // payload travels unmodified into the validation pipeline — a spoofed
-      // inner id is the pipeline's duplicate screen's problem, same as the
-      // in-process path.
-      round_updates_.push_back(
-          PendingUpdate{conn.client_id, std::move(msg)});
-      conn.state = Conn::State::kReplied;
+      handle_update(conn, frame);
+      return;
+    }
+    case FrameType::kHeartbeat: {
+      // Liveness only — pump_read already refreshed the activity stamp. In
+      // kHandshake it would let an unauthenticated peer dodge the handshake
+      // deadline, so there it is a protocol error like any other frame.
+      if (conn.state == Conn::State::kHandshake) {
+        protocol_err.add(1);
+        close_conn(conn, "protocol");
+        return;
+      }
+      heartbeats_in.add(1);
       return;
     }
     case FrameType::kWelcome:
@@ -278,6 +485,8 @@ void FlServer::handle_frame(Conn& conn, Frame frame, std::uint64_t now) {
     case FrameType::kRetryAfter:
     case FrameType::kRoundResult:
     case FrameType::kGoodbye:
+    case FrameType::kResumeAck:
+    case FrameType::kVersionReject:
       // Server-to-client vocabulary arriving at the server.
       protocol_err.add(1);
       close_conn(conn, "protocol");
@@ -300,6 +509,19 @@ void FlServer::enforce_deadlines(std::uint64_t now) {
       idle.add(1);
       close_conn(conn, "idle");
     }
+  }
+}
+
+void FlServer::send_heartbeats(std::uint64_t now) {
+  static obs::Counter& heartbeats = obs::counter("net.heartbeat.sent");
+  if (config_.heartbeat_ms == 0) return;
+  if (now < next_heartbeat_ms_) return;
+  next_heartbeat_ms_ = now + config_.heartbeat_ms;
+  for (auto& conn : conns_) {
+    if (!conn.sock.valid() || conn.close_after_flush) continue;
+    if (conn.state == Conn::State::kHandshake) continue;
+    heartbeats.add(1);
+    send_frame(conn, encode_heartbeat());
   }
 }
 
@@ -351,7 +573,13 @@ void FlServer::maybe_start_round(std::uint64_t now) {
   round_open_ = true;
   round_started_ms_ = now;
   round_deadline_ms_ = now + config_.round_timeout_ms;
-  round_updates_.clear();
+  round_delivered_.clear();
+  accepted_pending_.clear();
+  agg_.reset();
+  folded_inner_.clear();
+  fold_frontier_ = 0;
+  round_accepted_ = 0;
+  screen_ = core_.begin_screen();
 
   core_.begin_round();
   for (const auto id : round_order_) {
@@ -370,9 +598,14 @@ void FlServer::maybe_start_round(std::uint64_t now) {
 
 void FlServer::maybe_finish_round(std::uint64_t now) {
   if (!round_open_) return;
+  // The round completes when every cohort member has delivered an update
+  // (any verdict) — a member that dropped its connection gets until the
+  // round deadline to reconnect and resolve its in-flight update via the
+  // resume handshake, instead of being sealed out the moment its socket
+  // died.
   bool complete = true;
-  for (auto& conn : conns_) {
-    if (conn.sock.valid() && conn.state == Conn::State::kInRound) {
+  for (const auto id : round_order_) {
+    if (round_delivered_.count(id) == 0) {
       complete = false;
       break;
     }
@@ -386,35 +619,41 @@ void FlServer::cutover(std::uint64_t now) {
   static obs::Counter& stragglers_c = obs::counter("net.round.stragglers");
   static obs::Histogram& latency_h = obs::histogram("net.round.latency_ms");
 
-  // Seal the round: assemble the collected updates in the deterministic
-  // round order (duplicate deliveries stay adjacent, exactly like the
-  // in-process engine's back-to-back duplicate posting).
-  std::vector<fl::ClientUpdateMessage> collected;
-  collected.reserve(round_updates_.size());
-  for (const auto id : round_order_) {
-    bool any = false;
-    for (auto& pending : round_updates_) {
-      if (pending.client_id == id) {
-        collected.push_back(std::move(pending.msg));
-        any = true;
+  // Seal the round: fold the accepted updates past the frontier in the
+  // deterministic round order (duplicate deliveries stay adjacent, exactly
+  // like the in-process engine's back-to-back duplicate posting). The
+  // prefix up to fold_frontier_ is already in the accumulator — and, with a
+  // checkpoint manager, already durable.
+  for (std::size_t i = fold_frontier_; i < round_order_.size(); ++i) {
+    const std::uint64_t id = round_order_[i];
+    const auto it = accepted_pending_.find(id);
+    if (it != accepted_pending_.end()) {
+      for (auto& msg : it->second) {
+        agg_.add(msg);
+        folded_inner_.push_back(msg.client_id);
+        ++round_accepted_;
+        ++accepts_since_ckpt_;
+        fire_event(Event::kUpdateAccepted);
       }
+      accepted_pending_.erase(it);
     }
-    if (!any) stragglers_c.add(1);
+    if (round_delivered_.count(id) == 0) stragglers_c.add(1);
   }
+  fold_frontier_ = round_order_.size();
 
   const index_t needed =
       fl::quorum_needed(config_.quorum_fraction, round_order_.size());
-  tensor::ByteBuffer snapshot;
-  if (needed > 0) snapshot = nn::serialize_state(core_.global_model());
   bool committed = true;
-  try {
-    core_.finish_round(collected, needed);
-  } catch (const QuorumError&) {
-    // Same contract as fl::Simulation::run_round: restore the pre-round
-    // snapshot so the abort is bit-exact even under subclass bookkeeping.
-    nn::deserialize_state(core_.global_model(), snapshot);
+  if (round_accepted_ < static_cast<std::uint64_t>(needed)) {
+    // Quorum shortfall. The aggregate only ever lived in the accumulator,
+    // so the abort needs no model rollback — dropping the round state IS
+    // the rollback (the shard engine's contract).
     aborted_c.add(1);
     committed = false;
+  } else if (round_accepted_ == 0) {
+    core_.commit_skipped_round();
+  } else {
+    core_.commit_round(agg_.average());
   }
   if (committed) {
     committed_c.add(1);
@@ -425,6 +664,23 @@ void FlServer::cutover(std::uint64_t now) {
   latency_h.record(latency);
 
   const RoundResult result{round_id_, committed};
+  round_open_ = false;
+  round_order_.clear();
+  round_delivered_.clear();
+  accepted_pending_.clear();
+  agg_.reset();
+  folded_inner_.clear();
+  fold_frontier_ = 0;
+  round_accepted_ = 0;
+  screen_ = fl::UpdateScreen{};
+
+  // Boundary durability: the committed model reaches disk BEFORE any client
+  // learns the outcome, so a crash in the commit→ack window restores to the
+  // new round and reconnecting clients resolve their (now expired) in-flight
+  // updates via the resume handshake — acknowledged progress is never lost.
+  if (config_.checkpoint != nullptr) save_checkpoint();
+  fire_event(Event::kPreResultSend);
+
   for (auto& conn : conns_) {
     if (!conn.sock.valid()) continue;
     if (conn.state == Conn::State::kInRound ||
@@ -434,9 +690,6 @@ void FlServer::cutover(std::uint64_t now) {
       send_frame(conn, encode_round_result(result));
     }
   }
-  round_open_ = false;
-  round_order_.clear();
-  round_updates_.clear();
   next_admission_ms_ = now + config_.admission_window_ms;
   if (served_ >= config_.rounds) finish_serving();
 }
@@ -448,6 +701,216 @@ void FlServer::finish_serving() {
     if (!conn.sock.valid()) continue;
     send_frame(conn, encode_goodbye());
     conn.close_after_flush = true;
+  }
+}
+
+// ---- Checkpoint / restore (DESIGN.md §5j) -----------------------------------
+
+std::uint64_t FlServer::checkpoint_generation() const {
+  return round_open_ ? round_id_ * kMaxFoldsPerRound + 1 + fold_frontier_
+                     : core_.round() * kMaxFoldsPerRound;
+}
+
+tensor::ByteBuffer FlServer::encode_checkpoint() {
+  ckpt::SnapshotBuilder builder;
+  {
+    ckpt::SectionWriter meta;
+    meta.u64(core_.round());
+    meta.u64(served_);
+    // Configuration echo: a snapshot only fits the federation it came from.
+    meta.u64(config_.cohort_size);
+    meta.u64(config_.rounds);
+    meta.f64(static_cast<double>(config_.quorum_fraction));
+    meta.u8(selection_ ? 1 : 0);
+    meta.u8(round_open_ ? 1 : 0);
+    if (round_open_) {
+      meta.u64(round_id_);
+      meta.u64(round_order_.size());
+      for (const auto id : round_order_) meta.u64(id);
+      meta.u64(fold_frontier_);
+      meta.u64(round_accepted_);
+      // FOLDED inner ids only (the duplicate screen's id space) — sorted so
+      // identical state always produces identical snapshot bytes. Updates
+      // screened-accepted but still parked behind the fold frontier are NOT
+      // recorded: they are absent from the serialized partials, so after a
+      // restore their senders must be able to resend without the duplicate
+      // screen bouncing them.
+      std::vector<std::uint64_t> folded = folded_inner_;
+      std::sort(folded.begin(), folded.end());
+      meta.u64(folded.size());
+      for (const auto id : folded) meta.u64(id);
+    }
+    builder.add("nmeta", meta.take());
+  }
+  builder.add("model", nn::serialize_state(core_.global_model()));
+  if (selection_) {
+    ckpt::SectionWriter rng;
+    write_rng_state(rng, selection_->state());
+    builder.add("nrng", rng.take());
+  }
+  if (round_open_) {
+    ckpt::SectionWriter agg;
+    agg.u64(agg_.count());
+    agg.f64(static_cast<double>(agg_.total_weight()));
+    agg.bytes(tensor::serialize_tensors(agg_.partials()));
+    builder.add("agg", agg.take());
+  }
+  return builder.finish();
+}
+
+void FlServer::apply_snapshot(const ckpt::Snapshot& snap) {
+  using Reason = CheckpointError::Reason;
+
+  // Decode and cross-check EVERYTHING before the first mutation, so a
+  // snapshot from the wrong federation (or a malformed section) leaves the
+  // live server exactly as it was.
+  ckpt::SectionReader meta(snap.section("nmeta"), "nmeta");
+  const std::uint64_t round = meta.u64();
+  const std::uint64_t served = meta.u64();
+  const std::uint64_t cohort_cfg = meta.u64();
+  const std::uint64_t rounds_cfg = meta.u64();
+  const double quorum = meta.f64();
+  const bool has_selection = meta.u8() != 0;
+  const bool mid = meta.u8() != 0;
+  std::uint64_t round_id = 0, frontier = 0, accepted_count = 0;
+  std::vector<std::uint64_t> order;
+  std::vector<std::uint64_t> accepted_ids;
+  if (mid) {
+    round_id = meta.u64();
+    const std::uint64_t n = meta.u64();
+    order.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) order.push_back(meta.u64());
+    frontier = meta.u64();
+    accepted_count = meta.u64();
+    const std::uint64_t na = meta.u64();
+    accepted_ids.reserve(na);
+    for (std::uint64_t i = 0; i < na; ++i) accepted_ids.push_back(meta.u64());
+  }
+  meta.expect_end();
+  if (cohort_cfg != config_.cohort_size || rounds_cfg != config_.rounds ||
+      quorum != static_cast<double>(config_.quorum_fraction) ||
+      has_selection != selection_.has_value()) {
+    throw CheckpointError(
+        Reason::kStateMismatch,
+        "snapshot belongs to a differently configured federation (cohort " +
+            std::to_string(cohort_cfg) + ", " + std::to_string(rounds_cfg) +
+            " rounds)");
+  }
+  if (mid && (frontier > order.size() || round_id != round)) {
+    throw CheckpointError(Reason::kStateMismatch,
+                          "mid-round snapshot progress is inconsistent "
+                          "(frontier " +
+                              std::to_string(frontier) + " of " +
+                              std::to_string(order.size()) + " members)");
+  }
+
+  common::Rng::State sel_state{};
+  if (has_selection) {
+    ckpt::SectionReader rng(snap.section("nrng"), "nrng");
+    sel_state = read_rng_state(rng);
+    rng.expect_end();
+  }
+
+  std::vector<tensor::Tensor> partials;
+  std::uint64_t acc_count = 0;
+  double acc_weight = 0.0;
+  if (mid) {
+    ckpt::SectionReader agg(snap.section("agg"), "agg");
+    acc_count = agg.u64();
+    acc_weight = agg.f64();
+    const ckpt::ByteBuffer partial_bytes = agg.bytes();
+    agg.expect_end();
+    try {
+      partials = tensor::deserialize_tensors(partial_bytes);
+    } catch (const Error& e) {
+      throw CheckpointError(
+          Reason::kMalformedSection,
+          std::string("accumulator partials failed to decode: ") + e.what());
+    }
+  }
+
+  const tensor::ByteBuffer& model_bytes = snap.section("model");
+
+  // Apply. The model payload passed its section CRC, so a failure to load is
+  // an architecture mismatch, not disk damage.
+  try {
+    nn::deserialize_state(core_.global_model(), model_bytes);
+  } catch (const Error& e) {
+    throw CheckpointError(Reason::kStateMismatch,
+                          std::string("model state does not fit the live "
+                                      "architecture: ") +
+                              e.what());
+  }
+  core_.restore_round(round);
+  served_ = served;
+  if (has_selection) selection_->set_state(sel_state);
+  accepted_pending_.clear();
+  accepts_since_ckpt_ = 0;
+  if (mid) {
+    round_open_ = true;
+    round_id_ = round_id;
+    round_order_ = std::move(order);
+    fold_frontier_ = frontier;
+    round_accepted_ = accepted_count;
+    // The accepted-client set: the folded prefix of the round order (wire
+    // ids, drives completion) plus the folded inner ids (feeds the
+    // duplicate screen, so a resend of a folded update is rejected — no
+    // double count — while unfolded members resend freely).
+    round_delivered_.clear();
+    for (std::size_t i = 0; i < fold_frontier_; ++i) {
+      round_delivered_.insert(round_order_[i]);
+    }
+    screen_ = core_.begin_screen();
+    for (const auto id : accepted_ids) screen_.seen_ids.insert(id);
+    folded_inner_ = std::move(accepted_ids);
+    agg_.restore(std::move(partials), static_cast<real>(acc_weight),
+                 acc_count);
+    // Re-arm the collection deadline from restore time and rebuild the
+    // dispatch (begin_round is pure: round id + current model bytes) so
+    // resumed members that never trained can be re-dispatched.
+    const std::uint64_t now = now_();
+    round_started_ms_ = now;
+    round_deadline_ms_ = now + config_.round_timeout_ms;
+    core_.begin_round();
+  } else {
+    round_open_ = false;
+    round_order_.clear();
+    round_delivered_.clear();
+    agg_.reset();
+    folded_inner_.clear();
+    fold_frontier_ = 0;
+    round_accepted_ = 0;
+    screen_ = fl::UpdateScreen{};
+  }
+}
+
+std::uint64_t FlServer::resume_from() {
+  OASIS_CHECK_MSG(config_.checkpoint != nullptr,
+                  "resume_from() requires a checkpoint manager");
+  static obs::Counter& restored = obs::counter("net.ckpt.restored");
+  const auto loaded = config_.checkpoint->load_latest_valid();
+  apply_snapshot(loaded.snapshot);
+  restored.add(1);
+  return core_.round();
+}
+
+void FlServer::save_checkpoint() {
+  if (config_.checkpoint == nullptr) return;
+  static obs::Counter& saved = obs::counter("net.ckpt.saved");
+  static obs::Counter& degraded = obs::counter("net.ckpt.degraded");
+  try {
+    config_.checkpoint->save(checkpoint_generation(), encode_checkpoint());
+    saved.add(1);
+    accepts_since_ckpt_ = 0;
+    ckpt_degraded_ = false;
+    fire_event(Event::kCheckpointSaved);
+  } catch (const Error&) {
+    // Graceful degradation: the round proceeds in memory; a later boundary
+    // (or K-accept cadence point) tries the disk again. The counter — and
+    // checkpoint_degraded() — make the lost durability observable.
+    degraded.add(1);
+    ckpt_degraded_ = true;
+    accepts_since_ckpt_ = 0;
   }
 }
 
@@ -481,6 +944,7 @@ bool FlServer::step(int timeout_ms) {
     if (conn.sock.valid()) pump_write(conn);
   }
   enforce_deadlines(now);
+  send_heartbeats(now);
   maybe_finish_round(now);
   maybe_start_round(now);
 

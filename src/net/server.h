@@ -9,7 +9,7 @@
 //
 // Connection lifecycle:
 //
-//   accept → kHandshake (await hello) → kParked (admitted, awaiting a round)
+//   accept → kHandshake (await hello/resume) → kParked (awaiting a round)
 //          → kInRound (model dispatched, awaiting update) → kReplied
 //          → back to kParked after cutover … → kClosing (drain outbox)
 //
@@ -24,23 +24,38 @@
 //
 // Round cutover is graceful: once the cohort is dispatched, the server
 // accepts in-flight updates until everyone replied or the round deadline
-// expires, then aggregates in a deterministic order and notifies every
-// surviving participant before admitting the next cohort.
+// expires, then commits the streamed aggregate and notifies every surviving
+// participant before admitting the next cohort.
+//
+// Survivability (DESIGN.md §5j): accepted updates are screened on arrival
+// and folded into a streaming FedAvgAccumulator in the deterministic round
+// order; with a ckpt::CheckpointManager configured, the fold frontier is
+// checkpointed at round boundaries plus every K accepts, and resume_from()
+// reinstates the round ticket, accumulator partials, and accepted-client
+// set, after which the server re-binds the same port and reconnecting
+// clients resolve their in-flight updates via the kResume handshake. A
+// SIGKILL therefore loses at most the accepts since the last snapshot, and
+// those are re-requested — never double-counted — on resume.
 //
 // Determinism: with `selection` seeded, the aggregation order replays
 // fl::Simulation's cohort permutation (common::Rng::sample_without_
 // replacement over the sorted cohort), so a loopback federation with the
 // same seeds produces a final model byte-identical to the in-process run —
-// the serving path inherits the repo-wide bit-identity contract.
+// the serving path inherits the repo-wide bit-identity contract, and a
+// killed-and-restarted server inherits it too.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "ckpt/manager.h"
 #include "common/rng.h"
+#include "fl/aggregation.h"
 #include "fl/server.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -61,7 +76,8 @@ struct FlServerConfig {
   /// Committed rounds to serve before draining and closing.
   std::uint64_t rounds = 1;
   /// Quorum over the cohort (fl::quorum_needed semantics). An aborted round
-  /// rolls the model back bit-exactly and does not count as served.
+  /// discards the streamed aggregate (the model was never touched) and does
+  /// not count as served.
   real quorum_fraction = 0.0;
   /// When set, replay fl::Simulation's per-round cohort permutation from
   /// this seed (requires every participant id in [0, cohort_size), i.e. the
@@ -78,6 +94,10 @@ struct FlServerConfig {
   std::uint64_t admission_window_ms = 0;
   /// Backoff hint carried by the retry-after frame.
   std::uint64_t retry_after_ms = 50;
+  /// Interval between server-sent kHeartbeat frames to handshaked
+  /// connections (keeps client idle deadlines from tripping during long
+  /// aggregation stalls). 0 = no heartbeats.
+  std::uint64_t heartbeat_ms = 0;
   /// Hard ceiling on one frame body (see FrameDecoder).
   std::size_t max_frame_bytes = kDefaultMaxBodyBytes;
   /// Max bytes drained from one connection per step (fairness bound).
@@ -86,10 +106,32 @@ struct FlServerConfig {
   index_t max_connections = 64;
   /// Handshaked clients parked awaiting a round; 0 → 2 × cohort_size.
   index_t max_parked = 0;
+  /// When set, round state (model, fold frontier, accumulator partials,
+  /// accepted-client set) is checkpointed at every round boundary plus
+  /// every `checkpoint_every_accepts` folded updates. The manager must
+  /// outlive the server. A failing save degrades to in-memory operation
+  /// (net.ckpt.degraded) instead of aborting the round.
+  ckpt::CheckpointManager* checkpoint = nullptr;
+  /// Mid-round snapshot cadence in folded accepts; 0 = boundaries only.
+  /// A crash loses at most this many folded accepts of progress — they are
+  /// re-requested from their senders via session resume, never recomputed
+  /// into a different fold order.
+  std::uint64_t checkpoint_every_accepts = 0;
 };
 
 class FlServer {
  public:
+  /// Progress events the chaos harness arms its kill points on. Fired
+  /// synchronously from inside the event loop; a production server never
+  /// installs a hook.
+  enum class Event : std::uint8_t {
+    kUpdateAccepted,   // one accepted update folded into the accumulator
+    kMidFrame,         // read pass left a partial frame buffered
+    kCheckpointSaved,  // a snapshot reached disk
+    kPreResultSend,    // round committed (+ checkpointed), results not yet sent
+  };
+  using EventHook = std::function<void(Event)>;
+
   /// `core` must outlive the FlServer. `now` defaults to the steady clock.
   FlServer(fl::Server& core, FlServerConfig config, TimeSource now = {});
   ~FlServer();
@@ -98,10 +140,25 @@ class FlServer {
   FlServer& operator=(const FlServer&) = delete;
 
   /// Binds and listens (numeric IPv4 host; port 0 → ephemeral, see port()).
+  /// With a checkpoint manager configured and no snapshot on disk yet, a
+  /// generation-0 boundary snapshot is written so a crash at any later point
+  /// always has something to restore.
   void listen(const std::string& host, std::uint16_t port);
 
   /// The bound port (resolves an ephemeral bind).
   [[nodiscard]] std::uint16_t port() const;
+
+  /// Restores the newest valid snapshot from the configured checkpoint
+  /// manager: model bytes, protocol round, served-round count, and — for a
+  /// mid-round snapshot — the round ticket, cohort order, fold frontier,
+  /// accumulator partials, and accepted-client set. Call before listen();
+  /// reconnecting cohort members are re-dispatched the open round and
+  /// already-folded members are told kAccepted instead of re-collected.
+  /// Throws CheckpointError (kNoValidGeneration when the directory holds no
+  /// loadable snapshot; kStateMismatch when the snapshot belongs to a
+  /// differently configured federation). Returns the restored protocol
+  /// round.
+  std::uint64_t resume_from();
 
   /// One event-loop iteration: poll up to `timeout_ms`, pump socket IO,
   /// enforce deadlines, start/finish rounds. Returns false once the serving
@@ -126,6 +183,13 @@ class FlServer {
   /// Live connections (tests).
   [[nodiscard]] index_t connection_count() const;
 
+  /// True once a checkpoint save has failed and the server fell back to
+  /// in-memory operation (the net.ckpt.degraded counter tracks attempts).
+  [[nodiscard]] bool checkpoint_degraded() const { return ckpt_degraded_; }
+
+  /// Installs the chaos harness's kill-point hook (tests only).
+  void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
+
   fl::Server& core() { return core_; }
 
  private:
@@ -136,7 +200,10 @@ class FlServer {
   void pump_write(Conn& conn);
   void handle_frame(Conn& conn, Frame frame, std::uint64_t now);
   void handle_hello(Conn& conn, const Hello& hello, std::uint64_t now);
+  void handle_resume(Conn& conn, const Resume& resume, std::uint64_t now);
+  void handle_update(Conn& conn, const Frame& frame);
   void enforce_deadlines(std::uint64_t now);
+  void send_heartbeats(std::uint64_t now);
   void maybe_start_round(std::uint64_t now);
   void maybe_finish_round(std::uint64_t now);
   void cutover(std::uint64_t now);
@@ -145,32 +212,68 @@ class FlServer {
   void finish_serving();
   [[nodiscard]] index_t parked_count() const;
   [[nodiscard]] index_t max_parked() const;
+  [[nodiscard]] bool duplicate_live_id(const Conn& conn,
+                                       std::uint64_t client_id) const;
 
-  /// An update collected for the open round, keyed by the WIRE-level client
-  /// id (the connection that delivered it) so cutover can assemble the
-  /// deterministic aggregation order even after the sender disconnected.
-  struct PendingUpdate {
-    std::uint64_t client_id;
-    fl::ClientUpdateMessage msg;
-  };
+  // --- Durable fold (DESIGN.md §5j) ---------------------------------------
+  /// Folds accepted updates into the accumulator while the next cohort
+  /// member in round order has delivered one — the "fold frontier". Folding
+  /// strictly in round order (never arrival order) is what keeps the
+  /// streamed aggregate byte-identical to the batch cutover fold, and what
+  /// makes a mid-round snapshot's accepted set a simple order prefix.
+  void fold_ready();
+  /// Snapshot of the complete serving state (model, round ticket, fold
+  /// frontier, accumulator partials, accepted ids, selection RNG).
+  [[nodiscard]] tensor::ByteBuffer encode_checkpoint();
+  void apply_snapshot(const ckpt::Snapshot& snap);
+  [[nodiscard]] std::uint64_t checkpoint_generation() const;
+  /// Attempts a durable save; a filesystem failure tallies
+  /// net.ckpt.degraded and leaves the server running in-memory.
+  void save_checkpoint();
+  void fire_event(Event event);
 
   fl::Server& core_;
   FlServerConfig config_;
   TimeSource now_;
   Socket listener_;
+  std::string host_;
   std::uint16_t port_ = 0;
   std::vector<Conn> conns_;
   std::optional<common::Rng> selection_;
   bool round_open_ = false;
   std::uint64_t round_id_ = 0;             // protocol round being collected
   std::vector<std::uint64_t> round_order_; // cohort ids, aggregation order
-  std::vector<PendingUpdate> round_updates_;  // arrival order
+  /// Wire ids that delivered an update this round (any verdict). The round
+  /// completes when this covers round_order_; restored from a snapshot as
+  /// the folded prefix so a crash re-collects exactly the unfolded tail.
+  std::unordered_set<std::uint64_t> round_delivered_;
+  /// Accepted updates awaiting their fold-order slot, keyed by wire id.
+  /// A vector per id keeps tolerated duplicate deliveries adjacent, exactly
+  /// like the batch path's assembled order.
+  std::unordered_map<std::uint64_t, std::vector<fl::ClientUpdateMessage>>
+      accepted_pending_;
+  fl::UpdateScreen screen_;            // streaming validation context
+  fl::FedAvgAccumulator agg_;          // the durable streamed aggregate
+  /// INNER ids of the updates actually folded into agg_ — a strict subset of
+  /// screen_.seen_ids whenever accepted updates are still parked behind the
+  /// fold frontier. Snapshots serialize THIS set, not the screen's: an
+  /// accepted-but-unfolded update is absent from the serialized partials, so
+  /// its sender must be allowed to resend after a restore. Serializing the
+  /// full screen set would make the duplicate screen reject that resend and
+  /// silently shrink the round's aggregate.
+  std::vector<std::uint64_t> folded_inner_;
+  std::size_t fold_frontier_ = 0;      // round_order_ prefix already folded
+  std::uint64_t round_accepted_ = 0;   // accepted updates folded this round
+  std::uint64_t accepts_since_ckpt_ = 0;
+  bool ckpt_degraded_ = false;
   std::uint64_t round_deadline_ms_ = 0;
   std::uint64_t round_started_ms_ = 0;
   std::uint64_t next_admission_ms_ = 0;
+  std::uint64_t next_heartbeat_ms_ = 0;
   std::uint64_t served_ = 0;
   bool goodbye_sent_ = false;
   std::vector<double> latencies_ms_;
+  EventHook event_hook_;
 };
 
 }  // namespace oasis::net

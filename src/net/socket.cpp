@@ -12,8 +12,27 @@
 
 #include "net/error.h"
 
+// SIGPIPE discipline: writing into a peer-closed socket must surface as a
+// typed NetError{kIo}, never as process death. Linux suppresses the signal
+// per-send via MSG_NOSIGNAL; BSD/macOS lack that flag but offer the
+// per-socket SO_NOSIGPIPE option. Cover both: define the flag away where it
+// does not exist and arm the socket option where it does, so every
+// write_some() path is signal-free on either platform.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace oasis::net {
 namespace {
+
+void set_no_sigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
 
 [[noreturn]] void throw_io(const std::string& op) {
   const int err = errno;
@@ -92,6 +111,7 @@ Socket tcp_connect(const std::string& host, std::uint16_t port) {
   if (rc < 0) throw_io("connect " + host + ":" + std::to_string(port));
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_no_sigpipe(sock.fd());
   set_nonblocking(sock.fd());
   return sock;
 }
@@ -110,6 +130,7 @@ Socket tcp_accept(const Socket& listener) {
   Socket sock(fd);
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_no_sigpipe(sock.fd());
   set_nonblocking(sock.fd());
   return sock;
 }

@@ -9,10 +9,13 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "ckpt/manager.h"
 #include "common/error.h"
 #include "data/synthetic.h"
 #include "fl/simulation.h"
@@ -563,6 +566,503 @@ TEST(NetMultiProcess, ForkedFederationMatchesSimulationBitExactly) {
   const auto got = nn::serialize_state(core.global_model());
   EXPECT_EQ(got, want)
       << "multi-process serving must replay the simulation bit-exactly";
+}
+
+// --- Survivable serving (DESIGN.md §5j) -------------------------------------
+
+TEST(Frame, ResumeVocabularyRoundTrips) {
+  {
+    const auto bytes =
+        encode_resume(Resume{/*client_id=*/17, /*last_round=*/4,
+                             /*has_update=*/true, /*update_round=*/3});
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    const auto f = d.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::kResume);
+    const Resume back = decode_resume(f->body);
+    EXPECT_EQ(back.client_id, 17u);
+    EXPECT_EQ(back.last_round, 4u);
+    EXPECT_TRUE(back.has_update);
+    EXPECT_EQ(back.update_round, 3u);
+  }
+  for (const auto status :
+       {ResumeStatus::kNone, ResumeStatus::kPending, ResumeStatus::kAccepted,
+        ResumeStatus::kExpired}) {
+    const auto bytes = encode_resume_ack(ResumeAck{8, status});
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    const ResumeAck back = decode_resume_ack(d.next()->body);
+    EXPECT_EQ(back.round, 8u);
+    EXPECT_EQ(back.status, status);
+  }
+  {
+    const auto bytes = encode_heartbeat();
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    EXPECT_EQ(d.next()->type, FrameType::kHeartbeat);
+  }
+  {
+    const auto bytes = encode_version_reject(VersionReject{kProtocolVersion});
+    FrameDecoder d;
+    d.feed(bytes.data(), bytes.size());
+    EXPECT_EQ(decode_version_reject(d.next()->body).supported_version,
+              kProtocolVersion);
+  }
+  {
+    // A resume from a future protocol dialect is a typed version error.
+    auto bad_version = encode_resume(Resume{1, 0, false, 0});
+    bad_version[kFrameHeaderBytes + 4] ^= 0xFF;
+    FrameDecoder d;
+    d.feed(bad_version.data(), bad_version.size());
+    try {
+      (void)decode_resume(d.next()->body);
+      FAIL() << "bad resume version must throw";
+    } catch (const NetError& e) {
+      EXPECT_EQ(e.reason(), NetError::Reason::kBadVersion);
+    }
+  }
+}
+
+TEST(FrameFuzz, ResumeVocabularySurvivesTruncationAndBitFlips) {
+  // The §5j frames join the same decoder sweep contract as the original
+  // vocabulary: every prefix waits cleanly, every seeded single-bit flip is
+  // either a clean decode or a typed error — never a crash (ASan enforces).
+  const std::vector<tensor::ByteBuffer> frames = {
+      encode_resume(Resume{17, 4, true, 3}),
+      encode_resume_ack(ResumeAck{8, ResumeStatus::kPending}),
+      encode_heartbeat(),
+      encode_version_reject(VersionReject{kProtocolVersion}),
+  };
+  for (const auto& frame : frames) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      FrameDecoder d;
+      d.feed(frame.data(), len);
+      EXPECT_FALSE(d.next().has_value()) << "prefix length " << len;
+      EXPECT_EQ(d.mid_frame(), len > 0) << "prefix length " << len;
+    }
+  }
+  common::Rng rng(0x5E55107);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto damaged = frames[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frames.size()) - 1))];
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(damaged.size()) - 1));
+    damaged[pos] ^= static_cast<std::uint8_t>(
+        1u << static_cast<int>(rng.uniform_int(0, 7)));
+    try {
+      FrameDecoder d;
+      d.feed(damaged.data(), damaged.size());
+      while (auto f = d.next()) {
+        switch (f->type) {
+          case FrameType::kResume:
+            (void)decode_resume(f->body);
+            break;
+          case FrameType::kResumeAck:
+            // Also covers the out-of-range status byte rejection.
+            (void)decode_resume_ack(f->body);
+            break;
+          case FrameType::kVersionReject:
+            (void)decode_version_reject(f->body);
+            break;
+          default:
+            break;
+        }
+      }
+    } catch (const Error&) {
+      // Typed rejection is a pass.
+    }
+  }
+}
+
+// Satellite: every send path must surface a peer-closed socket as a typed
+// NetError{kIo}, never as SIGPIPE process death (MSG_NOSIGNAL/SO_NOSIGPIPE
+// audit of src/net/socket.cpp). The test IS the act of surviving the write.
+TEST(NetSocket, WriteIntoPeerClosedSocketIsTypedErrorNotSigpipe) {
+  Socket listener = tcp_listen("127.0.0.1", 0);
+  const std::uint16_t port = local_port(listener);
+  Socket writer = tcp_connect("127.0.0.1", port);
+  Socket reader;
+  for (int i = 0; i < 1000 && !reader.valid(); ++i) {
+    reader = tcp_accept(listener);
+  }
+  ASSERT_TRUE(reader.valid());
+  reader.close();  // peer is gone; the writer does not know yet
+
+  // First writes land in kernel buffers; keep pushing until the RST turns
+  // into EPIPE/ECONNRESET. Unhandled SIGPIPE would kill the process here.
+  std::vector<std::uint8_t> chunk(64 * 1024, 0xAB);
+  bool threw = false;
+  for (int i = 0; i < 10000 && !threw; ++i) {
+    try {
+      (void)write_some(writer, chunk.data(), chunk.size());
+    } catch (const NetError& e) {
+      EXPECT_EQ(e.reason(), NetError::Reason::kIo);
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw) << "peer-closed write never surfaced an error";
+}
+
+// Satellite: version negotiation. An unknown protocol version in the opening
+// handshake is answered with a typed kVersionReject frame carrying the
+// server's supported version, then an orderly close — not a silent drop.
+TEST(NetServer, UnknownHelloVersionGetsRejectFrameThenClose) {
+  fl::Server core(tiny_factory(88)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = 1;
+  cfg.rounds = 1;
+  std::uint64_t t = 0;
+  FlServer server(core, cfg, [&t] { return t; });
+  server.listen("127.0.0.1", 0);
+
+  const std::uint64_t rejected_before = counter_value("net.version.rejected");
+  Socket probe = tcp_connect("127.0.0.1", server.port());
+  auto hello = encode_hello(Hello{3});
+  hello[kFrameHeaderBytes + 4] ^= 0xFF;  // bump the version field
+  ASSERT_EQ(write_some(probe, hello.data(), hello.size()),
+            static_cast<long>(hello.size()));
+
+  FrameDecoder d;
+  std::uint8_t buf[4096];
+  bool closed = false;
+  std::vector<Frame> got;
+  for (int i = 0; i < 2000 && !closed; ++i) {
+    server.step(0);
+    ++t;
+    const long n = read_some(probe, buf, sizeof(buf));
+    if (n < 0) {
+      closed = true;
+    } else if (n > 0) {
+      d.feed(buf, static_cast<std::size_t>(n));
+      while (auto f = d.next()) got.push_back(std::move(*f));
+    }
+  }
+  ASSERT_TRUE(closed) << "server must close after the reject";
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].type, FrameType::kVersionReject);
+  EXPECT_EQ(decode_version_reject(got[0].body).supported_version,
+            kProtocolVersion);
+  EXPECT_EQ(counter_value("net.version.rejected"), rejected_before + 1);
+}
+
+TEST(NetClient, VersionRejectFromServerIsFatalNotRetried) {
+  Socket listener = tcp_listen("127.0.0.1", 0);
+  const std::uint16_t port = local_port(listener);
+
+  auto core = make_client(0);
+  FlClientConfig ccfg;
+  ccfg.client_id = 0;
+  std::uint64_t t = 0;
+  FlClient client(*core, ccfg, [&t] { return t; });
+  client.connect("127.0.0.1", port);
+
+  Socket conn;
+  bool threw = false;
+  for (int i = 0; i < 5000 && !threw; ++i) {
+    if (!conn.valid()) {
+      conn = tcp_accept(listener);
+      if (conn.valid()) {
+        const auto reject =
+            encode_version_reject(VersionReject{kProtocolVersion});
+        ASSERT_EQ(write_some(conn, reject.data(), reject.size()),
+                  static_cast<long>(reject.size()));
+      }
+    }
+    try {
+      client.step(0);
+    } catch (const NetError& e) {
+      EXPECT_EQ(e.reason(), NetError::Reason::kBadVersion);
+      threw = true;
+    }
+    ++t;
+  }
+  EXPECT_TRUE(threw) << "client must treat kVersionReject as fatal";
+}
+
+// Satellite: liveness. A dead-but-open socket (connected, never a byte) must
+// trip the client's no-progress deadline into a reconnect, not a hang.
+TEST(NetClient, StalledServerTripsIdleDeadlineIntoReconnect) {
+  Socket listener = tcp_listen("127.0.0.1", 0);  // accepts; never speaks
+  const std::uint16_t port = local_port(listener);
+
+  auto core = make_client(0);
+  FlClientConfig ccfg;
+  ccfg.client_id = 0;
+  ccfg.io_timeout_ms = 40;
+  ccfg.backoff_ms = 5;
+  std::uint64_t t = 0;
+  FlClient client(*core, ccfg, [&t] { return t; });
+  client.connect("127.0.0.1", port);
+  for (int i = 0; i < 600; ++i) {
+    (void)tcp_accept(listener);  // drain the backlog, say nothing
+    client.step(0);
+    t += 10;
+    if (client.retries() >= 2) break;
+  }
+  EXPECT_GE(client.retries(), 2u)
+      << "a silent endpoint must be abandoned and redialed";
+}
+
+// Satellite: the inverse — a slow but ALIVE server heartbeats, so the same
+// idle deadline never fires and the session stays up with zero reconnects.
+TEST(NetClient, HeartbeatingServerHoldsSessionWithoutReconnect) {
+  fl::Server core(tiny_factory(99)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = 2;  // one parked client cannot start a round: a stall
+  cfg.rounds = 1;
+  cfg.heartbeat_ms = 10;
+  std::uint64_t t = 0;
+  const TimeSource clock = [&t] { return t; };
+  FlServer server(core, cfg, clock);
+  server.listen("127.0.0.1", 0);
+
+  auto core0 = make_client(0);
+  FlClientConfig ccfg;
+  ccfg.client_id = 0;
+  ccfg.io_timeout_ms = 40;   // << the 1000 ms stall below
+  ccfg.heartbeat_ms = 10;    // and the client heartbeats back
+  FlClient parked(*core0, ccfg, clock);
+  parked.connect("127.0.0.1", server.port());
+
+  const std::uint64_t hb_in_before = counter_value("net.heartbeat.received");
+  for (int i = 0; i < 1000; ++i) {  // a 1000 ms round-less stall
+    server.step(0);
+    parked.step(0);
+    ++t;
+  }
+  EXPECT_EQ(parked.retries(), 0u)
+      << "heartbeats must keep the idle deadline from tripping";
+  // ...and the client's own heartbeats reached the server (liveness is
+  // symmetric: the server's idle deadline tolerates client stalls too).
+  EXPECT_GT(counter_value("net.heartbeat.received"), hb_in_before);
+
+  // The stalled federation is still fully operational: seat a second client
+  // and the round completes.
+  auto core1 = make_client(1);
+  FlClientConfig ccfg1;
+  ccfg1.client_id = 1;
+  FlClient second(*core1, ccfg1, clock);
+  second.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(drive_loopback(server, {&parked, &second}, t));
+  EXPECT_EQ(parked.rounds_completed(), 1u);
+  EXPECT_EQ(second.rounds_completed(), 1u);
+}
+
+// Satellite: the reconnect schedule is exponential, capped, and — jittered or
+// not — a pure function of (config, client id, attempt): replayable.
+TEST(NetClient, BackoffScheduleIsExponentialCappedAndReproducible) {
+  // A port with nothing behind it: bind, read the number, release it.
+  std::uint16_t dead_port = 0;
+  {
+    Socket probe = tcp_listen("127.0.0.1", 0);
+    dead_port = local_port(probe);
+  }
+
+  const auto exhaust = [&](std::optional<std::uint64_t> jitter_seed,
+                           std::uint64_t id) {
+    auto core = make_client(id);
+    FlClientConfig ccfg;
+    ccfg.client_id = id;
+    ccfg.max_attempts = 6;
+    ccfg.backoff_ms = 4;
+    ccfg.backoff_max_ms = 32;
+    ccfg.jitter_seed = jitter_seed;
+    std::uint64_t t = 0;
+    FlClient client(*core, ccfg, [&t] { return t; });
+    client.connect("127.0.0.1", dead_port);
+    for (int i = 0; i < 1000; ++i) {
+      try {
+        client.step(0);
+      } catch (const NetError& e) {
+        EXPECT_EQ(e.reason(), NetError::Reason::kRetryExhausted);
+        return client.backoff_ms_total();
+      }
+      t += 100;  // jump past any scheduled wait
+    }
+    ADD_FAILURE() << "retry budget never exhausted";
+    return std::uint64_t{0};
+  };
+
+  // No jitter: waits are exactly 4, 8, 16, 32(cap), 32(cap) = 92 ms.
+  EXPECT_EQ(exhaust(std::nullopt, 0), 92u);
+  // Jitter adds at most wait/2 per attempt and is replayable per (seed, id).
+  const std::uint64_t jittered = exhaust(0xD15C0, 0);
+  EXPECT_GE(jittered, 92u);
+  EXPECT_LE(jittered, 92u + 46u);
+  EXPECT_EQ(exhaust(0xD15C0, 0), jittered);
+}
+
+// Satellite: checkpoint-write failure degrades to in-memory serving — the
+// round completes bit-exactly, the loss of durability is observable, the
+// process never aborts.
+TEST(NetServer, CheckpointWriteFailureDegradesToInMemory) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "oasis_net_degraded";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const std::string blocker = (root / "notadir").string();
+  {
+    std::ofstream out(blocker);  // a FILE where the manager wants a directory
+    out << "x";
+  }
+
+  fl::Server ref(tiny_factory(111)(), /*learning_rate=*/0.1);
+  auto ref_client = make_client(0);
+  {
+    const fl::GlobalModelMessage msg = ref.begin_round();
+    std::vector<fl::ClientUpdateMessage> updates;
+    updates.push_back(ref_client->handle_round(msg));
+    ref.finish_round(updates, 0);
+  }
+  const auto want = nn::serialize_state(ref.global_model());
+
+  ckpt::CheckpointManager manager(blocker, /*keep=*/2);
+  fl::Server core(tiny_factory(111)(), /*learning_rate=*/0.1);
+  FlServerConfig cfg;
+  cfg.cohort_size = 1;
+  cfg.rounds = 1;
+  cfg.checkpoint = &manager;
+  cfg.checkpoint_every_accepts = 1;
+  std::uint64_t t = 0;
+  const TimeSource clock = [&t] { return t; };
+  FlServer server(core, cfg, clock);
+  const std::uint64_t degraded_before = counter_value("net.ckpt.degraded");
+  server.listen("127.0.0.1", 0);  // even the generation-0 save fails
+
+  auto core0 = make_client(0);
+  FlClientConfig ccfg;
+  ccfg.client_id = 0;
+  FlClient client(*core0, ccfg, clock);
+  client.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(drive_loopback(server, {&client}, t));
+
+  EXPECT_TRUE(server.checkpoint_degraded());
+  EXPECT_GT(counter_value("net.ckpt.degraded"), degraded_before);
+  EXPECT_EQ(nn::serialize_state(core.global_model()), want)
+      << "degraded mode must not perturb the aggregation";
+  fs::remove_all(root);
+}
+
+// Tentpole, deterministically: destroy the server at the first mid-round
+// fold checkpoint — with two further accepted updates still parked behind
+// the fold frontier — rebuild from disk on the same port, and finish the
+// schedule bit-exactly. This is the in-process, virtual-clock twin of the
+// fork/SIGKILL chaos harness (tests/net_chaos_test.cpp), pinning the exact
+// snapshot semantics: only FOLDED updates are in the duplicate screen, so
+// the pending members' cached resends are re-accepted, never bounced.
+TEST(NetRestart, MidRoundRestartWithPendingAcceptsIsBitExact) {
+  namespace fs = std::filesystem;
+  constexpr index_t kClients = 3;
+  constexpr std::uint64_t kRounds = 2;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "oasis_net_restart";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  fl::Server ref(tiny_factory(77)(), /*learning_rate=*/0.1);
+  std::vector<std::unique_ptr<fl::Client>> ref_clients;
+  for (index_t i = 0; i < kClients; ++i) ref_clients.push_back(make_client(i));
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    const fl::GlobalModelMessage msg = ref.begin_round();
+    std::vector<fl::ClientUpdateMessage> updates;
+    for (auto& c : ref_clients) updates.push_back(c->handle_round(msg));
+    ref.finish_round(updates, 0);
+  }
+  const auto want = nn::serialize_state(ref.global_model());
+
+  ckpt::CheckpointManager manager((root / "ckpt").string(), /*keep=*/4);
+  FlServerConfig cfg;
+  cfg.cohort_size = kClients;
+  cfg.rounds = kRounds;
+  cfg.checkpoint = &manager;
+  cfg.checkpoint_every_accepts = 1;
+  std::uint64_t t = 0;
+  const TimeSource clock = [&t] { return t; };
+
+  auto core = std::make_unique<fl::Server>(tiny_factory(77)(),
+                                           /*learning_rate=*/0.1);
+  auto server = std::make_unique<FlServer>(*core, cfg, clock);
+  server->listen("127.0.0.1", 0);
+  const std::uint16_t port = server->port();
+  // Installed AFTER listen so the generation-0 snapshot does not trip it:
+  // the next save is the first mid-round fold checkpoint.
+  struct Kill {};
+  server->set_event_hook([](FlServer::Event e) {
+    if (e == FlServer::Event::kCheckpointSaved) throw Kill{};
+  });
+
+  std::vector<std::unique_ptr<fl::Client>> cores;
+  std::vector<std::unique_ptr<FlClient>> clients;
+  for (index_t i = 0; i < kClients; ++i) {
+    cores.push_back(make_client(i));
+    FlClientConfig ccfg;
+    ccfg.client_id = i;
+    ccfg.backoff_ms = 5;
+    clients.push_back(std::make_unique<FlClient>(*cores[i], ccfg, clock));
+    clients[i]->connect("127.0.0.1", port);
+  }
+
+  // Seat the cohort and dispatch round 0, holding every client back from
+  // reading the model (the MidRoundArrival choreography).
+  const std::uint64_t started_before = counter_value("net.round.started");
+  for (int i = 0; i < 10000; ++i) {
+    server->step(0);
+    if (counter_value("net.round.started") > started_before) break;
+    for (auto& c : clients) c->step(0);
+    ++t;
+  }
+  ASSERT_GT(counter_value("net.round.started"), started_before);
+
+  // Clients 1 and 2 train and deliver FIRST: both are screened-accepted but
+  // parked behind the fold frontier, which waits on client 0.
+  const std::uint64_t updates_before = counter_value("net.update.received");
+  for (int i = 0; i < 10000; ++i) {
+    server->step(0);
+    clients[1]->step(0);
+    clients[2]->step(0);
+    ++t;
+    if (counter_value("net.update.received") >= updates_before + 2) break;
+  }
+  ASSERT_EQ(counter_value("net.update.received"), updates_before + 2);
+
+  // Client 0 delivers; its fold triggers the first checkpoint — and the
+  // "crash", with clients 1 and 2 accepted-but-unfolded.
+  bool killed = false;
+  for (int i = 0; i < 10000 && !killed; ++i) {
+    clients[0]->step(0);
+    try {
+      server->step(0);
+    } catch (const Kill&) {
+      killed = true;
+    }
+    ++t;
+  }
+  ASSERT_TRUE(killed);
+  server.reset();
+  core.reset();
+
+  // Restart: fresh core, state from disk, same port. The restored round is
+  // still round 0, mid-flight.
+  auto core2 = std::make_unique<fl::Server>(tiny_factory(77)(),
+                                            /*learning_rate=*/0.1);
+  FlServer server2(*core2, cfg, clock);
+  EXPECT_EQ(server2.resume_from(), 0u);
+  server2.listen("127.0.0.1", port);
+
+  ASSERT_TRUE(drive_loopback(
+      server2, {clients[0].get(), clients[1].get(), clients[2].get()}, t));
+  EXPECT_EQ(server2.rounds_served(), kRounds);
+  EXPECT_EQ(nn::serialize_state(core2->global_model()), want)
+      << "mid-round restart must preserve bit-identity";
+  // The recovery used the session machinery: everyone resumed, and the two
+  // unfolded members answered from their caches instead of retraining.
+  std::uint64_t resumed = 0;
+  for (const auto& c : clients) resumed += c->sessions_resumed();
+  EXPECT_GE(resumed, 3u);
+  EXPECT_GE(clients[1]->cached_resends() + clients[2]->cached_resends(), 2u);
+  fs::remove_all(root);
 }
 
 }  // namespace

@@ -241,69 +241,105 @@ void run_thread_sweeps(index_t top) {
       bench::ensure_output_dir() + "/micro_kernels_threads.json", sweeps);
 }
 
-// Blocked-vs-naive GEMM sweep: times both kernel families on square
-// multiplies at 1 thread and at the pool size, and writes the table to
-// bench_out/BENCH_gemm.json. This is the acceptance artifact for the
-// kernel layer (DESIGN.md §5f) — the differential tests prove the bits
-// match, this records how much faster the blocked path is.
-void run_gemm_sweep(index_t top) {
+// dtype × ISA × threads GEMM sweep: times the blocked kernel family on
+// square multiplies under every ISA available on this host, for both the
+// double fidelity dtype and the float scale dtype, at 1 thread and the pool
+// size, against the same-dtype naive oracle and the scalar-f64 blocked
+// baseline. The table goes to bench_out/BENCH_gemm.json — the acceptance
+// artifact for the kernel layer (DESIGN.md §5f/§5k): the differential tests
+// prove the bits match, this records how much faster each variant is.
+struct GemmSweepRow {
+  const char* dtype;
+  std::string isa;
+  const char* variant;
+  index_t n, threads;
+  double naive_s, blocked_s, scalar_f64_s;
+};
+
+template <typename T>
+double time_gemm_best(tensor::gemm::Variant v, index_t n, const std::vector<T>& a,
+                      const std::vector<T>& b, std::vector<T>& c, int reps,
+                      bool naive) {
   using Clock = std::chrono::steady_clock;
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::fill(c.begin(), c.end(), T(0));
+    const auto t0 = Clock::now();
+    if (naive) {
+      tensor::gemm::naive(v, n, n, n, a.data(), b.data(), c.data());
+    } else {
+      tensor::gemm::blocked(v, n, n, n, a.data(), b.data(), c.data());
+    }
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+template <typename T>
+void gemm_sweep_dtype(const char* dtype, const std::vector<index_t>& counts,
+                      std::vector<GemmSweepRow>& rows) {
   const index_t sizes[] = {256, 512, 1024};
   const std::pair<tensor::gemm::Variant, const char*> variants[] = {
       {tensor::gemm::Variant::NN, "nn"},
       {tensor::gemm::Variant::TN, "tn"},
       {tensor::gemm::Variant::NT, "nt"},
   };
+  common::Rng rng(4242);
+  for (const auto& [variant, vname] : variants) {
+    for (const index_t n : sizes) {
+      std::vector<T> a(n * n), b(n * n), c(n * n);
+      for (auto& v : a) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+      for (auto& v : b) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+      const int reps = n >= 1024 ? 2 : 3;
+      // Baselines, both single-threaded: the same-dtype naive oracle and
+      // the scalar-f64 blocked kernel (the pre-SIMD reference everything is
+      // normalized against; re-timed per dtype loop, cheap next to naive).
+      runtime::set_num_threads(1);
+      const double naive_s = time_gemm_best(variant, n, a, b, c, reps, true);
+      tensor::gemm::set_isa(tensor::gemm::Isa::kScalar);
+      double scalar_f64_s;
+      {
+        std::vector<real> a64(a.begin(), a.end()), b64(b.begin(), b.end());
+        std::vector<real> c64(n * n);
+        scalar_f64_s = time_gemm_best(variant, n, a64, b64, c64, reps, false);
+      }
+      for (const auto isa : tensor::gemm::available_isas()) {
+        tensor::gemm::set_isa(isa);
+        for (const index_t threads : counts) {
+          runtime::set_num_threads(threads);
+          const double blocked_s =
+              time_gemm_best(variant, n, a, b, c, reps, false);
+          rows.push_back({dtype, tensor::gemm::isa_name(isa), vname, n,
+                          threads, naive_s, blocked_s, scalar_f64_s});
+          const double flops = 2.0 * static_cast<double>(n) * n * n;
+          std::printf(
+              "  %-3s %-6s %-3s %6zu %8zu %12.4f %12.4f %8.2fx %8.2fx %8.1f\n",
+              dtype, tensor::gemm::isa_name(isa), vname,
+              static_cast<std::size_t>(n), static_cast<std::size_t>(threads),
+              naive_s, blocked_s, naive_s / blocked_s,
+              scalar_f64_s / blocked_s, flops / blocked_s * 1e-9);
+        }
+      }
+    }
+  }
+}
+
+void run_gemm_sweep(index_t top) {
   std::vector<index_t> counts{1};
   const index_t threaded = top > 1 ? top : 8;
   if (threaded > 1) counts.push_back(threaded);
 
-  struct Row {
-    const char* variant;
-    index_t n, threads;
-    double naive_s, blocked_s;
-  };
-  std::vector<Row> rows;
-
-  common::Rng rng(4242);
-  std::printf("blocked-vs-naive GEMM sweep (square n^3 multiplies)\n");
-  std::printf("  %-3s %6s %8s %12s %12s %9s %8s\n", "var", "n", "threads",
-              "naive_s", "blocked_s", "speedup", "GF/s");
-  for (const auto& [variant, vname] : variants) {
-    for (const index_t n : sizes) {
-      std::vector<real> a(n * n), b(n * n), c(n * n);
-      for (auto& v : a) v = rng.uniform(-1.0, 1.0);
-      for (auto& v : b) v = rng.uniform(-1.0, 1.0);
-      const int reps = n >= 1024 ? 2 : 3;
-      auto best_of = [&](auto&& fn) {
-        double best = 1e100;
-        for (int rep = 0; rep < reps; ++rep) {
-          std::fill(c.begin(), c.end(), 0.0);
-          const auto t0 = Clock::now();
-          fn();
-          const std::chrono::duration<double> dt = Clock::now() - t0;
-          best = std::min(best, dt.count());
-        }
-        return best;
-      };
-      for (const index_t threads : counts) {
-        runtime::set_num_threads(threads);
-        const double naive_s = best_of([&] {
-          tensor::gemm::naive(variant, n, n, n, a.data(), b.data(), c.data());
-        });
-        const double blocked_s = best_of([&] {
-          tensor::gemm::blocked(variant, n, n, n, a.data(), b.data(),
-                                c.data());
-        });
-        rows.push_back({vname, n, threads, naive_s, blocked_s});
-        const double flops = 2.0 * static_cast<double>(n) * n * n;
-        std::printf("  %-3s %6zu %8zu %12.4f %12.4f %8.2fx %8.1f\n", vname,
-                    static_cast<std::size_t>(n),
-                    static_cast<std::size_t>(threads), naive_s, blocked_s,
-                    naive_s / blocked_s, flops / blocked_s * 1e-9);
-      }
-    }
-  }
+  const tensor::gemm::Isa default_isa = tensor::gemm::active_isa();
+  std::vector<GemmSweepRow> rows;
+  std::printf(
+      "blocked GEMM sweep: dtype x ISA x threads (square n^3 multiplies)\n");
+  std::printf("  %-3s %-6s %-3s %6s %8s %12s %12s %9s %9s %8s\n", "dt", "isa",
+              "var", "n", "threads", "naive_s", "blocked_s", "vs_nai",
+              "vs_s64", "GF/s");
+  gemm_sweep_dtype<real>("f64", counts, rows);
+  gemm_sweep_dtype<real32>("f32", counts, rows);
+  tensor::gemm::set_isa(default_isa);
   runtime::set_num_threads(0);
 
   const std::string path = bench::ensure_output_dir() + "/BENCH_gemm.json";
@@ -312,18 +348,30 @@ void run_gemm_sweep(index_t top) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"gemm_blocked_vs_naive\",\n  \"rows\": [");
+  std::fprintf(f, "{\n  \"bench\": \"gemm_dtype_isa_threads\",\n");
+  std::fprintf(f, "  \"host\": {\"default_isa\": \"%s\", \"isas\": [",
+               tensor::gemm::isa_name(default_isa));
+  bool first = true;
+  for (const auto isa : tensor::gemm::available_isas()) {
+    std::fprintf(f, "%s\"%s\"", first ? "" : ", ",
+                 tensor::gemm::isa_name(isa));
+    first = false;
+  }
+  std::fprintf(f, "]},\n  \"rows\": [");
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+    const GemmSweepRow& r = rows[i];
     const double flops = 2.0 * static_cast<double>(r.n) * r.n * r.n;
     std::fprintf(
         f,
-        "%s\n    {\"variant\": \"%s\", \"n\": %zu, \"threads\": %zu, "
+        "%s\n    {\"dtype\": \"%s\", \"isa\": \"%s\", \"variant\": \"%s\", "
+        "\"n\": %zu, \"threads\": %zu, "
         "\"naive_seconds\": %.6f, \"blocked_seconds\": %.6f, "
-        "\"speedup\": %.3f, \"blocked_gflops\": %.2f}",
-        i == 0 ? "" : ",", r.variant, static_cast<std::size_t>(r.n),
-        static_cast<std::size_t>(r.threads), r.naive_s, r.blocked_s,
-        r.naive_s / r.blocked_s, flops / r.blocked_s * 1e-9);
+        "\"speedup_vs_naive\": %.3f, \"speedup_vs_scalar_f64\": %.3f, "
+        "\"blocked_gflops\": %.2f}",
+        i == 0 ? "" : ",", r.dtype, r.isa.c_str(), r.variant,
+        static_cast<std::size_t>(r.n), static_cast<std::size_t>(r.threads),
+        r.naive_s, r.blocked_s, r.naive_s / r.blocked_s,
+        r.scalar_f64_s / r.blocked_s, flops / r.blocked_s * 1e-9);
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);

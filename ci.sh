@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: Release build + full test suite, an AddressSanitizer build
-# running the unit + golden labels, a chaos stage running the randomized
+# running the unit + golden labels, a kernel stage forcing the GEMM
+# differential matrix through every ISA the host can execute (ASan/UBSan,
+# then the 8-thread sweeps under TSan), a chaos stage running the randomized
 # fault-injection suite under ASan/UBSan, a crash stage running the
 # kill-point checkpoint/resume harness and snapshot-corruption sweeps under
 # ASan/UBSan, a shard stage running the sharded million-client round engine's
@@ -17,14 +19,18 @@
 #   ./ci.sh            # all seven default stages
 #   ./ci.sh release    # Release + full ctest only
 #   ./ci.sh asan       # ASan build + unit/golden/kernel labels only
+#   ./ci.sh kernel     # per-ISA GEMM differential matrix: kernel label under
+#                      # each forced OASIS_GEMM_ISA with ASan/UBSan, then the
+#                      # 8-thread sweeps (intra-GEMM parallel path) under TSan
 #   ./ci.sh chaos      # ASan build + chaos label only
 #   ./ci.sh crash      # ASan build + crash label only (SIGKILL harness)
 #   ./ci.sh net        # ASan build + net label, then a TSan loopback round
 #   ./ci.sh net-chaos  # ASan server-kill harness + TSan reconnect/backoff
 #   ./ci.sh shard      # ASan build + shard label + sharded crash kill-points
 #   ./ci.sh tsan       # TSan stage only
-#   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards
-#                      # (blocked GEMM >= 1.5x naive); run on quiet hardware
+#   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards (per-ISA
+#                      # blocked-vs-naive floors for both dtypes + the fp32
+#                      # scale-path floors); run on quiet hardware
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -47,6 +53,41 @@ run_asan() {
   cmake --build build-asan -j "${jobs}"
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" \
     -L 'unit|golden|kernel'
+}
+
+run_kernel() {
+  # SIMD-dispatch stage: the per-ISA differential matrix runs once per ISA
+  # the host can execute, forced through OASIS_GEMM_ISA so the kernel under
+  # test is never an accident of dispatch. ASan/UBSan catches a packed-panel
+  # overrun in any kernel geometry (the float 4×32 and the 6-row AVX2 tiles
+  # have different pack paddings than the 4×8 double tile); the TSan pass
+  # then drives the intra-GEMM row-panel parallel path — the 8-thread
+  # differential sweeps — where a racy B-panel pack or C-tile store would
+  # surface.
+  echo "==> [ci] Kernel stage: per-ISA differential matrix under ASan/UBSan + TSan"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}" --target kernel_diff_test
+  isas="scalar"
+  if [ "$(uname -m)" = "x86_64" ] && grep -q avx2 /proc/cpuinfo 2>/dev/null \
+     && grep -q fma /proc/cpuinfo 2>/dev/null; then
+    isas="${isas} avx2"
+  fi
+  if [ "$(uname -m)" = "aarch64" ]; then
+    isas="${isas} neon"
+  fi
+  echo "==> [ci] kernel ISAs detected on this host: ${isas}"
+  for isa in ${isas}; do
+    echo "==> [ci] kernel label under forced OASIS_GEMM_ISA=${isa}"
+    OASIS_GEMM_ISA="${isa}" ctest --test-dir build-asan --output-on-failure \
+      -j "${jobs}" -L kernel
+  done
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
+  cmake --build build-tsan -j "${jobs}" --target kernel_diff_test
+  for isa in ${isas}; do
+    echo "==> [ci] 8-thread GEMM differential under TSan, OASIS_GEMM_ISA=${isa}"
+    OASIS_GEMM_ISA="${isa}" ./build-tsan/tests/kernel_diff_test \
+      --gtest_filter='*IsaSweep*:KernelDispatch.*'
+  done
 }
 
 run_chaos() {
@@ -139,7 +180,7 @@ run_tsan() {
 run_perf() {
   # Opt-in stage, NOT in "all": wall-clock assertions are too noisy for
   # shared CI runners. The guard tests self-skip unless OASIS_PERF_GUARD=1.
-  echo "==> [ci] Perf guard stage (blocked GEMM >= 1.5x naive)"
+  echo "==> [ci] Perf guard stage (per-ISA blocked GEMM floors, both dtypes)"
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-ci -j "${jobs}" --target perf_guard_test
   OASIS_PERF_GUARD=1 ctest --test-dir build-ci --output-on-failure -L perf
@@ -148,6 +189,7 @@ run_perf() {
 case "${stage}" in
   release) run_release ;;
   asan) run_asan ;;
+  kernel) run_kernel ;;
   chaos) run_chaos ;;
   crash) run_crash ;;
   net) run_net ;;
@@ -158,6 +200,7 @@ case "${stage}" in
   all)
     run_release
     run_asan
+    run_kernel
     run_chaos
     run_crash
     run_shard
@@ -166,7 +209,7 @@ case "${stage}" in
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|chaos|crash|net|shard|net-chaos|tsan|perf|all]" >&2
+    echo "usage: $0 [release|asan|kernel|chaos|crash|net|shard|net-chaos|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

@@ -1,21 +1,35 @@
 // Blocked + packed GEMM kernel family (the hot path of every bench and
-// training loop), with the old naive triple-loop kernels retained as the
-// differential-test oracle.
+// training loop), dtype-templated (double fidelity path, float scale path)
+// and dispatched across a runtime-selected SIMD microkernel family, with the
+// old naive triple-loop kernels retained per dtype as the differential-test
+// oracle.
 //
-// All entry points compute C += op(A)·op(B) on dense row-major double
-// buffers (the accumulate convention every call site relies on: wrappers
-// hand in zero-initialized C, Conv2d hands in zeroed workspace tiles).
+// All entry points compute C += op(A)·op(B) on dense row-major buffers (the
+// accumulate convention every call site relies on: wrappers hand in
+// zero-initialized C, Conv2d hands in zeroed workspace tiles). Every entry
+// exists for both `double` (`real`, the attack/PSNR fidelity dtype — the
+// 130–145 dB verbatim-copy signature needs ~1e-15 relative error, see
+// common/types.h) and `float` (`real32`, the training/serving scale dtype:
+// half the bandwidth, twice the SIMD lanes).
 //
-// Determinism contract (see DESIGN.md §5f): for every output element the
-// k-accumulation runs in ascending k order through a single chain — the
-// blocked path's register tiles load the partial result from C and continue
-// the same fused-multiply-add chain the naive kernels execute, and memory
-// round-trips of doubles are exact — so blocked and naive results are
-// bit-identical, at any thread count, and the golden fixture is preserved
-// byte-for-byte. The one documented exception is the sign of zero when an
-// entire op(A) column is exactly 0.0 (the naive kernels skip those terms):
-// +0.0 vs -0.0 compare equal and cannot arise from continuous data.
+// Determinism contract (DESIGN.md §5f/§5k): per (dtype, ISA), for every
+// output element the k-accumulation runs in ascending k order through a
+// single chain of single-rounded fused multiply-adds — the blocked path's
+// register tiles load the partial result from C and continue the same FMA
+// chain the naive kernels execute, and memory round-trips are exact — so
+// blocked and naive results are bit-identical, at any thread count and any
+// register-tile geometry, and the golden fixture is preserved byte-for-byte.
+// Because a vector FMA lane performs the identical IEEE operation the scalar
+// contraction does, the contract in fact holds ACROSS ISAs too; the tests
+// pin it per (dtype, ISA) since that is what the dispatch guarantees. The
+// one documented exception is the sign of zero when an entire op(A) column
+// is exactly 0.0 (the naive kernels skip those terms): +0.0 vs -0.0 compare
+// equal and cannot arise from continuous data.
 #pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
 
 #include "common/types.h"
 
@@ -27,15 +41,57 @@ namespace oasis::tensor::gemm {
 ///   NT: A is m×k, B is n×k (op(B)=Bᵀ) — input gradients, no transpose copy.
 enum class Variant { NN, TN, NT };
 
-// Blocking parameters (doubles). The microkernel holds an MR×NR accumulator
-// tile in registers (4×8 doubles = four 512-bit vectors) over an unrolled
-// k-loop; B is packed into NR-wide column panels of at most KC×NC (≤ 1 MiB,
-// L2-resident on the target Xeon with its 2 MiB L2; one KC×NR micro-panel is
-// 16 KiB, L1-resident); A is packed per MR-row panel (KC×MR = 8 KiB).
-inline constexpr index_t kMR = 4;
-inline constexpr index_t kNR = 8;
+// Cache blocking parameters, shared by every (dtype, ISA) kernel: k blocked
+// by KC (one packed B micro-panel stays L1-resident: 256·8 doubles·8 B =
+// 16 KiB, half that for floats), n blocked by NC (the full packed B block,
+// ≤ 1 MiB of doubles, L2-resident on the target Xeon with its 2 MiB L2).
+// The register-tile geometry (MR×NR) is per-(dtype, ISA) — see
+// kernels.h / DESIGN.md §5k — chosen so the accumulator tile fills the
+// ISA's vector register file; packing pads ragged edges to the active
+// kernel's tile.
 inline constexpr index_t kKC = 256;
 inline constexpr index_t kNC = 512;
+
+// ---- SIMD microkernel dispatch ----------------------------------------------
+
+/// Instruction-set families the microkernels are specialized for. kScalar is
+/// the portable fallback (plain C++, auto-vectorized under the build's
+/// -march flags) and is always compiled; kAvx2 (AVX2+FMA ymm kernels) is
+/// compiled on x86-64 and selected when the CPU reports the features; kNeon
+/// is compiled on AArch64 where it is baseline.
+enum class Isa { kScalar, kAvx2, kNeon };
+
+/// Lower-case stable name ("scalar" | "avx2" | "neon") — the vocabulary of
+/// the OASIS_GEMM_ISA environment variable and the bench/CI output.
+const char* isa_name(Isa isa);
+
+/// Parses an isa_name (case-sensitive); nullopt for unknown strings.
+std::optional<Isa> parse_isa(std::string_view name);
+
+/// True when the kernels for `isa` were compiled into this binary.
+bool isa_compiled(Isa isa);
+
+/// True when `isa` was compiled AND the running CPU supports it — i.e.
+/// set_isa(isa) would succeed. kScalar is always available.
+bool isa_available(Isa isa);
+
+/// Every ISA usable on this host, kScalar first — the sweep axis the
+/// differential tests and benches iterate so each compiled kernel variant is
+/// exercised on one machine.
+std::vector<Isa> available_isas();
+
+/// The ISA the blocked kernels currently dispatch to. First call resolves
+/// the OASIS_GEMM_ISA environment variable (scalar|avx2|neon; read once) and
+/// falls back — with a one-time stderr note — to the best available ISA when
+/// the variable is unset, unknown, or names an ISA this host cannot run.
+Isa active_isa();
+
+/// Forces dispatch to `isa` for subsequent GEMMs (tests/benches sweeping the
+/// kernel family). Throws Error when !isa_available(isa). Toggle only
+/// between parallel regions.
+void set_isa(Isa isa);
+
+// ---- Oracle switch ----------------------------------------------------------
 
 /// True when the naive oracle kernels are active — either forced via the
 /// OASIS_NAIVE_GEMM=1 environment variable (read once) or toggled with
@@ -43,17 +99,26 @@ inline constexpr index_t kNC = 512;
 bool naive_active();
 void set_naive(bool on);
 
+// ---- Entry points (double fidelity path / float scale path) -----------------
+
 /// C(m×n) += op(A)·op(B). Dispatches naive/blocked per naive_active() and
 /// bumps the kernel.gemm.* flop counters (when kernel metrics are enabled).
 /// Parallelizes over row panels of C via runtime::parallel_for with
 /// shape-derived chunking; small products run inline.
 void run(Variant v, index_t m, index_t k, index_t n, const real* a,
          const real* b, real* c);
+void run(Variant v, index_t m, index_t k, index_t n, const real32* a,
+         const real32* b, real32* c);
 
-/// Direct entries (no dispatch, no metrics) for the differential tests.
+/// Direct entries (no naive/blocked dispatch, no metrics) for the
+/// differential tests and benches. `blocked` still honors active_isa().
 void blocked(Variant v, index_t m, index_t k, index_t n, const real* a,
              const real* b, real* c);
+void blocked(Variant v, index_t m, index_t k, index_t n, const real32* a,
+             const real32* b, real32* c);
 void naive(Variant v, index_t m, index_t k, index_t n, const real* a,
            const real* b, real* c);
+void naive(Variant v, index_t m, index_t k, index_t n, const real32* a,
+           const real32* b, real32* c);
 
 }  // namespace oasis::tensor::gemm

@@ -1,0 +1,107 @@
+// AVX2+FMA microkernels (x86-64). This TU is compiled with -mavx2 -mfma
+// regardless of the build's baseline -march (see src/tensor/CMakeLists.txt);
+// nothing here runs unless the cpuid check in avx2_supported() passed, so a
+// non-AVX2 host never executes these instructions.
+//
+// Tile geometry: 6×8 doubles / 6×16 floats — twelve ymm accumulators plus
+// two packed-B vectors and one broadcast, 15 of the 16 ymm registers, the
+// widest tile that leaves the register allocator a scratch register. The
+// k-loop body is one broadcast + two vfmadd231 per row: every output element
+// advances through exactly the single-rounded FMA chain the scalar kernels
+// contract to, so the bits match the naive oracle (kernels.h).
+//
+// Ragged edges route to the shared generic_tile with the same 6-wide packed
+// strides; compiled here (with AVX2 enabled) it may auto-vectorize, which is
+// bit-harmless for the same reason the hand-written kernels are.
+#include "tensor/gemm/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace oasis::tensor::gemm::detail {
+namespace {
+
+constexpr index_t kAvxMRF64 = 6, kAvxNRF64 = 8;
+constexpr index_t kAvxMRF32 = 6, kAvxNRF32 = 16;
+
+void avx2_full_f64(index_t kc, const double* __restrict ap,
+                   const double* __restrict bp, double* __restrict c,
+                   index_t ldc) {
+  __m256d acc[kAvxMRF64][2];
+  for (index_t r = 0; r < kAvxMRF64; ++r) {
+    acc[r][0] = _mm256_loadu_pd(c + r * ldc);
+    acc[r][1] = _mm256_loadu_pd(c + r * ldc + 4);
+  }
+  for (index_t kk = 0; kk < kc; ++kk) {
+    const __m256d b0 = _mm256_loadu_pd(bp + kk * kAvxNRF64);
+    const __m256d b1 = _mm256_loadu_pd(bp + kk * kAvxNRF64 + 4);
+    const double* __restrict arow = ap + kk * kAvxMRF64;
+    for (index_t r = 0; r < kAvxMRF64; ++r) {
+      const __m256d av = _mm256_set1_pd(arow[r]);
+      acc[r][0] = _mm256_fmadd_pd(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(av, b1, acc[r][1]);
+    }
+  }
+  for (index_t r = 0; r < kAvxMRF64; ++r) {
+    _mm256_storeu_pd(c + r * ldc, acc[r][0]);
+    _mm256_storeu_pd(c + r * ldc + 4, acc[r][1]);
+  }
+}
+
+void avx2_full_f32(index_t kc, const float* __restrict ap,
+                   const float* __restrict bp, float* __restrict c,
+                   index_t ldc) {
+  __m256 acc[kAvxMRF32][2];
+  for (index_t r = 0; r < kAvxMRF32; ++r) {
+    acc[r][0] = _mm256_loadu_ps(c + r * ldc);
+    acc[r][1] = _mm256_loadu_ps(c + r * ldc + 8);
+  }
+  for (index_t kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bp + kk * kAvxNRF32);
+    const __m256 b1 = _mm256_loadu_ps(bp + kk * kAvxNRF32 + 8);
+    const float* __restrict arow = ap + kk * kAvxMRF32;
+    for (index_t r = 0; r < kAvxMRF32; ++r) {
+      const __m256 av = _mm256_set1_ps(arow[r]);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (index_t r = 0; r < kAvxMRF32; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+  }
+}
+
+}  // namespace
+
+bool avx2_compiled() { return true; }
+
+bool avx2_supported() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+MicroKernel<double> avx2_kernel_f64() {
+  return {avx2_full_f64, generic_tile<double, kAvxMRF64, kAvxNRF64>,
+          kAvxMRF64, kAvxNRF64};
+}
+
+MicroKernel<float> avx2_kernel_f32() {
+  return {avx2_full_f32, generic_tile<float, kAvxMRF32, kAvxNRF32>,
+          kAvxMRF32, kAvxNRF32};
+}
+
+}  // namespace oasis::tensor::gemm::detail
+
+#else  // non-x86: stubs so the dispatch table links everywhere.
+
+namespace oasis::tensor::gemm::detail {
+
+bool avx2_compiled() { return false; }
+bool avx2_supported() { return false; }
+MicroKernel<double> avx2_kernel_f64() { return {nullptr, nullptr, 0, 0}; }
+MicroKernel<float> avx2_kernel_f32() { return {nullptr, nullptr, 0, 0}; }
+
+}  // namespace oasis::tensor::gemm::detail
+
+#endif

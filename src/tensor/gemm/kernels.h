@@ -1,0 +1,105 @@
+// Internal microkernel family for the blocked GEMM driver (gemm.cpp).
+//
+// A MicroKernel<T> bundles one (dtype, ISA) register-tiled kernel: `full`
+// computes a complete MR×NR tile of C += Ap·Bp from packed panels, `edge`
+// the ragged clip of one (padded packs, full-tile arithmetic in registers,
+// clipped store), and (mr, nr) the tile geometry the driver packs for.
+//
+// Bit-identity across the family rests on one invariant every kernel obeys:
+// each output element advances through an ascending-k chain of
+// single-rounded fused multiply-adds seeded from the C tile. The scalar
+// kernels get the FMA from -ffp-contract=fast (pinned in
+// src/tensor/CMakeLists.txt; the independent-accumulator loop shape below is
+// exactly the one GCC contracts — see the comment in generic_tile); the SIMD
+// kernels spell vfmadd explicitly. A vector FMA lane and a contracted scalar
+// FMA are the same IEEE operation, so tile geometry, ISA, and full-vs-edge
+// routing never change the bits.
+#pragma once
+
+#include "common/types.h"
+
+namespace oasis::tensor::gemm::detail {
+
+template <typename T>
+struct MicroKernel {
+  /// Full MR×NR tile: C[0..mr)×[0..nr) += Ap·Bp with packed strides mr/nr.
+  void (*full)(index_t kc, const T* ap, const T* bp, T* c, index_t ldc);
+  /// Ragged tile: same arithmetic over the zero-padded pack, storing only
+  /// the live mr×nr corner.
+  void (*edge)(index_t kc, const T* ap, const T* bp, T* c, index_t ldc,
+               index_t mr, index_t nr);
+  index_t mr, nr;
+};
+
+// ---- Generic (scalar / auto-vectorized) tiles -------------------------------
+//
+// The portable kernel, and the edge handler the SIMD kernels share. Each
+// acc[r][j] advances one fused multiply-add per k step, in ascending k
+// order. The `+=` form is deliberate: under -ffp-contract=fast it contracts
+// to a single-rounded FMA, exactly the operation the naive kernels execute
+// per element, AND it vectorizes to broadcast+vfmadd across the NR lanes.
+// Writing std::fma explicitly here de-vectorizes the loop (~4.5x slower),
+// and manual unrolling makes it fall back to scalar shuffles (~5x slower) —
+// keep the plain triple loop.
+
+template <typename T, index_t MR, index_t NR>
+void generic_tile(index_t kc, const T* __restrict ap, const T* __restrict bp,
+                  T* __restrict c, index_t ldc, index_t mr, index_t nr) {
+  T acc[MR][NR];
+  const bool full = (mr == MR) & (nr == NR);
+  if (full) {
+    for (index_t r = 0; r < MR; ++r)
+      for (index_t j = 0; j < NR; ++j) acc[r][j] = c[r * ldc + j];
+  } else {
+    for (index_t r = 0; r < MR; ++r)
+      for (index_t j = 0; j < NR; ++j)
+        acc[r][j] = (r < mr && j < nr) ? c[r * ldc + j] : T(0);
+  }
+  for (index_t kk = 0; kk < kc; ++kk) {
+    const T* __restrict arow = ap + kk * MR;
+    const T* __restrict brow = bp + kk * NR;
+    for (index_t r = 0; r < MR; ++r) {
+      const T av = arow[r];
+      for (index_t j = 0; j < NR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  if (full) {
+    for (index_t r = 0; r < MR; ++r)
+      for (index_t j = 0; j < NR; ++j) c[r * ldc + j] = acc[r][j];
+  } else {
+    for (index_t r = 0; r < mr; ++r)
+      for (index_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+template <typename T, index_t MR, index_t NR>
+void generic_full(index_t kc, const T* ap, const T* bp, T* c, index_t ldc) {
+  generic_tile<T, MR, NR>(kc, ap, bp, c, ldc, MR, NR);
+}
+
+/// The scalar-ISA kernel for T. The double tile is the pre-dispatch 4×8
+/// (the geometry the golden fixture was recorded under — not that geometry
+/// matters for the bits, but it keeps the scalar path's cache behavior
+/// unchanged); the float tile is 4×32, the NR at which GCC's vectorizer
+/// emits clean broadcast+FMA rows for float (4×8 through 8×16 all trip its
+/// SLP pass into shuffle-transpose code an order of magnitude slower —
+/// measured, not theorized; re-check the disassembly before changing it).
+template <typename T>
+MicroKernel<T> scalar_kernel();
+
+// ---- AVX2+FMA kernels (kernel_avx2.cpp, compiled with -mavx2 -mfma) ---------
+//
+// Always declared; on non-x86 builds the TU compiles stubs with
+// avx2_compiled() == false and null kernels. avx2_supported() performs the
+// runtime cpuid feature check (AVX2 and FMA).
+bool avx2_compiled();
+bool avx2_supported();
+MicroKernel<double> avx2_kernel_f64();
+MicroKernel<float> avx2_kernel_f32();
+
+// ---- NEON kernels (kernel_neon.cpp, baseline on AArch64) --------------------
+bool neon_compiled();
+MicroKernel<double> neon_kernel_f64();
+MicroKernel<float> neon_kernel_f32();
+
+}  // namespace oasis::tensor::gemm::detail

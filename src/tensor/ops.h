@@ -2,11 +2,14 @@
 //
 // All matrix kernels operate on rank-2 tensors with row-major layout. The
 // matmul family dispatches into the blocked+packed kernel unit in
-// tensor/gemm/ (register-tiled microkernel, L2-sized packed panels,
-// workspace arenas); the pre-blocking naive triple loops are retained there
-// behind OASIS_NAIVE_GEMM as the differential-test oracle, bit-identical by
-// construction (DESIGN.md §5f). This is the single hot spot of training and
-// of the attack's reconstruction arithmetic.
+// tensor/gemm/ (SIMD-dispatched register-tiled microkernels — scalar, AVX2,
+// NEON, forced via OASIS_GEMM_ISA — L2-sized packed panels, workspace
+// arenas); the pre-blocking naive triple loops are retained there behind
+// OASIS_NAIVE_GEMM as the differential-test oracle, bit-identical by
+// construction per (dtype, ISA) (DESIGN.md §5f/§5k). Tensor is fp64 — the
+// fidelity dtype — so these shims always take the `real` entry points; the
+// fp32 scale path is reached through gemm.h directly. This is the single
+// hot spot of training and of the attack's reconstruction arithmetic.
 #pragma once
 
 #include "tensor/tensor.h"

@@ -1,10 +1,15 @@
 // Differential kernel tests: the blocked+packed GEMM layer must reproduce
-// the retained naive oracle kernels BIT-FOR-BIT (see DESIGN.md §5f — the
-// microkernel continues the oracle's multiply-add chain through C, so every
-// output element sees the identical operation sequence).
+// the retained naive oracle kernels BIT-FOR-BIT, per dtype and per ISA (see
+// DESIGN.md §5f/§5k — every microkernel continues the oracle's ascending-k
+// fused-multiply-add chain through C, so every output element sees the
+// identical operation sequence regardless of register-tile geometry).
 //
-// The sweep covers degenerate shapes, non-tile-multiple edges, and the
-// KC/NC/NR blocking boundaries, at 1 and 8 threads; Conv2d and Dense are
+// The sweep runs under EVERY ISA available on this host via forced dispatch
+// (gemm::set_isa), for both the double fidelity dtype and the float scale
+// dtype, covering degenerate shapes, non-tile-multiple edges (including the
+// 4/6-row and 8/16-column register-tile boundaries of the scalar, AVX2, and
+// NEON kernels), and the KC/NC blocking boundaries, at 1 and 8 threads (the
+// intra-GEMM row-panel parallel path included); Conv2d and Dense are
 // exercised end-to-end against the OASIS_NAIVE_GEMM toggle. Workspace arena
 // semantics (alignment, scope rewind, coalescing, steady-state no-growth)
 // are pinned here too, since the kernels' zero-allocation claim rests on
@@ -13,6 +18,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <iostream>
 #include <vector>
 
 #include "common/error.h"
@@ -27,26 +33,31 @@
 namespace oasis {
 namespace {
 
+using tensor::gemm::Isa;
 using tensor::gemm::Variant;
 
-/// Restores the global thread count and the naive-GEMM switch even when an
-/// assertion aborts a test early.
+/// Restores the global thread count, the naive-GEMM switch, and the
+/// dispatched ISA even when an assertion aborts a test early.
 struct KernelEnvGuard {
+  Isa saved = tensor::gemm::active_isa();
   ~KernelEnvGuard() {
     runtime::set_num_threads(0);
     tensor::gemm::set_naive(false);
+    tensor::gemm::set_isa(saved);
   }
 };
 
-std::vector<real> random_vec(index_t n, common::Rng& rng) {
-  std::vector<real> v(n);
-  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+template <typename T>
+std::vector<T> random_vec(index_t n, common::Rng& rng) {
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
   return v;
 }
 
-bool bits_equal(const std::vector<real>& a, const std::vector<real>& b) {
+template <typename T>
+bool bits_equal(const std::vector<T>& a, const std::vector<T>& b) {
   return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(real)) == 0;
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
 }
 
 bool bits_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
@@ -55,18 +66,18 @@ bool bits_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
                      a.size() * sizeof(real)) == 0;
 }
 
-std::vector<real> run_blocked(Variant v, index_t m, index_t k, index_t n,
-                              const std::vector<real>& a,
-                              const std::vector<real>& b) {
-  std::vector<real> c(m * n, 0.0);
+template <typename T>
+std::vector<T> run_blocked(Variant v, index_t m, index_t k, index_t n,
+                           const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> c(m * n, T(0));
   tensor::gemm::blocked(v, m, k, n, a.data(), b.data(), c.data());
   return c;
 }
 
-std::vector<real> run_naive(Variant v, index_t m, index_t k, index_t n,
-                            const std::vector<real>& a,
-                            const std::vector<real>& b) {
-  std::vector<real> c(m * n, 0.0);
+template <typename T>
+std::vector<T> run_naive(Variant v, index_t m, index_t k, index_t n,
+                         const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> c(m * n, T(0));
   tensor::gemm::naive(v, m, k, n, a.data(), b.data(), c.data());
   return c;
 }
@@ -75,22 +86,31 @@ struct Shape {
   index_t m, k, n;
 };
 
-// Degenerate shapes, ragged tile edges, and the exact kMR/kNR/kKC/kNC
-// blocking boundaries (one below, on, and above each).
+// Degenerate shapes, ragged tile edges, and the exact blocking boundaries
+// (one below, on, and above each): m around the 4- and 6-row register
+// tiles, n around the 8- and 16-column tiles, k around the KC=256 and
+// n around the NC=512 cache blocks.
 const Shape kEdgeShapes[] = {
     {1, 1, 1},    {1, 5, 1},     {3, 1, 4},    {1, 64, 1},   {5, 1, 9},
     {5, 7, 9},    {13, 17, 31},  {4, 8, 8},    {8, 16, 16},  {12, 24, 40},
     {3, 255, 17}, {3, 256, 17},  {3, 257, 17}, {4, 512, 8},  {7, 511, 23},
     {6, 33, 7},   {6, 33, 8},    {6, 33, 9},   {2, 9, 511},  {2, 9, 512},
-    {2, 9, 513},  {129, 12, 33},
+    {2, 9, 513},  {129, 12, 33}, {7, 40, 15},  {7, 40, 16},  {7, 40, 17},
+    {11, 13, 18}, {18, 21, 24},
 };
 
-TEST(KernelDiff, GemmEdgeShapesBitIdentical) {
-  KernelEnvGuard guard;
+std::string isa_param_name(const ::testing::TestParamInfo<Isa>& info) {
+  return tensor::gemm::isa_name(info.param);
+}
+
+/// One sweep body shared by every (dtype, ISA) instantiation: naive oracle
+/// vs blocked under forced dispatch, serial and 8-thread.
+template <typename T>
+void sweep_shapes_bit_identical(const char* tag) {
   common::Rng rng(0xD1FFu);
   for (const auto& s : kEdgeShapes) {
-    const auto a = random_vec(s.m * s.k, rng);
-    const auto b = random_vec(s.k * s.n, rng);
+    const auto a = random_vec<T>(s.m * s.k, rng);
+    const auto b = random_vec<T>(s.k * s.n, rng);
     for (const Variant v : {Variant::NN, Variant::TN, Variant::NT}) {
       const auto oracle = run_naive(v, s.m, s.k, s.n, a, b);
       runtime::set_num_threads(1);
@@ -98,24 +118,24 @@ TEST(KernelDiff, GemmEdgeShapesBitIdentical) {
       runtime::set_num_threads(8);
       const auto threaded = run_blocked(v, s.m, s.k, s.n, a, b);
       EXPECT_TRUE(bits_equal(oracle, serial))
-          << "variant " << static_cast<int>(v) << " shape " << s.m << "x"
-          << s.k << "x" << s.n << " (1 thread)";
+          << tag << " variant " << static_cast<int>(v) << " shape " << s.m
+          << "x" << s.k << "x" << s.n << " (1 thread)";
       EXPECT_TRUE(bits_equal(oracle, threaded))
-          << "variant " << static_cast<int>(v) << " shape " << s.m << "x"
-          << s.k << "x" << s.n << " (8 threads)";
+          << tag << " variant " << static_cast<int>(v) << " shape " << s.m
+          << "x" << s.k << "x" << s.n << " (8 threads)";
     }
   }
 }
 
-TEST(KernelDiff, GemmRandomShapeSweepBitIdentical) {
-  KernelEnvGuard guard;
+template <typename T>
+void sweep_random_bit_identical(const char* tag) {
   common::Rng rng(0x5EEDu);
   for (int trial = 0; trial < 24; ++trial) {
     const auto m = static_cast<index_t>(rng.uniform_int(1, 97));
     const auto k = static_cast<index_t>(rng.uniform_int(1, 97));
     const auto n = static_cast<index_t>(rng.uniform_int(1, 97));
-    const auto a = random_vec(m * k, rng);
-    const auto b = random_vec(k * n, rng);
+    const auto a = random_vec<T>(m * k, rng);
+    const auto b = random_vec<T>(k * n, rng);
     for (const Variant v : {Variant::NN, Variant::TN, Variant::NT}) {
       const auto oracle = run_naive(v, m, k, n, a, b);
       runtime::set_num_threads(1);
@@ -123,30 +143,121 @@ TEST(KernelDiff, GemmRandomShapeSweepBitIdentical) {
       runtime::set_num_threads(8);
       const auto threaded = run_blocked(v, m, k, n, a, b);
       EXPECT_TRUE(bits_equal(oracle, serial))
-          << "trial " << trial << " variant " << static_cast<int>(v)
+          << tag << " trial " << trial << " variant " << static_cast<int>(v)
           << " shape " << m << "x" << k << "x" << n;
       EXPECT_TRUE(bits_equal(oracle, threaded))
-          << "trial " << trial << " variant " << static_cast<int>(v)
+          << tag << " trial " << trial << " variant " << static_cast<int>(v)
           << " shape " << m << "x" << k << "x" << n << " (8 threads)";
     }
   }
 }
 
-TEST(KernelDiff, GemmAccumulatesIntoExistingC) {
+// ---- Per-ISA differential matrix --------------------------------------------
+
+class IsaSweep : public ::testing::TestWithParam<Isa> {};
+
+TEST_P(IsaSweep, GemmEdgeShapesBitIdenticalF64) {
   KernelEnvGuard guard;
+  tensor::gemm::set_isa(GetParam());
+  sweep_shapes_bit_identical<real>("f64");
+}
+
+TEST_P(IsaSweep, GemmEdgeShapesBitIdenticalF32) {
+  KernelEnvGuard guard;
+  tensor::gemm::set_isa(GetParam());
+  sweep_shapes_bit_identical<real32>("f32");
+}
+
+TEST_P(IsaSweep, GemmRandomShapeSweepBitIdenticalF64) {
+  KernelEnvGuard guard;
+  tensor::gemm::set_isa(GetParam());
+  sweep_random_bit_identical<real>("f64");
+}
+
+TEST_P(IsaSweep, GemmRandomShapeSweepBitIdenticalF32) {
+  KernelEnvGuard guard;
+  tensor::gemm::set_isa(GetParam());
+  sweep_random_bit_identical<real32>("f32");
+}
+
+TEST_P(IsaSweep, GemmAccumulatesIntoExistingC) {
+  KernelEnvGuard guard;
+  tensor::gemm::set_isa(GetParam());
   common::Rng rng(0xACC0u);
   const index_t m = 21, k = 37, n = 45;
-  const auto a = random_vec(m * k, rng);
-  const auto b = random_vec(k * n, rng);
-  const auto seed = random_vec(m * n, rng);
+  const auto a64 = random_vec<real>(m * k, rng);
+  const auto b64 = random_vec<real>(k * n, rng);
+  const auto seed64 = random_vec<real>(m * n, rng);
+  const auto a32 = random_vec<real32>(m * k, rng);
+  const auto b32 = random_vec<real32>(k * n, rng);
+  const auto seed32 = random_vec<real32>(m * n, rng);
   for (const Variant v : {Variant::NN, Variant::TN, Variant::NT}) {
-    auto c_naive = seed;
-    auto c_blocked = seed;
-    tensor::gemm::naive(v, m, k, n, a.data(), b.data(), c_naive.data());
-    tensor::gemm::blocked(v, m, k, n, a.data(), b.data(), c_blocked.data());
+    auto c_naive = seed64;
+    auto c_blocked = seed64;
+    tensor::gemm::naive(v, m, k, n, a64.data(), b64.data(), c_naive.data());
+    tensor::gemm::blocked(v, m, k, n, a64.data(), b64.data(),
+                          c_blocked.data());
     EXPECT_TRUE(bits_equal(c_naive, c_blocked))
-        << "variant " << static_cast<int>(v);
+        << "f64 variant " << static_cast<int>(v);
+    auto c32_naive = seed32;
+    auto c32_blocked = seed32;
+    tensor::gemm::naive(v, m, k, n, a32.data(), b32.data(), c32_naive.data());
+    tensor::gemm::blocked(v, m, k, n, a32.data(), b32.data(),
+                          c32_blocked.data());
+    EXPECT_TRUE(bits_equal(c32_naive, c32_blocked))
+        << "f32 variant " << static_cast<int>(v);
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, IsaSweep,
+                         ::testing::ValuesIn(tensor::gemm::available_isas()),
+                         isa_param_name);
+
+// ---- Dispatch surface -------------------------------------------------------
+
+TEST(KernelDispatch, ReportCompiledAndActiveIsas) {
+  // Not an assertion-heavy test: this is the dispatch-detection log CI
+  // greps so its output records which kernel variants actually ran.
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kNeon}) {
+    std::cout << "[dispatch] " << tensor::gemm::isa_name(isa)
+              << " compiled=" << tensor::gemm::isa_compiled(isa)
+              << " available=" << tensor::gemm::isa_available(isa) << "\n";
+    RecordProperty(tensor::gemm::isa_name(isa),
+                   tensor::gemm::isa_available(isa) ? "available"
+                                                    : "unavailable");
+  }
+  std::cout << "[dispatch] active="
+            << tensor::gemm::isa_name(tensor::gemm::active_isa()) << "\n";
+  EXPECT_TRUE(tensor::gemm::isa_available(Isa::kScalar));
+  EXPECT_FALSE(tensor::gemm::available_isas().empty());
+}
+
+TEST(KernelDispatch, ForcedDispatchRoundTripsEveryAvailableIsa) {
+  KernelEnvGuard guard;
+  for (const Isa isa : tensor::gemm::available_isas()) {
+    tensor::gemm::set_isa(isa);
+    EXPECT_EQ(tensor::gemm::active_isa(), isa);
+  }
+}
+
+TEST(KernelDispatch, ForcingAnUnavailableIsaThrows) {
+  KernelEnvGuard guard;
+  for (const Isa isa : {Isa::kAvx2, Isa::kNeon}) {
+    if (!tensor::gemm::isa_available(isa)) {
+      EXPECT_THROW(tensor::gemm::set_isa(isa), Error)
+          << tensor::gemm::isa_name(isa);
+    }
+  }
+}
+
+TEST(KernelDispatch, IsaNamesRoundTripThroughParse) {
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kNeon}) {
+    const auto parsed = tensor::gemm::parse_isa(tensor::gemm::isa_name(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(tensor::gemm::parse_isa("avx512").has_value());
+  EXPECT_FALSE(tensor::gemm::parse_isa("").has_value());
 }
 
 TEST(KernelDiff, RunDispatchHonorsNaiveSwitch) {
@@ -157,8 +268,8 @@ TEST(KernelDiff, RunDispatchHonorsNaiveSwitch) {
 
   common::Rng rng(0x7061u);
   const index_t m = 6, k = 300, n = 10;  // crosses a KC boundary
-  const auto a = random_vec(m * k, rng);
-  const auto b = random_vec(k * n, rng);
+  const auto a = random_vec<real>(m * k, rng);
+  const auto b = random_vec<real>(k * n, rng);
   std::vector<real> via_run(m * n, 0.0);
   tensor::gemm::run(Variant::NN, m, k, n, a.data(), b.data(), via_run.data());
   EXPECT_TRUE(bits_equal(via_run, run_naive(Variant::NN, m, k, n, a, b)));
@@ -167,6 +278,18 @@ TEST(KernelDiff, RunDispatchHonorsNaiveSwitch) {
   std::fill(via_run.begin(), via_run.end(), 0.0);
   tensor::gemm::run(Variant::NN, m, k, n, a.data(), b.data(), via_run.data());
   EXPECT_TRUE(bits_equal(via_run, run_blocked(Variant::NN, m, k, n, a, b)));
+
+  // The float entry point honors the same switch.
+  const auto a32 = random_vec<real32>(m * k, rng);
+  const auto b32 = random_vec<real32>(k * n, rng);
+  std::vector<real32> via32(m * n, 0.0f);
+  tensor::gemm::set_naive(true);
+  tensor::gemm::run(Variant::NN, m, k, n, a32.data(), b32.data(), via32.data());
+  EXPECT_TRUE(bits_equal(via32, run_naive(Variant::NN, m, k, n, a32, b32)));
+  tensor::gemm::set_naive(false);
+  std::fill(via32.begin(), via32.end(), 0.0f);
+  tensor::gemm::run(Variant::NN, m, k, n, a32.data(), b32.data(), via32.data());
+  EXPECT_TRUE(bits_equal(via32, run_blocked(Variant::NN, m, k, n, a32, b32)));
 }
 
 // ---- Layer-level differential runs ------------------------------------------
@@ -264,6 +387,25 @@ TEST(Workspace, AllocationsAre64ByteAligned) {
   }
 }
 
+TEST(Workspace, TypedAllocationsAre64ByteAlignedAndDisjoint) {
+  // The fp32 pack panels share the double-granular arena through alloc_as;
+  // both the alignment contract and bump disjointness must hold across
+  // mixed-type allocations.
+  runtime::Workspace ws;
+  runtime::Workspace::Scope scope(ws);
+  float* f = ws.alloc_as<float>(13);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f) % 64, 0u);
+  real* d = ws.alloc(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % 64, 0u);
+  float* g = ws.alloc_as<float>(64);
+  // 13 floats round up to 7 doubles, then the next alloc bumps from a fresh
+  // 64-byte mark — regions never overlap.
+  EXPECT_GE(reinterpret_cast<std::uintptr_t>(d),
+            reinterpret_cast<std::uintptr_t>(f + 13));
+  EXPECT_GE(reinterpret_cast<std::uintptr_t>(g),
+            reinterpret_cast<std::uintptr_t>(d + 5));
+}
+
 TEST(Workspace, AllocOutsideScopeThrows) {
   runtime::Workspace ws;
   EXPECT_THROW(ws.alloc(8), Error);
@@ -349,15 +491,23 @@ TEST(Workspace, BlockedGemmLeavesTlsArenaSettled) {
   KernelEnvGuard guard;
   common::Rng rng(0x9E99u);
   const index_t m = 64, k = 300, n = 520;  // crosses KC and NC boundaries
-  const auto a = random_vec(m * k, rng);
-  const auto b = random_vec(k * n, rng);
+  const auto a = random_vec<real>(m * k, rng);
+  const auto b = random_vec<real>(k * n, rng);
+  const auto a32 = random_vec<real32>(m * k, rng);
+  const auto b32 = random_vec<real32>(k * n, rng);
   std::vector<real> c(m * n, 0.0);
+  std::vector<real32> c32(m * n, 0.0f);
   runtime::set_num_threads(1);  // keep all packing on this thread's arena
+  // Warm up with both dtypes so the high-water mark covers the mixed case.
   tensor::gemm::blocked(Variant::NN, m, k, n, a.data(), b.data(), c.data());
+  tensor::gemm::blocked(Variant::NN, m, k, n, a32.data(), b32.data(),
+                        c32.data());
   runtime::Workspace& ws = runtime::Workspace::tls();
   const index_t cap = ws.capacity();
   for (int i = 0; i < 4; ++i) {
     tensor::gemm::blocked(Variant::NN, m, k, n, a.data(), b.data(), c.data());
+    tensor::gemm::blocked(Variant::NN, m, k, n, a32.data(), b32.data(),
+                          c32.data());
   }
   // Warm-up reached the high-water mark; the hot loop re-uses it verbatim.
   EXPECT_EQ(ws.capacity(), cap);

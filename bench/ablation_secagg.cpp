@@ -15,14 +15,22 @@
 //   4. (3) + OASIS on the clients          → reconstructions collapse to
 //      unrecognizable overlaps. The defense lives in the gradients, not in
 //      who can read them.
+//
+// --defense / --aggregator / --audit layer the PR-10 robustness surface on
+// top of every row: a composable gradient defense stack on the clients, a
+// robust server aggregation rule, and the model-audit gate (with the gate
+// armed, clients REFUSE the implanted dispatch outright — the reconstruction
+// signal disappears because no victim update is ever produced).
 #include <iostream>
 #include <memory>
 
+#include "attack/audit.h"
 #include "attack/rtf.h"
 #include "bench_common.h"
 #include "common/stopwatch.h"
 #include "core/oasis.h"
 #include "fl/client.h"
+#include "fl/defense.h"
 #include "fl/inconsistent_server.h"
 #include "fl/secure_agg.h"
 #include "metrics/stats.h"
@@ -36,6 +44,14 @@ using namespace oasis::bench;
 
 struct RoundOutcome {
   std::vector<real> victim_psnr;  // best-match PSNR per victim image
+  index_t refused = 0;            // audit-gate refusals across all rounds
+};
+
+/// PR-10 robustness knobs shared by every ablation row.
+struct RobustnessOptions {
+  fl::DefenseStackPtr defense;   // empty stack = no gradient defenses
+  fl::AggregatorConfig aggregator;
+  bool audit = false;            // arm the model-audit gate on every client
 };
 
 /// Runs `rounds` attack rounds over a 4-client cohort and scores the
@@ -43,7 +59,8 @@ struct RoundOutcome {
 RoundOutcome run_cohort(const data::InMemoryDataset& pool,
                         const data::InMemoryDataset& aux, index_t neurons,
                         bool use_secagg, bool inconsistent, bool oasis,
-                        index_t rounds, std::uint64_t seed) {
+                        index_t rounds, std::uint64_t seed,
+                        const RobustnessOptions& robust) {
   const auto& shape = pool.image_shape();
   const nn::ImageSpec spec{shape[0], shape[1], shape[2]};
   const index_t classes = pool.num_classes();
@@ -71,10 +88,16 @@ RoundOutcome run_cohort(const data::InMemoryDataset& pool,
   const auto shards = pool.shard(cohort_size);
   std::vector<std::unique_ptr<fl::Client>> clients;
   std::vector<std::uint64_t> cohort_ids;
+  if (robust.aggregator.kind != fl::AggregatorKind::kFedAvg) {
+    server->set_aggregator(robust.aggregator);
+  }
   for (index_t i = 0; i < cohort_size; ++i) {
     clients.push_back(std::make_unique<fl::Client>(
         i, shards[i], factory, /*batch_size=*/8, preprocessor,
         common::Rng(seed + 17 * i)));
+    if (robust.audit) {
+      clients[i]->set_model_auditor(attack::make_model_auditor());
+    }
     cohort_ids.push_back(i);
   }
 
@@ -83,17 +106,33 @@ RoundOutcome run_cohort(const data::InMemoryDataset& pool,
     server->begin_round();
     fl::SecureAggregationSession session(cohort_ids, seed ^ round);
     std::vector<fl::ClientUpdateMessage> updates;
+    bool victim_refused = false;
     for (index_t i = 0; i < cohort_size; ++i) {
-      auto update = clients[i]->handle_round(server->dispatch_to(i));
+      fl::ClientUpdateMessage update;
+      try {
+        update = clients[i]->handle_round(server->dispatch_to(i));
+      } catch (const AuditError&) {
+        // The audit gate spotted the implant: this client sits the round
+        // out, exactly as in the round engines.
+        ++outcome.refused;
+        if (i == 0) victim_refused = true;
+        continue;
+      }
+      if (robust.defense && !robust.defense->empty()) {
+        robust.defense->apply(update, cohort_ids);
+      }
       if (use_secagg) session.mask_update(update);
       updates.push_back(std::move(update));
     }
 
     // What the server can invert: the single victim update without SecAgg,
-    // otherwise only the cohort SUM (masks cancel there).
+    // otherwise only the cohort SUM (masks cancel there). A refused victim
+    // leaves nothing to invert at all.
     std::vector<tensor::Tensor> grads;
     if (!use_secagg) {
-      grads = tensor::deserialize_tensors(updates[0].gradients);
+      if (!victim_refused && !updates.empty()) {
+        grads = tensor::deserialize_tensors(updates[0].gradients);
+      }
     } else {
       for (const auto& update : updates) {
         auto tensors = tensor::deserialize_tensors(update.gradients);
@@ -107,13 +146,17 @@ RoundOutcome run_cohort(const data::InMemoryDataset& pool,
       }
     }
 
-    const auto candidates = atk.reconstruct(grads);
-    const auto originals =
-        data::unstack_images(clients[0]->last_raw_batch().images);
-    for (const auto& s : attack::best_match_psnr(candidates, originals)) {
-      outcome.victim_psnr.push_back(s.best_psnr);
+    if (!grads.empty() && !victim_refused) {
+      const auto candidates = atk.reconstruct(grads);
+      const auto originals =
+          data::unstack_images(clients[0]->last_raw_batch().images);
+      for (const auto& s : attack::best_match_psnr(candidates, originals)) {
+        outcome.victim_psnr.push_back(s.best_psnr);
+      }
     }
-    server->finish_round(updates);
+    // A fully vigilant cohort can refuse the whole round; the round engines
+    // commit a skipped round in that case, and so do we.
+    if (!updates.empty()) server->finish_round(updates);
   }
   return outcome;
 }
@@ -126,6 +169,11 @@ int main(int argc, char** argv) {
       "secure aggregation, model inconsistency, and OASIS");
   cli.add_bool("full", "more rounds");
   cli.add_flag("seed", "experiment seed", "888");
+  cli.add_flag("defense", "client defense stack, e.g. clip:10,noise:0.01",
+               "none");
+  cli.add_flag("aggregator", "fedavg|median|trimmed[:f]|normbound[:b]",
+               "fedavg");
+  cli.add_bool("audit", "arm the model-audit gate on every client");
   runtime::add_cli_flag(cli);
   bench::add_metrics_flag(cli);
   cli.parse(argc, argv);
@@ -133,6 +181,11 @@ int main(int argc, char** argv) {
   runtime::apply_cli_flag(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const index_t rounds = cli.get_bool("full") ? 8 : 3;
+
+  RobustnessOptions robust;
+  robust.defense = fl::parse_defense_stack(cli.get("defense"));
+  robust.aggregator = fl::parse_aggregator(cli.get("aggregator"));
+  robust.audit = cli.get_bool("audit");
 
   print_banner("Ablation",
                "secure aggregation vs the dishonest server (RTF, B=8, "
@@ -162,13 +215,27 @@ int main(int argc, char** argv) {
       {"SecAgg + inconsistency", true, true, false},
       {"  ... + OASIS(MR)", true, true, true},
   };
+  index_t total_refused = 0;
   for (const auto& row : rows) {
     const auto outcome =
         run_cohort(pool, aux, neurons, row.secagg, row.inconsistent,
-                   row.oasis, rounds, seed);
-    std::cout << metrics::format_box_row(
-                     row.label, metrics::box_stats(outcome.victim_psnr))
-              << "\n";
+                   row.oasis, rounds, seed, robust);
+    total_refused += outcome.refused;
+    if (outcome.victim_psnr.empty()) {
+      // The audit gate refused every dispatch: there is no reconstruction
+      // to score, which IS the result.
+      std::cout << row.label << ": no victim update produced ("
+                << outcome.refused << " refusals)\n";
+    } else {
+      std::cout << metrics::format_box_row(
+                       row.label, metrics::box_stats(outcome.victim_psnr))
+                << "\n";
+    }
+  }
+  if (robust.audit) {
+    std::cout << "audit gate: " << total_refused
+              << " dispatches refused across all rows (refused rounds "
+                 "produce no victim update to reconstruct)\n";
   }
   std::cout << "\n[ablation_secagg] total " << total.seconds() << " s\n";
   return 0;

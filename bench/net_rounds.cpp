@@ -156,6 +156,7 @@ int run_child(const data::SynthDataset& dataset, const LoadConfig& cfg,
               }
               break;
             case fl::FaultKind::kPoison:
+            case fl::FaultKind::kByzantine:
               plan.apply(update, fault, round, 0, id);
               break;
           }

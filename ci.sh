@@ -8,15 +8,17 @@
 # ASan/UBSan, a shard stage running the sharded million-client round engine's
 # differential + crash tests under ASan/UBSan, a net-chaos stage SIGKILLing a
 # live socket server at four kill points and memcmping the recovered model,
+# a defense stage running the defense-stack / audit-gate / robust-aggregation
+# suites under ASan/UBSan and the Byzantine chaos suite under TSan,
 # then a ThreadSanitizer build exercising the concurrency-heavy tests
 # (runtime pool + FL rounds + chaos + crash/resume + the 8-thread sharded
 # differential).
 #
 # Every test carries a ctest LABEL (unit | integration | sanitizer |
-# property | golden | chaos | crash | net | net_chaos | shard) and a hard
-# 30 s per-test TIMEOUT — a test that exceeds it fails the suite.
+# property | golden | chaos | crash | net | net_chaos | shard | defense) and
+# a hard 30 s per-test TIMEOUT — a test that exceeds it fails the suite.
 #
-#   ./ci.sh            # all seven default stages
+#   ./ci.sh            # all default stages
 #   ./ci.sh release    # Release + full ctest only
 #   ./ci.sh asan       # ASan build + unit/golden/kernel labels only
 #   ./ci.sh kernel     # per-ISA GEMM differential matrix: kernel label under
@@ -27,6 +29,8 @@
 #   ./ci.sh net        # ASan build + net label, then a TSan loopback round
 #   ./ci.sh net-chaos  # ASan server-kill harness + TSan reconnect/backoff
 #   ./ci.sh shard      # ASan build + shard label + sharded crash kill-points
+#   ./ci.sh defense    # defense + robust-aggregation labels under ASan/UBSan,
+#                      # Byzantine chaos suite under TSan
 #   ./ci.sh tsan       # TSan stage only
 #   ./ci.sh perf       # NOT part of "all": wall-clock kernel guards (per-ISA
 #                      # blocked-vs-naive floors for both dtypes + the fp32
@@ -160,6 +164,24 @@ run_net_chaos() {
     --gtest_filter='NetClient.StalledServerTripsIdleDeadlineIntoReconnect:NetClient.HeartbeatingServerHoldsSessionWithoutReconnect:NetClient.BackoffScheduleIsExponentialCappedAndReproducible:NetRestart.MidRoundRestartWithPendingAcceptsIsBitExact'
 }
 
+run_defense() {
+  # Robustness stage: the defense stack rewrites gradient payloads in place
+  # and the audit gate throws across the round engines' parallel regions —
+  # ASan/UBSan territory for the tensor rewrites, with the robust-aggregation
+  # property suite (order statistics over buffered cohorts) riding along.
+  # The Byzantine chaos suite then runs under TSan: sign-flip / blowup /
+  # colluding cohorts push the engines through their refusal and exclusion
+  # paths at 8 threads, exactly where a racy per-slot catch would surface.
+  echo "==> [ci] Defense stage: defense + robust-aggregation under ASan/UBSan + Byzantine chaos under TSan"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_ASAN=ON
+  cmake --build build-asan -j "${jobs}" --target defense_test property_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L defense
+  ./build-asan/tests/property_test --gtest_filter='RobustAggregation.*'
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOASIS_TSAN=ON
+  cmake --build build-tsan -j "${jobs}" --target defense_test
+  ./build-tsan/tests/defense_test --gtest_filter='ByzantineChaos.*'
+}
+
 run_tsan() {
   # crash_test rides along: its 8-thread shards resume checkpoints into a
   # freshly spawned pool, exactly where a racy restore would surface.
@@ -195,6 +217,7 @@ case "${stage}" in
   net) run_net ;;
   net-chaos) run_net_chaos ;;
   shard) run_shard ;;
+  defense) run_defense ;;
   tsan) run_tsan ;;
   perf) run_perf ;;
   all)
@@ -206,10 +229,11 @@ case "${stage}" in
     run_shard
     run_net
     run_net_chaos
+    run_defense
     run_tsan
     ;;
   *)
-    echo "usage: $0 [release|asan|kernel|chaos|crash|net|shard|net-chaos|tsan|perf|all]" >&2
+    echo "usage: $0 [release|asan|kernel|chaos|crash|net|shard|net-chaos|defense|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

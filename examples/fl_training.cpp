@@ -17,6 +17,15 @@
 // Faulty rounds that miss quorum abort with a bit-exact model rollback and
 // training simply continues with the next round's cohort.
 //
+// The full robustness surface is on the command line too: a composable
+// client-side defense stack (clip / DP noise / secagg mask), Byzantine-robust
+// server aggregation, the client-side model-audit gate, and persistent
+// sign-flip attackers to test them against:
+//
+//   $ ./fl_training --defense clip:10,noise:0.01 --audit
+//                   --aggregator trimmed:0.3 --fault-byzantine 0.2
+//   (one command line)
+//
 // Long runs can be made interruption-proof with durable checkpoints: every
 // --checkpoint-every rounds the full simulation state (model, RNG streams,
 // clock, obs counters) is written crash-consistently to --checkpoint-dir,
@@ -59,11 +68,13 @@
 #include <iostream>
 #include <memory>
 
+#include "attack/audit.h"
 #include "ckpt/manager.h"
 #include "common/cli.h"
 #include "common/error.h"
 #include "core/oasis.h"
 #include "data/synthetic.h"
+#include "fl/defense.h"
 #include "fl/shard.h"
 #include "fl/simulation.h"
 #include "metrics/accuracy.h"
@@ -89,7 +100,18 @@ int main(int argc, char** argv) {
   cli.add_flag("fault-corrupt", "per-client payload corruption probability",
                "0");
   cli.add_flag("fault-poison", "per-client numeric poison probability", "0");
+  cli.add_flag("fault-byzantine",
+               "fraction of persistently Byzantine (sign-flip) clients", "0");
   cli.add_flag("fault-seed", "fault plan seed", "677200");
+  cli.add_flag("defense",
+               "client-side defense stack, e.g. clip:10,noise:0.01,mask "
+               "(none = disabled)", "none");
+  cli.add_flag("aggregator",
+               "server aggregation rule "
+               "(fedavg|median|trimmed[:f]|normbound[:b])", "fedavg");
+  cli.add_bool("audit",
+               "clients screen each dispatched model for implants and refuse "
+               "suspicious rounds");
   cli.add_flag("quorum", "fraction of selected clients required to commit "
                "a round (0=disabled)", "0");
   cli.add_flag("checkpoint-dir",
@@ -153,6 +175,19 @@ int main(int argc, char** argv) {
     return nn::make_mini_convnet(spec, cfg.num_classes, init_rng, 8);
   };
 
+  // PR-10 robustness surface: client-side defense stack, server-side robust
+  // aggregation, and the model-audit gate.
+  const fl::DefenseStackPtr defense_stack =
+      fl::parse_defense_stack(cli.get("defense"));
+  if (!defense_stack->empty()) {
+    std::cout << "defense stack: " << defense_stack->name() << "\n";
+  }
+  const fl::AggregatorConfig aggregator =
+      fl::parse_aggregator(cli.get("aggregator"));
+  const fl::ModelAuditor auditor =
+      cli.get_bool("audit") ? attack::make_model_auditor() : fl::ModelAuditor{};
+  if (auditor) std::cout << "model-audit gate armed on every client\n";
+
   if (const std::string target = cli.get("connect"); !target.empty()) {
     // Client process: one shard, one identity, rounds driven by the server.
     // Strict endpoint parse: "host:70000" or "host:7400x" must fail here
@@ -163,9 +198,24 @@ int main(int argc, char** argv) {
                     "--client-id " << id << " outside --clients " << n_clients);
     fl::Client core(id, shards[id], factory, /*batch_size=*/16, defense,
                     common::Rng(1000 + id));
+    if (auditor) core.set_model_auditor(auditor);
     net::FlClientConfig client_cfg;
     client_cfg.client_id = id;
     net::FlClient client(core, client_cfg);
+    if (!defense_stack->empty()) {
+      // The wire protocol never announces the round's membership, so a mask
+      // stage needs the static full-population cohort (valid here because
+      // --per-round 0 serving dispatches to everyone).
+      if (defense_stack->requires_cohort()) {
+        std::vector<std::uint64_t> everyone(n_clients);
+        for (index_t i = 0; i < n_clients; ++i) everyone[i] = i;
+        auto owned = fl::parse_defense_stack(cli.get("defense"));
+        owned->set_static_cohort(std::move(everyone));
+        client.set_defense_stack(std::move(owned));
+      } else {
+        client.set_defense_stack(defense_stack);
+      }
+    }
     std::uint64_t done = 0;
     try {
       done = client.run(endpoint.host, endpoint.port);
@@ -179,7 +229,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "client " << id << ": participated in " << done
-              << " round(s), " << client.retry_after_bounces()
+              << " round(s), " << client.rounds_refused()
+              << " refused by audit, " << client.retry_after_bounces()
               << " backpressure bounce(s), " << client.retries()
               << " reconnect(s)\n";
     if (const std::string path = cli.get("metrics-out"); !path.empty()) {
@@ -201,6 +252,7 @@ int main(int argc, char** argv) {
     pop_cfg.examples_per_client = 8;
     pop_cfg.batch_size = 4;
     pop_cfg.preprocessor = defense;
+    pop_cfg.auditor = auditor;
     const nn::ImageSpec pop_spec{3, pop_cfg.height, pop_cfg.width};
     const index_t pop_classes = pop_cfg.num_classes;
     pop_cfg.factory = [pop_spec, pop_classes] {
@@ -223,17 +275,22 @@ int main(int argc, char** argv) {
       throw ConfigError("--sampler must be hash or fy, got '" + sampler + "'");
     }
     shard_cfg.quorum_fraction = cli.get_real("quorum");
+    // The streaming engine refuses the buffering order-statistic
+    // aggregators at construction — fedavg/normbound only.
+    shard_cfg.aggregator = aggregator;
 
     auto pop_server =
         std::make_unique<fl::Server>(pop_cfg.factory(), /*learning_rate=*/0.15);
     fl::ShardedSimulation engine(std::move(pop_server),
                                  fl::VirtualPopulation(pop_cfg), shard_cfg);
+    if (!defense_stack->empty()) engine.set_defense_stack(defense_stack);
 
     fl::FaultConfig pop_faults;
     pop_faults.dropout_prob = cli.get_real("fault-dropout");
     pop_faults.straggler_prob = cli.get_real("fault-straggler");
     pop_faults.corrupt_prob = cli.get_real("fault-corrupt");
     pop_faults.poison_prob = cli.get_real("fault-poison");
+    pop_faults.byzantine_fraction = cli.get_real("fault-byzantine");
     pop_faults.seed = cli.get_uint("fault-seed");
     if (pop_faults.any()) engine.set_fault_plan(fl::FaultPlan(pop_faults));
 
@@ -314,6 +371,7 @@ int main(int argc, char** argv) {
 
   auto server = std::make_unique<fl::Server>(factory(), /*learning_rate=*/0.15);
   auto* server_ptr = server.get();
+  server_ptr->set_aggregator(aggregator);
 
   if (const std::string listen = cli.get("listen"); !listen.empty()) {
     // Server process: same selection seed as the in-process engine, so a
@@ -372,17 +430,20 @@ int main(int argc, char** argv) {
     clients.push_back(std::make_unique<fl::Client>(
         i, shards[i], factory, /*batch_size=*/16, defense,
         common::Rng(1000 + i)));
+    if (auditor) clients[i]->set_model_auditor(auditor);
   }
   fl::SimulationConfig sim_cfg{static_cast<index_t>(cli.get_uint("per-round")),
                                /*seed=*/3};
   sim_cfg.quorum_fraction = cli.get_real("quorum");
   fl::Simulation sim(std::move(server), std::move(clients), sim_cfg);
+  if (!defense_stack->empty()) sim.set_defense_stack(defense_stack);
 
   fl::FaultConfig faults;
   faults.dropout_prob = cli.get_real("fault-dropout");
   faults.straggler_prob = cli.get_real("fault-straggler");
   faults.corrupt_prob = cli.get_real("fault-corrupt");
   faults.poison_prob = cli.get_real("fault-poison");
+  faults.byzantine_fraction = cli.get_real("fault-byzantine");
   faults.seed = cli.get_uint("fault-seed");
   if (faults.any()) {
     sim.set_fault_plan(fl::FaultPlan(faults));
@@ -395,6 +456,7 @@ int main(int argc, char** argv) {
     std::cout << "fault plan: dropout " << faults.dropout_prob
               << ", straggler " << faults.straggler_prob << ", corrupt "
               << faults.corrupt_prob << ", poison " << faults.poison_prob
+              << ", byzantine " << faults.byzantine_fraction
               << " (seed " << faults.seed << ", quorum "
               << sim_cfg.quorum_fraction << ")\n";
   }

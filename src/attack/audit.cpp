@@ -1,0 +1,47 @@
+#include "attack/audit.h"
+
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace oasis::attack {
+
+fl::ModelAuditor make_model_auditor(AuditConfig config) {
+  return [config](nn::Sequential& model, std::uint64_t round) {
+    obs::counter("fl.audit.inspected").add();
+    const DetectionReport report = inspect_first_dense(model, config.tol);
+
+    std::ostringstream tripped;
+    auto flag = [&tripped](const char* counter_name, const char* label) {
+      obs::counter(std::string("fl.audit.reject.") + counter_name).add();
+      if (tripped.tellp() > 0) tripped << ", ";
+      tripped << label;
+    };
+    if (report.row_duplication > config.row_duplication_threshold) {
+      flag("rtf_rows", "duplicated measurement rows");
+    }
+    if (report.bias_monotonicity > config.bias_monotonicity_threshold) {
+      flag("bias_ladder", "monotone bias ladder");
+    }
+    if (report.row_norm_ratio > config.row_norm_ratio_threshold) {
+      flag("norm_outlier", "row-norm outlier");
+    }
+    if (report.trap_half_negative > config.trap_half_negative_threshold) {
+      flag("trap_rows", "half-negative trap rows");
+    }
+    if (tripped.tellp() == 0) return;
+
+    obs::counter("fl.audit.refused").add();
+    std::ostringstream os;
+    os << "model audit refused round " << round << ": " << tripped.str()
+       << " (row_duplication=" << report.row_duplication
+       << ", bias_monotonicity=" << report.bias_monotonicity
+       << ", row_norm_ratio=" << report.row_norm_ratio
+       << ", trap_half_negative=" << report.trap_half_negative << ")";
+    throw AuditError(os.str());
+  };
+}
+
+}  // namespace oasis::attack

@@ -1,0 +1,42 @@
+// Client-side audit GATE: detection promoted from passive report to an
+// enforcement point.
+//
+// inspect_first_dense() computes the implant screens; this module turns them
+// into an fl::ModelAuditor that a client installs via set_model_auditor. When
+// a dispatched global model trips a screen the auditor throws AuditError and
+// the client gracefully refuses the round — the typed outcome engines catch
+// to proceed with the remaining cohort (simulation paths mark the slot
+// refused; the socket client simply never replies, so the server's round
+// deadline excludes it like a straggler).
+//
+// Lives in attack/ (not fl/) because the dependency points this way: attack
+// links fl, and the screens need nn::Dense internals the fl layer never sees.
+#pragma once
+
+#include "attack/detection.h"
+#include "fl/client.h"
+
+namespace oasis::attack {
+
+/// Per-screen refusal thresholds. Defaults mirror
+/// DetectionReport::suspicious() so the gate and the passive report agree;
+/// each is overridable for sensitivity studies. Conservative by
+/// construction: the honest-init false-positive sweep in defense_test pins
+/// 0 refusals across 100+ seeds at these values.
+struct AuditConfig {
+  real row_duplication_threshold = 0.5;
+  real bias_monotonicity_threshold = 0.95;
+  real row_norm_ratio_threshold = 8.0;
+  real trap_half_negative_threshold = 0.9;
+  /// Row-equality tolerance forwarded to inspect_first_dense.
+  real tol = 1e-9;
+};
+
+/// Builds the audit gate. Every invocation bumps fl.audit.inspected; a
+/// refusal bumps fl.audit.refused plus one fl.audit.reject.{rtf_rows,
+/// bias_ladder,norm_outlier,trap_rows} counter per tripped screen, then
+/// throws AuditError naming the screens and the round. Deterministic and
+/// stateless: re-auditing the same model yields the same verdict.
+[[nodiscard]] fl::ModelAuditor make_model_auditor(AuditConfig config = {});
+
+}  // namespace oasis::attack

@@ -59,6 +59,41 @@ DetectionReport inspect_first_dense(nn::Sequential& model, real tol) {
   if (median > 0.0) {
     report.row_norm_ratio = sorted.back() / median;
   }
+
+  // Half-negative trap rows (CAH's original construction): per row, count
+  // exact floor(d/2) negative-sign splits and the magnitude asymmetry the
+  // calibration rescale leaves between the halves. signbit (not < 0) so a
+  // degenerate γ = 0 rescale (−0.0 entries) still counts as negated.
+  if (d >= DetectionReport::kTrapMinFeatures) {
+    index_t exact_half = 0;
+    std::vector<real> ratios;
+    ratios.reserve(n);
+    for (index_t i = 0; i < n; ++i) {
+      index_t negatives = 0;
+      real neg_mag = 0.0, pos_mag = 0.0;
+      for (index_t j = 0; j < d; ++j) {
+        const real v = w[i * d + j];
+        if (std::signbit(v)) {
+          ++negatives;
+          neg_mag -= v;
+        } else {
+          pos_mag += v;
+        }
+      }
+      if (negatives == d / 2) ++exact_half;
+      if (negatives > 0 && negatives < d) {
+        const real neg_mean = neg_mag / static_cast<real>(negatives);
+        const real pos_mean = pos_mag / static_cast<real>(d - negatives);
+        if (pos_mean > 0.0) ratios.push_back(neg_mean / pos_mean);
+      }
+    }
+    report.trap_half_negative =
+        static_cast<real>(exact_half) / static_cast<real>(n);
+    if (!ratios.empty()) {
+      std::sort(ratios.begin(), ratios.end());
+      report.trap_asymmetry = ratios[ratios.size() / 2];
+    }
+  }
   return report;
 }
 

@@ -22,12 +22,38 @@ struct DetectionReport {
   /// direction — RTF's quantile-ladder signature. Near 1.0 for RTF, ~0.5
   /// for i.i.d. biases, 0 for all-zero (honest init).
   real bias_monotonicity = 0.0;
-  /// Ratio of the largest to median row L2 norm — crude outlier probe.
+  /// Ratio of the largest to median row L2 norm — crude outlier probe for
+  /// scale-blowup-style implants (a deliberately amplified trap row).
   real row_norm_ratio = 1.0;
+  /// Fraction of rows with EXACTLY floor(d/2) negative entries — the
+  /// half-negative trap-row fingerprint of CAH's original construction
+  /// (Boenisch et al.: negate a uniformly chosen half of each row). Honest
+  /// Gaussian rows hit exactly d/2 with probability ~sqrt(2/(π·d)) (~1.4%
+  /// at d = 3072), so an all-rows hit is astronomically unlikely honestly.
+  /// 0 when d < kTrapMinFeatures (the binomial is too coarse to be
+  /// evidence at tiny widths).
+  real trap_half_negative = 0.0;
+  /// Median over rows of mean|negative entry| / mean|positive entry| — the
+  /// trap rows' second fingerprint: the negated half is rescaled by a
+  /// calibration factor γ, skewing the ratio away from the honest ≈1.
+  /// Reported as evidence, not consulted by the verdict (γ ≈ 1 is possible
+  /// for symmetric data).
+  real trap_asymmetry = 1.0;
 
-  /// Conservative verdict: trips on RTF-style implants.
+  /// Minimum first-layer width for the half-negative screen to be
+  /// meaningful (below it exact half-splits are common honestly).
+  static constexpr index_t kTrapMinFeatures = 16;
+
+  /// Conservative verdict: trips on RTF-style implants (duplicated rows or
+  /// a bias ladder), norm-outlier rows, and CAH's half-negative trap rows.
+  /// The quantile-calibrated CAH variant evades all four BY DESIGN — which
+  /// is exactly why a principled defense like OASIS is needed on top of
+  /// screening. Thresholds are conservative: across honest random inits the
+  /// screens sit orders of magnitude below them (the audit false-positive
+  /// sweep in defense_test pins 0 FPs over 100+ seeds).
   [[nodiscard]] bool suspicious() const {
-    return row_duplication > 0.5 || bias_monotonicity > 0.95;
+    return row_duplication > 0.5 || bias_monotonicity > 0.95 ||
+           row_norm_ratio > 8.0 || trap_half_negative > 0.9;
   }
 };
 

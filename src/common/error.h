@@ -59,6 +59,15 @@ class QuorumError : public Error {
   explicit QuorumError(const std::string& what) : Error(what) {}
 };
 
+/// Raised by a client's model-audit gate when a dispatched global model
+/// looks implanted (RTF row duplication / bias ladder, CAH trap rows, norm
+/// outliers). The client gracefully refuses the round: engines catch this,
+/// tally fl.audit.* counters, and proceed with the remaining cohort.
+class AuditError : public Error {
+ public:
+  explicit AuditError(const std::string& what) : Error(what) {}
+};
+
 /// Raised in strict collection mode when clients are lost to dropout or
 /// missed deadlines after all retry attempts.
 class TimeoutError : public Error {

@@ -1,5 +1,10 @@
 #include "fl/aggregation.h"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
 #include "common/error.h"
 #include "tensor/shape.h"
 
@@ -83,6 +88,145 @@ std::vector<tensor::Tensor> fedavg(
 std::vector<tensor::Tensor> fedavg_unweighted(
     std::span<const ClientUpdateMessage> updates) {
   return weighted_average(updates, /*weight_by_examples=*/false);
+}
+
+const char* to_string(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kFedAvg: return "fedavg";
+    case AggregatorKind::kCoordinateMedian: return "median";
+    case AggregatorKind::kTrimmedMean: return "trimmed_mean";
+    case AggregatorKind::kNormBounded: return "norm_bounded";
+  }
+  return "?";
+}
+
+real clip_gradients_to_norm(std::vector<tensor::Tensor>& gradients,
+                            real max_norm) {
+  OASIS_CHECK_MSG(max_norm > 0.0, "clip bound must be positive");
+  real sum_squares = 0.0;
+  for (const auto& t : gradients) {
+    for (const auto v : t.data()) sum_squares += v * v;
+  }
+  const real norm = std::sqrt(sum_squares);
+  if (norm > max_norm) {
+    const real scale = max_norm / norm;
+    for (auto& t : gradients) t *= scale;
+  }
+  return norm;
+}
+
+namespace {
+
+/// Validates a buffered update set and hands each output coordinate's value
+/// column (sorted ascending) to `fold`, which returns the aggregated value.
+template <typename Fold>
+std::vector<tensor::Tensor> per_coordinate(
+    std::span<const std::vector<tensor::Tensor>> updates, Fold&& fold) {
+  if (updates.empty()) {
+    throw AggregationError("robust aggregation over an empty update set");
+  }
+  const auto& first = updates.front();
+  for (const auto& u : updates) {
+    OASIS_CHECK_MSG(u.size() == first.size(),
+                    "update tensor count mismatch: " << u.size() << " vs "
+                                                     << first.size());
+    for (std::size_t t = 0; t < u.size(); ++t) {
+      OASIS_CHECK_MSG(u[t].shape() == first[t].shape(),
+                      "update tensor " << t << " shape mismatch");
+    }
+  }
+  std::vector<tensor::Tensor> result;
+  result.reserve(first.size());
+  std::vector<real> column(updates.size());
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    tensor::Tensor out(first[t].shape());
+    for (index_t j = 0; j < out.size(); ++j) {
+      for (std::size_t u = 0; u < updates.size(); ++u) {
+        column[u] = updates[u][t][j];
+      }
+      // Sorting makes the fold order a function of the VALUES: the result is
+      // bit-identical under any permutation of the update set.
+      std::sort(column.begin(), column.end());
+      out[j] = fold(column);
+    }
+    result.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<tensor::Tensor> coordinate_median(
+    std::span<const std::vector<tensor::Tensor>> updates) {
+  return per_coordinate(updates, [](const std::vector<real>& sorted) {
+    const std::size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2]
+                      : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  });
+}
+
+std::vector<tensor::Tensor> trimmed_mean(
+    std::span<const std::vector<tensor::Tensor>> updates, real trim_fraction) {
+  if (!(trim_fraction >= 0.0) || trim_fraction >= 0.5) {
+    throw ConfigError("trim_fraction must be in [0, 0.5)");
+  }
+  const auto trim = static_cast<std::size_t>(
+      std::floor(trim_fraction * static_cast<real>(updates.size())));
+  if (updates.empty() || updates.size() <= 2 * trim) {
+    throw AggregationError("trimmed mean over " +
+                           std::to_string(updates.size()) +
+                           " updates leaves nothing after trimming " +
+                           std::to_string(trim) + " per tail");
+  }
+  const real kept = static_cast<real>(updates.size() - 2 * trim);
+  return per_coordinate(updates, [&](const std::vector<real>& sorted) {
+    real sum = 0.0;
+    for (std::size_t u = trim; u < sorted.size() - trim; ++u) sum += sorted[u];
+    return sum / kept;
+  });
+}
+
+AggregatorConfig parse_aggregator(const std::string& spec) {
+  std::string name = spec;
+  std::string param;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    param = spec.substr(colon + 1);
+  }
+  const auto parse_param = [&](const char* what) {
+    std::istringstream is(param);
+    real value = 0.0;
+    char trailing = 0;
+    if (!(is >> value) || is.get(trailing) || !std::isfinite(value)) {
+      throw ConfigError(std::string("aggregator ") + what +
+                        " parameter is malformed: '" + param + "'");
+    }
+    return value;
+  };
+
+  AggregatorConfig config;
+  if (name == "fedavg") {
+    if (!param.empty()) throw ConfigError("fedavg takes no parameter");
+  } else if (name == "median") {
+    if (!param.empty()) throw ConfigError("median takes no parameter");
+    config.kind = AggregatorKind::kCoordinateMedian;
+  } else if (name == "trimmed") {
+    config.kind = AggregatorKind::kTrimmedMean;
+    if (!param.empty()) config.trim_fraction = parse_param("trimmed");
+    if (config.trim_fraction < 0.0 || config.trim_fraction >= 0.5) {
+      throw ConfigError("trim fraction must be in [0, 0.5)");
+    }
+  } else if (name == "normbound") {
+    config.kind = AggregatorKind::kNormBounded;
+    if (!param.empty()) config.norm_bound = parse_param("normbound");
+    if (!(config.norm_bound > 0.0)) {
+      throw ConfigError("norm bound must be positive");
+    }
+  } else {
+    throw ConfigError("unknown aggregator '" + name +
+                      "' (fedavg|median|trimmed[:f]|normbound[:b])");
+  }
+  return config;
 }
 
 }  // namespace oasis::fl

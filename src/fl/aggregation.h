@@ -10,6 +10,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "fl/message.h"
@@ -83,5 +84,67 @@ std::vector<tensor::Tensor> fedavg(
 /// Unweighted mean of client gradients (the plain 1/M average in Eq. 1).
 std::vector<tensor::Tensor> fedavg_unweighted(
     std::span<const ClientUpdateMessage> updates);
+
+// --- Byzantine-robust aggregation -------------------------------------------
+//
+// Memory/streaming trade-off (DESIGN.md §5l). FedAvg and the norm-bounded
+// variant are linear folds: they stream through FedAvgAccumulator in O(model)
+// memory at any cohort size. Coordinate-wise median and trimmed mean are
+// per-coordinate ORDER STATISTICS — they need every accepted update resident
+// at once, so selecting them buys an f < n/2 breakdown point at a documented
+// O(cohort · model) memory cost. Server::finish_round buffers for them; the
+// sharded streaming engine refuses them at construction (ConfigError) because
+// buffering a million-client cohort would defeat its entire point.
+//
+// Both order-statistic aggregators are UNWEIGHTED (example counts are
+// attacker-controlled inputs, so weighting by them would hand back the very
+// lever robustness removes) and permutation-invariant bit-for-bit: values are
+// sorted per coordinate, so the fold order is a function of the values, not
+// of update arrival order.
+
+/// Which rule Server::finish_round aggregates accepted updates with.
+enum class AggregatorKind : std::uint8_t {
+  kFedAvg = 0,        // example-weighted mean (paper Eq. 1) — streaming
+  kCoordinateMedian,  // per-coordinate median — buffers the cohort
+  kTrimmedMean,       // per-coordinate trimmed mean — buffers the cohort
+  kNormBounded,       // FedAvg over per-update L2-clipped gradients — streaming
+};
+
+const char* to_string(AggregatorKind kind);
+
+struct AggregatorConfig {
+  AggregatorKind kind = AggregatorKind::kFedAvg;
+  /// Fraction trimmed from EACH tail per coordinate (kTrimmedMean). The
+  /// breakdown point: up to floor(trim_fraction·n) arbitrary updates cannot
+  /// move the result outside the honest values' range. Must be in [0, 0.5).
+  real trim_fraction = 0.1;
+  /// Per-update L2 clip bound (kNormBounded). Must be > 0 for that kind.
+  real norm_bound = 1.0;
+};
+
+/// Parses a CLI-style aggregator spec:
+///   "fedavg" | "median" | "trimmed[:frac]" | "normbound[:bound]"
+/// (omitted parameters keep the AggregatorConfig defaults). Throws
+/// ConfigError on unknown names or malformed/out-of-range parameters.
+AggregatorConfig parse_aggregator(const std::string& spec);
+
+/// In-place global L2 clip of a tensor list to `max_norm` (no-op when the
+/// norm is already within the bound). Returns the pre-clip norm.
+real clip_gradients_to_norm(std::vector<tensor::Tensor>& gradients,
+                            real max_norm);
+
+/// Per-coordinate median over the update set (unweighted; even counts
+/// average the two middle order statistics). Throws AggregationError on an
+/// empty set, Error on shape/count mismatch.
+std::vector<tensor::Tensor> coordinate_median(
+    std::span<const std::vector<tensor::Tensor>> updates);
+
+/// Per-coordinate trimmed mean: drop floor(trim_fraction·n) values from each
+/// tail, average the rest (ascending order, so the sum is permutation
+/// invariant). trim_fraction == 0 is the plain unweighted mean over sorted
+/// values. Throws AggregationError when trimming leaves nothing, ConfigError
+/// when trim_fraction is outside [0, 0.5).
+std::vector<tensor::Tensor> trimmed_mean(
+    std::span<const std::vector<tensor::Tensor>> updates, real trim_fraction);
 
 }  // namespace oasis::fl

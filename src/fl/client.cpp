@@ -27,6 +27,10 @@ void Client::set_update_postprocessor(PostprocessorPtr postprocessor) {
   postprocessor_ = std::move(postprocessor);
 }
 
+void Client::set_model_auditor(ModelAuditor auditor) {
+  auditor_ = std::move(auditor);
+}
+
 void Client::set_round_keyed_rng(std::uint64_t base_seed) {
   round_keyed_rng_ = true;
   round_key_seed_ = base_seed;
@@ -77,6 +81,9 @@ ClientUpdateMessage Client::handle_round(const GlobalModelMessage& msg) {
     rng_ = client_round_stream(round_key_seed_, msg.round, id_);
   }
   nn::deserialize_state(*model_, msg.model_state);
+  // Audit gate: runs before any batch sampling or rng draw so a refusal
+  // (AuditError) leaves this client's stream untouched for future rounds.
+  if (auditor_) auditor_(*model_, msg.round);
 
   // Parameter snapshot for multi-step pseudo-gradient mode.
   std::vector<tensor::Tensor> before;

@@ -17,6 +17,16 @@ namespace oasis::fl {
 /// on. Clients instantiate locally and load the server's weights into it.
 using ModelFactory = std::function<std::unique_ptr<nn::Sequential>()>;
 
+/// Client-side audit gate over the dispatched global model, invoked on the
+/// freshly loaded replica at the top of every handle_round — BEFORE any
+/// local randomness is consumed, so a refusal leaves the client's RNG
+/// stream untouched. The auditor refuses the round by throwing
+/// common AuditError (attack::make_model_auditor builds one from the
+/// implant-detection screens); engines catch it and proceed with the
+/// remaining cohort.
+using ModelAuditor = std::function<void(nn::Sequential& model,
+                                        std::uint64_t round)>;
+
 /// How the client draws its local batch each round.
 /// Which training loss the federation runs.
 enum class LossKind {
@@ -51,6 +61,15 @@ class Client {
   /// Installs a gradient postprocessor (DP noise, pruning, ...) applied to
   /// every update before upload. Default: upload exact gradients.
   void set_update_postprocessor(PostprocessorPtr postprocessor);
+
+  /// Installs the model-audit gate run on every dispatched global model
+  /// immediately after it is loaded into the local replica. The auditor
+  /// refuses the round by throwing AuditError, which propagates out of
+  /// handle_round untouched; because it runs before any batch sampling or
+  /// rng draw, a refused round consumes no client randomness and a
+  /// re-dispatch of the same model re-refuses deterministically. Default:
+  /// no audit.
+  void set_model_auditor(ModelAuditor auditor);
 
   /// Switches the client to ROUND-KEYED stateless randomness: at the top of
   /// every handle_round the rng is re-derived as a pure function of
@@ -106,6 +125,7 @@ class Client {
   index_t batch_size_;
   PreprocessorPtr preprocessor_;
   PostprocessorPtr postprocessor_;  // nullptr = identity
+  ModelAuditor auditor_;            // empty = accept every model
   index_t local_steps_ = 1;
   real local_lr_ = 0.0;  // 0 → raw-gradient mode
   bool round_keyed_rng_ = false;

@@ -15,6 +15,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kPoison: return "poison";
+    case FaultKind::kByzantine: return "byzantine";
   }
   return "?";
 }
@@ -32,9 +33,21 @@ FaultPlan::FaultPlan(FaultConfig config) : config_(config) {
   if (sum > 1.0 + 1e-12) {
     throw ConfigError("fault probabilities sum past 1");
   }
+  if (config.byzantine_fraction < 0.0 || config.byzantine_fraction > 1.0) {
+    throw ConfigError("byzantine_fraction outside [0, 1]");
+  }
   if (config.straggler_min_ticks > config.straggler_max_ticks) {
     throw ConfigError("straggler tick range inverted");
   }
+}
+
+bool FaultPlan::byzantine(std::uint64_t client_id) const {
+  if (config_.byzantine_fraction <= 0.0) return false;
+  // Round- and attempt-free stream: the attacker set is fixed for the plan's
+  // lifetime, the way a compromised device population actually behaves.
+  common::Rng root(config_.seed);
+  common::Rng stream = root.split(0xB42A11CEULL).split(client_id);
+  return stream.uniform() < config_.byzantine_fraction;
 }
 
 common::Rng FaultPlan::stream(std::uint64_t ticket, std::uint64_t attempt,
@@ -51,6 +64,13 @@ ClientFault FaultPlan::decide(std::uint64_t ticket, std::uint64_t attempt,
                               std::uint64_t client_id) const {
   ClientFault fault;
   if (!active()) return fault;
+  if (byzantine(client_id)) {
+    // Persistent attackers override the per-delivery partition: a colluding
+    // client delivers its hostile update reliably, every round, every
+    // attempt — reliability is what makes it dangerous.
+    fault.kind = FaultKind::kByzantine;
+    return fault;
+  }
   common::Rng rng = stream(ticket, attempt, client_id, /*salt=*/0);
   // One uniform draw partitioned by the (mutually exclusive) class probs so
   // a config's rates compose exactly.
@@ -87,6 +107,35 @@ ClientFault FaultPlan::decide(std::uint64_t ticket, std::uint64_t attempt,
 void FaultPlan::apply(ClientUpdateMessage& update, const ClientFault& fault,
                       std::uint64_t ticket, std::uint64_t attempt,
                       std::uint64_t client_id) const {
+  if (fault.kind == FaultKind::kByzantine) {
+    // Byzantine updates stay well-formed and finite: they must survive every
+    // structural/numeric screen and reach the aggregator, where robustness
+    // is decided.
+    auto grads = tensor::deserialize_tensors(update.gradients);
+    switch (config_.byzantine_kind) {
+      case ByzantineKind::kSignFlip:
+        for (auto& t : grads) t *= -config_.byzantine_scale;
+        break;
+      case ByzantineKind::kScaleBlowup:
+        for (auto& t : grads) t *= config_.byzantine_scale;
+        break;
+      case ByzantineKind::kColludingDuplicate: {
+        // One shared direction per round ticket, identical across ALL
+        // colluders (the stream is keyed on the ticket alone): the bloc
+        // votes the same value in every coordinate.
+        common::Rng root(config_.seed);
+        common::Rng shared = root.split(0xC011DDE5ULL).split(ticket);
+        for (auto& t : grads) {
+          for (auto& v : t.data()) {
+            v = shared.normal(0.0, config_.byzantine_scale);
+          }
+        }
+        break;
+      }
+    }
+    update.gradients = tensor::serialize_tensors(grads);
+    return;
+  }
   if (fault.kind != FaultKind::kCorrupt && fault.kind != FaultKind::kPoison) {
     return;
   }

@@ -19,6 +19,14 @@
 //              a stale/wrong round id, or duplicate delivery
 //   poison     well-formed payload with hostile numerics: NaN/Inf values or
 //              gradients scaled far outside the plausible norm band
+//   byzantine  a PERSISTENT adversarial client: membership is a pure function
+//              of (seed, client id) alone — the same clients attack every
+//              round, modelling a colluding compromised fraction f of the
+//              population rather than transient wire damage. Byzantine
+//              updates are well-formed and finite on purpose: they pass every
+//              structural screen and must be absorbed by a robust AGGREGATOR
+//              (coordinate median / trimmed mean — see aggregation.h), which
+//              is exactly what the Byzantine chaos suite proves.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +42,7 @@ enum class FaultKind : std::uint8_t {
   kStraggler,
   kCorrupt,
   kPoison,
+  kByzantine,
 };
 
 enum class CorruptionKind : std::uint8_t {
@@ -47,6 +56,20 @@ enum class PoisonKind : std::uint8_t {
   kNaN = 0,    // a handful of gradient values replaced with quiet NaN
   kInf,        // ...or with ±infinity
   kNormScale,  // all gradients multiplied by `poison_scale`
+};
+
+enum class ByzantineKind : std::uint8_t {
+  /// g → −byzantine_scale · g: the classic gradient-ascent attack. The mean
+  /// is pulled off course once f·scale > (1 − f); the median is not.
+  kSignFlip = 0,
+  /// g → byzantine_scale · g: magnitude inflation that stays finite (and,
+  /// with the norm screen off, passes validation untouched).
+  kScaleBlowup,
+  /// Every colluder replaces its gradients with ONE shared direction drawn
+  /// from a stream keyed on (seed, ticket) only — identical payload bytes
+  /// under distinct client ids, so the duplicate screen cannot see it and
+  /// the colluders vote as a bloc per coordinate.
+  kColludingDuplicate,
 };
 
 const char* to_string(FaultKind kind);
@@ -64,11 +87,20 @@ struct FaultConfig {
   std::uint64_t straggler_max_ticks = 400;
   /// Gradient multiplier for PoisonKind::kNormScale.
   real poison_scale = 1e9;
+  /// Fraction of the POPULATION that is persistently Byzantine. Membership
+  /// is a pure function of (seed, client id) — independent of round and
+  /// attempt, and NOT part of the per-delivery probability partition above
+  /// (a compromised client attacks reliably, it does not also drop out).
+  real byzantine_fraction = 0.0;
+  ByzantineKind byzantine_kind = ByzantineKind::kSignFlip;
+  /// Magnitude factor for every ByzantineKind (sign-flip uploads
+  /// −byzantine_scale·g).
+  real byzantine_scale = 10.0;
   std::uint64_t seed = 0x0A5150;
 
   [[nodiscard]] bool any() const {
     return dropout_prob > 0.0 || straggler_prob > 0.0 || corrupt_prob > 0.0 ||
-           poison_prob > 0.0;
+           poison_prob > 0.0 || byzantine_fraction > 0.0;
   }
 };
 
@@ -98,6 +130,11 @@ class FaultPlan {
   /// counter (not the protocol round id, which repeats after an abort).
   [[nodiscard]] ClientFault decide(std::uint64_t ticket, std::uint64_t attempt,
                                    std::uint64_t client_id) const;
+
+  /// Is `client_id` a persistent Byzantine attacker under this plan? Pure
+  /// function of (seed, client_id); exposed so tests can count the attacker
+  /// set a seed produces before asserting on its effects.
+  [[nodiscard]] bool byzantine(std::uint64_t client_id) const;
 
   /// Applies a kCorrupt/kPoison fault to a collected update in place, using
   /// the same split-stream derivation as decide() so the damage bytes are

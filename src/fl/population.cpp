@@ -75,6 +75,7 @@ std::unique_ptr<Client> VirtualPopulation::make_client(std::uint64_t id) const {
       config_.preprocessor, population_stream(config_.seed, kCtorSalt, id),
       config_.sampling, config_.loss_kind);
   client->set_round_keyed_rng(config_.seed);
+  if (config_.auditor) client->set_model_auditor(config_.auditor);
   return client;
 }
 

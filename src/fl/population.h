@@ -52,6 +52,11 @@ struct VirtualPopulationConfig {
   PreprocessorPtr preprocessor;  // nullptr → IdentityPreprocessor
   LossKind loss_kind = LossKind::kSoftmaxCrossEntropy;
   BatchSampling sampling = BatchSampling::kUniform;
+  /// Model-audit gate installed on every materialized client (see
+  /// Client::set_model_auditor). Must be pure/stateless for the same reason
+  /// as `factory` — it runs on pool workers, possibly concurrently. Empty =
+  /// no audit.
+  ModelAuditor auditor;
 };
 
 class VirtualPopulation {

@@ -180,24 +180,70 @@ RoundOutcome Server::finish_round(std::span<const ClientUpdateMessage> updates,
     commit_skipped_round();
     return outcome;
   }
-  // Common case first: everything accepted aggregates straight off the input
-  // span (no copies on the honest path).
   std::vector<tensor::Tensor> average;
-  if (outcome.rejected == 0) {
-    average = fedavg(updates);
-  } else {
-    std::vector<ClientUpdateMessage> kept;
-    kept.reserve(outcome.accepted);
-    for (std::size_t i = 0; i < updates.size(); ++i) {
-      if (outcome.reasons[i] == RejectReason::kAccepted) {
-        kept.push_back(updates[i]);
+  if (aggregator_.kind == AggregatorKind::kFedAvg) {
+    // Common case first: everything accepted aggregates straight off the
+    // input span (no copies on the honest path).
+    if (outcome.rejected == 0) {
+      average = fedavg(updates);
+    } else {
+      std::vector<ClientUpdateMessage> kept;
+      kept.reserve(outcome.accepted);
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (outcome.reasons[i] == RejectReason::kAccepted) {
+          kept.push_back(updates[i]);
+        }
       }
+      average = fedavg(kept);
     }
-    average = fedavg(kept);
+  } else {
+    average = aggregate_robust(updates, outcome);
   }
   commit_round(average);
   outcome.applied = true;
   return outcome;
+}
+
+std::vector<tensor::Tensor> Server::aggregate_robust(
+    std::span<const ClientUpdateMessage> updates,
+    const RoundOutcome& outcome) {
+  if (aggregator_.kind == AggregatorKind::kNormBounded) {
+    // Streaming-compatible: clip each accepted update to the bound, fold
+    // through the same accumulator FedAvg uses (same fold order, same
+    // weights — the bound is the only difference).
+    FedAvgAccumulator acc;
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (outcome.reasons[i] != RejectReason::kAccepted) continue;
+      auto gradients = tensor::deserialize_tensors(updates[i].gradients);
+      clip_gradients_to_norm(gradients, aggregator_.norm_bound);
+      acc.add(std::move(gradients),
+              static_cast<real>(updates[i].num_examples));
+    }
+    return acc.average();
+  }
+  // Order-statistic aggregators: buffer the accepted cohort (the documented
+  // O(cohort · model) cost of the f < n/2 breakdown point).
+  std::vector<std::vector<tensor::Tensor>> buffered;
+  buffered.reserve(outcome.accepted);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (outcome.reasons[i] != RejectReason::kAccepted) continue;
+    buffered.push_back(tensor::deserialize_tensors(updates[i].gradients));
+  }
+  return aggregator_.kind == AggregatorKind::kCoordinateMedian
+             ? coordinate_median(buffered)
+             : trimmed_mean(buffered, aggregator_.trim_fraction);
+}
+
+void Server::set_aggregator(const AggregatorConfig& config) {
+  if (config.kind == AggregatorKind::kTrimmedMean &&
+      (!(config.trim_fraction >= 0.0) || config.trim_fraction >= 0.5)) {
+    throw ConfigError("trim_fraction must be in [0, 0.5)");
+  }
+  if (config.kind == AggregatorKind::kNormBounded &&
+      !(config.norm_bound > 0.0)) {
+    throw ConfigError("norm_bounded aggregation needs norm_bound > 0");
+  }
+  aggregator_ = config;
 }
 
 MaliciousServer::MaliciousServer(std::unique_ptr<nn::Sequential> global_model,

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fl/aggregation.h"
 #include "fl/message.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
@@ -140,6 +141,15 @@ class Server {
     return validation_;
   }
 
+  /// Selects the aggregation rule finish_round applies to accepted updates.
+  /// kFedAvg/kNormBounded stream; kCoordinateMedian/kTrimmedMean buffer the
+  /// accepted cohort (O(cohort · model) memory — see aggregation.h). Throws
+  /// ConfigError on an invalid trim_fraction or non-positive norm bound.
+  void set_aggregator(const AggregatorConfig& config);
+  [[nodiscard]] const AggregatorConfig& aggregator() const {
+    return aggregator_;
+  }
+
   [[nodiscard]] std::uint64_t round() const { return round_; }
   nn::Sequential& global_model() { return *model_; }
 
@@ -153,9 +163,16 @@ class Server {
   [[nodiscard]] RoundOutcome validate_updates(
       std::span<const ClientUpdateMessage> updates);
 
+  /// Aggregates the accepted subset under a non-FedAvg aggregator (see
+  /// set_aggregator). Requires outcome.accepted > 0.
+  [[nodiscard]] std::vector<tensor::Tensor> aggregate_robust(
+      std::span<const ClientUpdateMessage> updates,
+      const RoundOutcome& outcome);
+
   std::unique_ptr<nn::Sequential> model_;
   real learning_rate_;
   ValidationConfig validation_;
+  AggregatorConfig aggregator_;
   std::uint64_t round_ = 0;
   GlobalModelMessage current_dispatch_;  // built by begin_round()
 };

@@ -99,6 +99,18 @@ ShardedSimulation::ShardedSimulation(std::unique_ptr<Server> server,
   if (config_.quorum_fraction < 0.0 || config_.quorum_fraction > 1.0) {
     throw ConfigError("quorum_fraction outside [0, 1]");
   }
+  if (config_.aggregator.kind == AggregatorKind::kCoordinateMedian ||
+      config_.aggregator.kind == AggregatorKind::kTrimmedMean) {
+    throw ConfigError(
+        std::string(to_string(config_.aggregator.kind)) +
+        " buffers the whole cohort, which contradicts the sharded engine's "
+        "O(shard) memory contract — use fl::Simulation for order-statistic "
+        "aggregation, or kNormBounded for a streaming-compatible defense");
+  }
+  if (config_.aggregator.kind == AggregatorKind::kNormBounded &&
+      config_.aggregator.norm_bound <= 0.0) {
+    throw ConfigError("norm_bound must be > 0");
+  }
 }
 
 void ShardedSimulation::begin_round_state() {
@@ -113,13 +125,22 @@ void ShardedSimulation::begin_round_state() {
     threshold_ = cohort_threshold(target, population_.size());
     // Pre-count the actual (binomial) cohort so quorum math and the shard
     // count are fixed before the first shard runs — ~ns per hash, and the
-    // scan keeps no per-client state.
+    // scan keeps no per-client state (unless the defense mask needs the
+    // cohort list, collected here for free during the scan).
+    const bool collect = defense_ && defense_->requires_cohort();
     index_t count = 0;
     for (index_t id = 0; id < population_.size(); ++id) {
-      if (cohort_member(config_.seed, ticket_, id, threshold_)) ++count;
+      if (cohort_member(config_.seed, ticket_, id, threshold_)) {
+        ++count;
+        if (collect) defense_cohort_.push_back(id);
+      }
     }
     cohort_size_ = count;
     scan_pos_ = 0;
+  }
+  if (defense_ && defense_->requires_cohort() &&
+      config_.sampler == CohortSampler::kFisherYates) {
+    defense_cohort_.assign(cohort_ids_.begin(), cohort_ids_.end());
   }
   num_shards_ = (cohort_size_ + config_.shard_size - 1) / config_.shard_size;
   OASIS_CHECK_MSG(num_shards_ < kMaxShardsPerRound,
@@ -156,12 +177,23 @@ void ShardedSimulation::collect_shard_members(std::vector<std::uint64_t>& out) {
 
 void ShardedSimulation::fold_update(const ClientUpdateMessage& update,
                                     UpdateScreen& screen) {
-  if (server_->screen_update(update, screen) == RejectReason::kAccepted) {
-    accumulator_.add(update);
-    ++accepted_;
-  } else {
+  if (server_->screen_update(update, screen) != RejectReason::kAccepted) {
     ++rejected_;
+    return;
   }
+  if (config_.aggregator.kind == AggregatorKind::kNormBounded) {
+    // Streaming-compatible robustness: clip each accepted update to the
+    // norm ball before folding, same accumulator, same fold order.
+    auto grads = tensor::deserialize_tensors(update.gradients);
+    clip_gradients_to_norm(grads, config_.aggregator.norm_bound);
+    accumulator_.add(std::move(grads),
+                     config_.weight_by_examples
+                         ? static_cast<real>(update.num_examples)
+                         : real{1});
+  } else {
+    accumulator_.add(update);
+  }
+  ++accepted_;
 }
 
 void ShardedSimulation::process_shard() {
@@ -172,6 +204,7 @@ void ShardedSimulation::process_shard() {
   static obs::Counter& stragglers = obs::counter("fl.fault.straggler");
   static obs::Counter& corrupted = obs::counter("fl.fault.corrupt");
   static obs::Counter& poisoned = obs::counter("fl.fault.poison");
+  static obs::Counter& byzantine = obs::counter("fl.fault.byzantine");
   static obs::Counter& duplicates = obs::counter("fl.fault.duplicate");
   static obs::Counter& lost_c = obs::counter("fl.clients_lost");
   static obs::Counter& shards_c = obs::counter("fl.shard.shards");
@@ -218,6 +251,9 @@ void ShardedSimulation::process_shard() {
   // their chunk; updates land in fixed slots, so the fold below sees
   // cohort order at any thread count.
   std::vector<ClientUpdateMessage> updates(slots.size());
+  // Audit refusals recorded per slot inside the parallel region (no
+  // cross-region throw) and tallied serially below.
+  std::vector<std::uint8_t> refused(slots.size(), 0);
   runtime::parallel_for(0, slots.size(), 1, [&](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
       // kRoot: the span path must not depend on whether this chunk runs
@@ -225,10 +261,24 @@ void ShardedSimulation::process_shard() {
       const obs::ScopedTimer client_span("fl.client_round",
                                          obs::ScopedTimer::kRoot);
       const auto client = population_.make_client(slots[i].id);
-      updates[i] = client->handle_round(slots[i].msg);
+      try {
+        updates[i] = client->handle_round(slots[i].msg);
+      } catch (const AuditError&) {
+        // The client refused the dispatched model — excluded, not retried
+        // (single-attempt semantics anyway, and a re-audit re-refuses).
+        refused[i] = 1;
+        continue;
+      }
+      // Client-side defenses run where the client runs — after training,
+      // before the update crosses the (faulty) wire.
+      if (defense_ && !defense_->empty()) {
+        defense_->apply(updates[i], defense_cohort_);
+      }
     }
   });
-  trained.add(slots.size());
+  index_t refusals = 0;
+  for (const auto f : refused) refusals += f;
+  trained.add(slots.size() - refusals);
 
   // Serial fold in cohort order — the determinism linchpin (see shard.h).
   // One screen per shard suffices: cohort member ids are distinct across
@@ -240,8 +290,15 @@ void ShardedSimulation::process_shard() {
     const obs::ScopedTimer agg_span("aggregate");
     for (index_t i = 0; i < slots.size(); ++i) {
       const Slot& s = slots[i];
+      if (refused[i]) {
+        // Refusal = no upload at all; the client still counts as disposed.
+        ++clients_done_;
+        if (client_hook_) client_hook_(s.id, clients_done_);
+        continue;
+      }
       if (s.fault.kind == FaultKind::kCorrupt) corrupted.add(1);
       if (s.fault.kind == FaultKind::kPoison) poisoned.add(1);
+      if (s.fault.kind == FaultKind::kByzantine) byzantine.add(1);
       fault_plan_.apply(updates[i], s.fault, ticket_, /*attempt=*/0, s.id);
       bytes_up.add(updates[i].gradients.size());
       fold_update(updates[i], screen);
@@ -275,6 +332,8 @@ void ShardedSimulation::clear_round_state() {
   mid_round_ = false;
   cohort_ids_.clear();
   cohort_ids_.shrink_to_fit();
+  defense_cohort_.clear();
+  defense_cohort_.shrink_to_fit();
   shard_done_.clear();
   accumulator_.reset();
   cohort_size_ = 0;
@@ -522,10 +581,22 @@ void ShardedSimulation::apply_snapshot(const ckpt::Snapshot& snap) {
       replay.set_state(rng_at_round_start_);
       cohort_ids_ =
           replay.sample_without_replacement(population_.size(), cohort_size_);
+      if (defense_ && defense_->requires_cohort()) {
+        defense_cohort_.assign(cohort_ids_.begin(), cohort_ids_.end());
+      }
     } else {
       threshold_ = cohort_threshold(
           config_.cohort_size == 0 ? population_.size() : config_.cohort_size,
           population_.size());
+      if (defense_ && defense_->requires_cohort()) {
+        // Re-collect the cohort id list the mask stage needs — same pure
+        // membership scan begin_round_state ran before the crash.
+        for (index_t id = 0; id < population_.size(); ++id) {
+          if (cohort_member(config_.seed, ticket_, id, threshold_)) {
+            defense_cohort_.push_back(id);
+          }
+        }
+      }
     }
     // Rebuild the dispatch payload for the round in flight (honest-server
     // assumption: begin_round is idempotent given unchanged model state).

@@ -47,6 +47,7 @@
 
 #include "ckpt/manager.h"
 #include "fl/aggregation.h"
+#include "fl/defense.h"
 #include "fl/fault.h"
 #include "fl/population.h"
 #include "fl/server.h"
@@ -102,6 +103,13 @@ struct ShardedConfig {
   real quorum_fraction = 0.0;
   /// False gives the plain 1/M average instead of example-weighted FedAvg.
   bool weight_by_examples = true;
+  /// Robust-aggregation choice. The streaming engine supports only the
+  /// streaming-compatible kinds — kFedAvg (the default) and kNormBounded
+  /// (per-update clip folded into the same accumulator). The buffering
+  /// order-statistic aggregators (kCoordinateMedian, kTrimmedMean) need the
+  /// whole cohort resident, which contradicts the O(shard) memory contract:
+  /// the constructor throws ConfigError for them — use fl::Simulation.
+  AggregatorConfig aggregator;
 };
 
 /// Progress snapshot handed to the shard hook after each shard folds.
@@ -151,6 +159,17 @@ class ShardedSimulation {
 
   void set_shard_hook(ShardHook hook) { shard_hook_ = std::move(hook); }
   void set_client_hook(ClientHook hook) { client_hook_ = std::move(hook); }
+
+  /// Installs the client-side defense stack, applied to every update inside
+  /// the shard's parallel training region (before wire faults). A
+  /// cohort-free stack (clip/noise) keeps the engine strictly O(shard); a
+  /// stack whose mask stage requires_cohort() materializes one O(cohort)
+  /// id list per round (Fisher–Yates already pays this; hash-threshold
+  /// collects ids during its existing pre-count scan). nullptr disables.
+  void set_defense_stack(DefenseStackPtr stack) { defense_ = std::move(stack); }
+  [[nodiscard]] const DefenseStackPtr& defense_stack() const {
+    return defense_;
+  }
 
   Server& server() { return *server_; }
   [[nodiscard]] const VirtualPopulation& population() const {
@@ -206,6 +225,7 @@ class ShardedSimulation {
   ShardedConfig config_;
   common::Rng rng_;  // cohort selection stream (kFisherYates)
   FaultPlan fault_plan_;
+  DefenseStackPtr defense_;
   ShardHook shard_hook_;
   ClientHook client_hook_;
   /// Monotone count of rounds STARTED (aborted rounds included) — the fault
@@ -224,6 +244,9 @@ class ShardedSimulation {
   index_t clients_done_ = 0;
   std::uint64_t threshold_ = 0;            // kHashThreshold
   std::vector<index_t> cohort_ids_;        // kFisherYates, selection order
+  /// Materialized only when the defense stack's mask stage requires the
+  /// cohort (see set_defense_stack) — empty otherwise.
+  std::vector<std::uint64_t> defense_cohort_;
   std::vector<bool> shard_done_;           // completed-shard bitmap
   FedAvgAccumulator accumulator_;
   index_t accepted_ = 0;

@@ -52,6 +52,7 @@ std::vector<std::uint64_t> Simulation::run_round() {
   static obs::Counter& stragglers = obs::counter("fl.fault.straggler");
   static obs::Counter& corrupted = obs::counter("fl.fault.corrupt");
   static obs::Counter& poisoned = obs::counter("fl.fault.poison");
+  static obs::Counter& byzantine = obs::counter("fl.fault.byzantine");
   static obs::Counter& duplicates = obs::counter("fl.fault.duplicate");
   static obs::Counter& timeouts = obs::counter("fl.timeouts");
   static obs::Counter& retries = obs::counter("fl.retries");
@@ -131,6 +132,9 @@ std::vector<std::uint64_t> Simulation::run_round() {
     }
 
     std::vector<ClientUpdateMessage> updates(responders.size());
+    // Audit refusals recorded per slot inside the parallel region (no
+    // cross-region throw) and tallied serially below.
+    std::vector<std::uint8_t> refused(responders.size(), 0);
     runtime::parallel_for(0, responders.size(), 1, [&](index_t i0,
                                                        index_t i1) {
       for (index_t i = i0; i < i1; ++i) {
@@ -139,17 +143,31 @@ std::vector<std::uint64_t> Simulation::run_round() {
         const obs::ScopedTimer client_span("fl.client_round",
                                            obs::ScopedTimer::kRoot);
         const index_t sel = responders[i].sel;
-        updates[i] = clients_[selected[sel]]->handle_round(dispatched[sel]);
+        try {
+          updates[i] = clients_[selected[sel]]->handle_round(dispatched[sel]);
+        } catch (const AuditError&) {
+          // The client refused the dispatched model. Not a retry candidate:
+          // re-auditing the same model re-refuses deterministically.
+          refused[i] = 1;
+          continue;
+        }
+        // Client-side defenses run where the client runs — after training,
+        // before the update crosses the (faulty) wire.
+        if (defense_ && !defense_->empty()) defense_->apply(updates[i], ids);
       }
     });
-    trained.add(responders.size());
+    index_t refusals = 0;
+    for (const auto f : refused) refusals += f;
+    trained.add(responders.size() - refusals);
 
     // Deliver serially in responder order: wire faults mutate the payload
     // between "upload" and "receipt", duplicates arrive back to back.
     for (index_t i = 0; i < responders.size(); ++i) {
       const auto& r = responders[i];
+      if (refused[i]) continue;  // refusal = no upload at all
       if (r.fault.kind == FaultKind::kCorrupt) corrupted.add(1);
       if (r.fault.kind == FaultKind::kPoison) poisoned.add(1);
+      if (r.fault.kind == FaultKind::kByzantine) byzantine.add(1);
       fault_plan_.apply(updates[i], r.fault, ticket, attempt, ids[r.sel]);
       bytes_up.add(updates[i].gradients.size());
       collected.push_back(std::move(updates[i]));

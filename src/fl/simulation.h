@@ -18,6 +18,7 @@
 
 #include "ckpt/manager.h"
 #include "fl/client.h"
+#include "fl/defense.h"
 #include "fl/fault.h"
 #include "fl/server.h"
 #include "runtime/virtual_clock.h"
@@ -59,7 +60,10 @@ class Simulation {
   /// Runs one protocol round; returns the ids of participating clients.
   /// Throws QuorumError (model rolled back bit-exactly) when fewer valid
   /// updates than the configured quorum survive collection + validation,
-  /// and TimeoutError in strict mode when clients are lost.
+  /// and TimeoutError in strict mode when clients are lost. A client whose
+  /// model-audit gate refuses the dispatched model (AuditError) is excluded
+  /// for the round — no retry, since the same model re-refuses
+  /// deterministically — and the round proceeds with the remaining cohort.
   std::vector<std::uint64_t> run_round();
 
   /// Runs `rounds` rounds, invoking `on_round` (if set) after each.
@@ -70,6 +74,18 @@ class Simulation {
   /// collection. Replace with a default-constructed plan to disable.
   void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
   [[nodiscard]] const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Installs the client-side defense stack (clip / noise / secagg mask),
+  /// applied to every update right after local training — inside the
+  /// parallel region, before wire faults touch the payload. The stack is
+  /// shared immutable state: its per-stage rng streams are pure functions of
+  /// (stack seed, round, client), so results stay bit-identical at any
+  /// thread count. The mask stage receives this round's selected cohort.
+  /// nullptr (default) disables defenses.
+  void set_defense_stack(DefenseStackPtr stack) { defense_ = std::move(stack); }
+  [[nodiscard]] const DefenseStackPtr& defense_stack() const {
+    return defense_;
+  }
 
   /// The engine's deterministic clock (advanced only by run_round).
   [[nodiscard]] const runtime::VirtualClock& clock() const { return clock_; }
@@ -115,6 +131,7 @@ class Simulation {
   SimulationConfig config_;
   common::Rng rng_;
   FaultPlan fault_plan_;
+  DefenseStackPtr defense_;
   runtime::VirtualClock clock_;
   /// Monotone count of rounds STARTED (aborted rounds included) — the fault
   /// plan's ticket, so a retried protocol round sees fresh faults.

@@ -26,6 +26,10 @@ void FlClient::set_fault_hook(FaultHook hook) {
   fault_hook_ = std::move(hook);
 }
 
+void FlClient::set_defense_stack(fl::DefenseStackPtr stack) {
+  defense_ = std::move(stack);
+}
+
 void FlClient::connect(std::string host, std::uint16_t port) {
   host_ = std::move(host);
   port_ = port;
@@ -163,7 +167,23 @@ void FlClient::handle_model(const fl::GlobalModelMessage& msg) {
     if (msg.round < cache_->round) return;  // stale dispatch; ignore
     cache_.reset();  // a newer round supersedes the in-flight one
   }
-  fl::ClientUpdateMessage update = core_.handle_round(msg);
+  fl::ClientUpdateMessage update;
+  try {
+    update = core_.handle_round(msg);
+  } catch (const AuditError&) {
+    // The audit gate refused the dispatched model. Graceful refusal = silent
+    // non-reply: the session stays up (an honest client has nothing to
+    // apologize for), the server's round deadline excludes us like a
+    // straggler, and a re-dispatch of the same round re-refuses
+    // deterministically — no cache entry is ever created.
+    static obs::Counter& refused_c = obs::counter("net.client.rounds_refused");
+    refused_c.add(1);
+    ++refused_;
+    return;
+  }
+  // Client-side defenses run before the fault hook and before framing, so
+  // the wire — and the byte-exact frame cache — carry the defended update.
+  if (defense_ && !defense_->empty()) defense_->apply(update);
   UpdateFault fault;
   if (fault_hook_) fault = fault_hook_(msg.round, update);
   switch (fault.action) {

@@ -48,6 +48,7 @@
 #include <string>
 
 #include "fl/client.h"
+#include "fl/defense.h"
 #include "net/frame.h"
 #include "net/server.h"  // TimeSource
 #include "net/socket.h"
@@ -114,6 +115,19 @@ class FlClient {
   /// Installs the delivery-fault hook (load bench; default = send all).
   void set_fault_hook(FaultHook hook);
 
+  /// Installs the client-side defense stack, applied to every freshly
+  /// trained update before the fault hook and before framing — so the wire
+  /// (and the frame cache) carries the defended bytes. A mask stage needs
+  /// the stack's static cohort (DefenseStack::set_static_cohort): the wire
+  /// protocol does not announce the round's membership. nullptr disables.
+  ///
+  /// Interacts with the audit gate (fl::Client::set_model_auditor): when
+  /// the core refuses a dispatched model (AuditError), this client simply
+  /// never replies for that round — the server's deadline excludes it like
+  /// a straggler, and a re-dispatch re-refuses deterministically. The
+  /// refusal bumps net.client.rounds_refused.
+  void set_defense_stack(fl::DefenseStackPtr stack);
+
   /// Sets the federation endpoint and arms the first connection attempt.
   void connect(std::string host, std::uint16_t port);
 
@@ -141,6 +155,8 @@ class FlClient {
   /// Updates answered from the cache instead of retraining (lost-ack
   /// recoveries and resting-restore re-dispatches).
   [[nodiscard]] std::uint64_t cached_resends() const { return resends_; }
+  /// Rounds the audit gate refused (no update was ever produced or sent).
+  [[nodiscard]] std::uint64_t rounds_refused() const { return refused_; }
   /// Total milliseconds spent in backoff waits (jitter included).
   [[nodiscard]] std::uint64_t backoff_ms_total() const { return backoff_total_; }
   [[nodiscard]] bool finished() const { return state_ == State::kDone; }
@@ -175,6 +191,7 @@ class FlClient {
   FlClientConfig config_;
   TimeSource now_;
   FaultHook fault_hook_;
+  fl::DefenseStackPtr defense_;
   std::string host_;
   std::uint16_t port_ = 0;
   State state_ = State::kBackoff;
@@ -200,6 +217,7 @@ class FlClient {
   std::uint64_t bounced_ = 0;
   std::uint64_t resumed_ = 0;
   std::uint64_t resends_ = 0;
+  std::uint64_t refused_ = 0;
   std::uint64_t backoff_total_ = 0;
   bool replied_this_conn_ = false;
 };

@@ -6,8 +6,10 @@
 #include <cmath>
 #include <memory>
 
+#include "attack/attack.h"
 #include "attack/cah.h"
 #include "attack/calibration.h"
+#include "attack/detection.h"
 #include "attack/linear_inversion.h"
 #include "attack/recon_eval.h"
 #include "attack/rtf.h"
@@ -464,6 +466,48 @@ TEST_P(Proposition1Sweep, CoActivatingPairIsNeverIsolated) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Proposition1Sweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---- Detection verdict coverage ---------------------------------------------
+
+TEST(Detection, RowNormOutlierFoldsIntoTheVerdict) {
+  // A single deliberately amplified trap row: no duplication, no bias
+  // ladder, no half-negative structure — only the row_norm_ratio screen
+  // (the clause DetectionReport::suspicious() now folds in) can catch it.
+  common::Rng rng(61);
+  auto host = nn::make_attack_host({3, 12, 12}, 48, 10, rng);
+  ASSERT_FALSE(inspect_first_dense(*host).suspicious());
+
+  nn::Dense& dense = detail::find_first_dense(*host);
+  const index_t d = dense.in_features();
+  for (index_t k = 0; k < d; ++k) dense.weight().value.at2(7, k) *= 50.0;
+
+  const auto report = inspect_first_dense(*host);
+  EXPECT_GT(report.row_norm_ratio, 8.0);
+  EXPECT_LT(report.row_duplication, 0.5);
+  EXPECT_LT(report.bias_monotonicity, 0.95);
+  EXPECT_LT(report.trap_half_negative, 0.9);
+  EXPECT_TRUE(report.suspicious());
+}
+
+TEST(Detection, TrapHalfNegativeScreenSeparatesTrapFromHonest) {
+  common::Rng rng(62);
+  auto honest = nn::make_attack_host({3, 12, 12}, 48, 10, rng);
+  const auto honest_report = inspect_first_dense(*honest);
+  EXPECT_LT(honest_report.trap_half_negative, 0.5);
+  EXPECT_FALSE(honest_report.suspicious());
+
+  auto aux = small_dataset(6, 63);
+  common::Rng rng2(64);
+  auto trapped = nn::make_attack_host({3, 12, 12}, 48, 10, rng2);
+  CahAttack atk({3, 12, 12}, 48, 0.25, aux, 0xCA11,
+                CahWeightMode::kTrapHalfNegative);
+  atk.implant(*trapped);
+  const auto trap_report = inspect_first_dense(*trapped);
+  // Every trap row carries exactly floor(d/2) negated entries by
+  // construction, so the screen saturates.
+  EXPECT_GT(trap_report.trap_half_negative, 0.9);
+  EXPECT_TRUE(trap_report.suspicious());
+}
 
 }  // namespace
 }  // namespace oasis::attack

@@ -19,12 +19,14 @@
 #include <sstream>
 #include <string>
 
+#include "attack/audit.h"
 #include "attack/rtf.h"
 #include "core/experiment.h"
 #include "core/oasis.h"
 #include "data/image.h"
 #include "data/synthetic.h"
 #include "fl/client.h"
+#include "fl/defense.h"
 #include "fl/server.h"
 #include "fl/simulation.h"
 #include "net/client.h"
@@ -62,6 +64,13 @@ struct GoldenRound {
   std::uint64_t net_bytes_sent = 0;      // net.bytes.sent
   std::uint64_t net_bytes_received = 0;  // net.bytes.received
   std::uint64_t net_rounds_committed = 0;  // net.round.committed
+  // Defended/audited sub-exchange (PR 10): a clip+noise round and an
+  // audit-gated round against an RTF implant. Pins the defense stage tallies
+  // and the audit gate's inspect/refuse discipline into the fixture.
+  std::uint64_t defense_applied = 0;      // fl.defense.applied
+  std::uint64_t defense_clip_active = 0;  // fl.defense.clip.active
+  std::uint64_t audit_inspected = 0;      // fl.audit.inspected
+  std::uint64_t audit_refused = 0;        // fl.audit.refused
 };
 
 /// One loopback TCP round (1 client, virtual clock) over a tiny seeded
@@ -102,6 +111,50 @@ void run_loopback_exchange() {
     ++t;
   }
   EXPECT_TRUE(server.finished()) << "loopback exchange did not converge";
+}
+
+/// One defended round (clip+noise stack, 2 clients) followed by one
+/// audit-gated round against an RTF-implanted global model (both clients
+/// refuse; the round commits as skipped). Deterministic, so the fl.defense.*
+/// and fl.audit.* tallies are fixture material like every other counter.
+void run_defended_exchange() {
+  data::SynthConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = 6;
+  cfg.test_per_class = 0;
+  cfg.seed = 13;
+  const data::InMemoryDataset data = data::generate(cfg).train;
+  const auto shards = data.shard(2);
+  const fl::ModelFactory factory = [] {
+    common::Rng rng(5);
+    return nn::make_attack_host({3, 8, 8}, 32, 4, rng);
+  };
+
+  auto build = [&](fl::ModelAuditor auditor) {
+    std::vector<std::unique_ptr<fl::Client>> clients;
+    for (index_t i = 0; i < 2; ++i) {
+      clients.push_back(std::make_unique<fl::Client>(
+          i, shards[i], factory, /*batch_size=*/4,
+          std::make_shared<fl::IdentityPreprocessor>(),
+          common::Rng(900 + i)));
+      if (auditor) clients[i]->set_model_auditor(auditor);
+    }
+    return std::make_unique<fl::Simulation>(
+        std::make_unique<fl::Server>(factory(), 0.1), std::move(clients),
+        fl::SimulationConfig{/*clients_per_round=*/2, /*seed=*/17});
+  };
+
+  auto defended = build({});
+  defended->set_defense_stack(fl::parse_defense_stack("clip:0.5,noise:0.01"));
+  defended->run_round();
+
+  auto audited = build(attack::make_model_auditor());
+  cfg.seed = 14;
+  const data::InMemoryDataset aux = data::generate(cfg).train;
+  attack::RtfAttack rtf({3, 8, 8}, 32, aux);
+  rtf.implant(audited->server().global_model());
+  audited->run_round();  // both clients refuse; the round commits skipped
 }
 
 /// Runs THE seeded round: 1 victim client, malicious RTF server, undefended
@@ -150,6 +203,7 @@ GoldenRound run_golden_round() {
   sim.restore_checkpoint(sim.encode_checkpoint());
 
   run_loopback_exchange();
+  run_defended_exchange();
 
   GoldenRound out;
   out.loss = victim->last_loss();
@@ -180,11 +234,15 @@ GoldenRound run_golden_round() {
   out.net_bytes_sent = obs::counter("net.bytes.sent").value();
   out.net_bytes_received = obs::counter("net.bytes.received").value();
   out.net_rounds_committed = obs::counter("net.round.committed").value();
+  out.defense_applied = obs::counter("fl.defense.applied").value();
+  out.defense_clip_active = obs::counter("fl.defense.clip.active").value();
+  out.audit_inspected = obs::counter("fl.audit.inspected").value();
+  out.audit_refused = obs::counter("fl.audit.refused").value();
   return out;
 }
 
 std::string format_fixture(const GoldenRound& g) {
-  char buf[512];
+  char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "{\n"
                 "  \"schema\": \"oasis.golden/v1\",\n"
@@ -201,7 +259,11 @@ std::string format_fixture(const GoldenRound& g) {
                 "  \"net_frames_received\": %llu,\n"
                 "  \"net_bytes_sent\": %llu,\n"
                 "  \"net_bytes_received\": %llu,\n"
-                "  \"net_rounds_committed\": %llu\n"
+                "  \"net_rounds_committed\": %llu,\n"
+                "  \"defense_applied\": %llu,\n"
+                "  \"defense_clip_active\": %llu,\n"
+                "  \"audit_inspected\": %llu,\n"
+                "  \"audit_refused\": %llu\n"
                 "}\n",
                 g.loss, g.grad_norm, g.mean_psnr,
                 static_cast<unsigned long long>(g.rtf_leaked),
@@ -214,7 +276,11 @@ std::string format_fixture(const GoldenRound& g) {
                 static_cast<unsigned long long>(g.net_frames_received),
                 static_cast<unsigned long long>(g.net_bytes_sent),
                 static_cast<unsigned long long>(g.net_bytes_received),
-                static_cast<unsigned long long>(g.net_rounds_committed));
+                static_cast<unsigned long long>(g.net_rounds_committed),
+                static_cast<unsigned long long>(g.defense_applied),
+                static_cast<unsigned long long>(g.defense_clip_active),
+                static_cast<unsigned long long>(g.audit_inspected),
+                static_cast<unsigned long long>(g.audit_refused));
   return buf;
 }
 
@@ -277,10 +343,24 @@ TEST(GoldenRoundTest, MatchesCheckedInFixture) {
             static_cast<std::uint64_t>(
                 fixture_number(text, "net_rounds_committed")));
 
-  // The leak counters are only meaningful if the attack actually ran, and
-  // the wire fingerprint only if the loopback exchange served its round.
+  EXPECT_EQ(g.defense_applied, static_cast<std::uint64_t>(
+                                   fixture_number(text, "defense_applied")));
+  EXPECT_EQ(g.defense_clip_active,
+            static_cast<std::uint64_t>(
+                fixture_number(text, "defense_clip_active")));
+  EXPECT_EQ(g.audit_inspected, static_cast<std::uint64_t>(
+                                   fixture_number(text, "audit_inspected")));
+  EXPECT_EQ(g.audit_refused, static_cast<std::uint64_t>(
+                                 fixture_number(text, "audit_refused")));
+
+  // The leak counters are only meaningful if the attack actually ran, the
+  // wire fingerprint only if the loopback exchange served its round, and
+  // the defense/audit tallies only if the defended exchange really defended
+  // (2 clients through the stack) and the gate really refused the implant.
   EXPECT_GT(g.rtf_total, 0u);
   EXPECT_EQ(g.net_rounds_committed, 1u);
+  EXPECT_EQ(g.defense_applied, 2u);
+  EXPECT_EQ(g.audit_refused, 2u);
 }
 
 TEST(GoldenRoundTest, BlockedAndNaiveGemmPathsMatchExactly) {
@@ -318,6 +398,10 @@ TEST(GoldenRoundTest, RoundIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial.validate_rejected, parallel.validate_rejected);
   EXPECT_EQ(serial.net_bytes_sent, parallel.net_bytes_sent);
   EXPECT_EQ(serial.net_bytes_received, parallel.net_bytes_received);
+  EXPECT_EQ(serial.defense_applied, parallel.defense_applied);
+  EXPECT_EQ(serial.defense_clip_active, parallel.defense_clip_active);
+  EXPECT_EQ(serial.audit_inspected, parallel.audit_inspected);
+  EXPECT_EQ(serial.audit_refused, parallel.audit_refused);
 }
 
 }  // namespace

@@ -772,5 +772,139 @@ TEST(RtfCalibration, QuantileCutoffsRefineMonotonically) {
   }
 }
 
+// ---- Byzantine-robust aggregation -------------------------------------------
+
+/// n random tensor-list updates (two tensors each), seeded.
+std::vector<std::vector<tensor::Tensor>> random_gradient_sets(
+    std::uint64_t seed, std::size_t n) {
+  common::Rng rng(seed);
+  std::vector<std::vector<tensor::Tensor>> sets;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<tensor::Tensor> g;
+    g.push_back(tensor::Tensor::randn({4, 3}, rng));
+    g.push_back(tensor::Tensor::randn({5}, rng));
+    sets.push_back(std::move(g));
+  }
+  return sets;
+}
+
+bool bit_identical(const std::vector<tensor::Tensor>& a,
+                   const std::vector<tensor::Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    if (a[t].size() != b[t].size()) return false;
+    if (std::memcmp(a[t].data().data(), b[t].data().data(),
+                    sizeof(real) * a[t].size()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(RobustAggregation, OrderStatisticsArePermutationInvariantBitForBit) {
+  // Median/trimmed mean sort per coordinate, so arrival order must not
+  // even perturb the last float bit — stronger than FedAvg's allclose-only
+  // permutation invariance above.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto base = random_gradient_sets(seed, 7);
+    auto reversed = base;
+    std::reverse(reversed.begin(), reversed.end());
+    auto rotated = base;
+    std::rotate(rotated.begin(), rotated.begin() + 3, rotated.end());
+    for (const auto& permuted : {reversed, rotated}) {
+      EXPECT_TRUE(bit_identical(fl::coordinate_median(base),
+                                fl::coordinate_median(permuted)))
+          << "seed " << seed;
+      EXPECT_TRUE(bit_identical(fl::trimmed_mean(base, 0.2),
+                                fl::trimmed_mean(permuted, 0.2)))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(RobustAggregation, BreakdownPointCapsOutlierInfluence) {
+  // Up to floor(trim_fraction·n) arbitrary updates per tail (and any
+  // f < n/2 for the median) cannot push the result outside the honest
+  // values' per-coordinate range — the breakdown-point guarantee the
+  // Byzantine chaos suite exercises end to end.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto honest = random_gradient_sets(seed ^ 0xB12, 8);
+    auto attacked = honest;
+    // floor(0.25·10) = 2 attackers, each injecting ±1e9 per coordinate.
+    common::Rng rng(seed);
+    for (int a = 0; a < 2; ++a) {
+      std::vector<tensor::Tensor> evil;
+      for (const auto& t : honest[0]) {
+        tensor::Tensor e(t.shape());
+        for (index_t i = 0; i < e.size(); ++i) {
+          e[i] = (rng.uniform() < 0.5 ? -1e9 : 1e9);
+        }
+        evil.push_back(std::move(e));
+      }
+      attacked.push_back(std::move(evil));
+    }
+    const auto med = fl::coordinate_median(attacked);
+    const auto trim = fl::trimmed_mean(attacked, 0.25);
+    for (std::size_t t = 0; t < honest[0].size(); ++t) {
+      for (index_t i = 0; i < honest[0][t].size(); ++i) {
+        real lo = honest[0][t][i], hi = honest[0][t][i];
+        for (const auto& h : honest) {
+          lo = std::min(lo, h[t][i]);
+          hi = std::max(hi, h[t][i]);
+        }
+        EXPECT_GE(med[t][i], lo - 1e-12) << "seed " << seed;
+        EXPECT_LE(med[t][i], hi + 1e-12) << "seed " << seed;
+        EXPECT_GE(trim[t][i], lo - 1e-12) << "seed " << seed;
+        EXPECT_LE(trim[t][i], hi + 1e-12) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(RobustAggregation, AgreesWithFedAvgOnHomogeneousCohorts) {
+  // When every client uploads the SAME gradients, robustness costs
+  // nothing: median, trimmed mean, and the unweighted mean all return
+  // exactly that update.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto one = random_gradient_sets(seed ^ 0x40, 1)[0];
+    std::vector<std::vector<tensor::Tensor>> sets(5, one);
+    std::vector<fl::ClientUpdateMessage> updates(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      updates[i].client_id = i;
+      updates[i].num_examples = 2;
+      updates[i].gradients = tensor::serialize_tensors(one);
+    }
+    const auto avg = fl::fedavg_unweighted(updates);
+    const auto med = fl::coordinate_median(sets);
+    const auto trim = fl::trimmed_mean(sets, 0.2);
+    for (std::size_t t = 0; t < one.size(); ++t) {
+      EXPECT_TRUE(tensor::allclose(med[t], one[t], 1e-15, 1e-15));
+      EXPECT_TRUE(tensor::allclose(trim[t], one[t], 1e-12, 1e-12));
+      EXPECT_TRUE(tensor::allclose(avg[t], med[t], 1e-12, 1e-12));
+    }
+  }
+}
+
+TEST(RobustAggregation, ZeroTrimIsTheUnweightedMeanAndBoundsAreEnforced) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sets = random_gradient_sets(seed ^ 0x99, 6);
+    std::vector<fl::ClientUpdateMessage> updates(sets.size());
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      updates[i].client_id = i;
+      updates[i].num_examples = 3;
+      updates[i].gradients = tensor::serialize_tensors(sets[i]);
+    }
+    const auto mean = fl::fedavg_unweighted(updates);
+    const auto trim0 = fl::trimmed_mean(sets, 0.0);
+    for (std::size_t t = 0; t < mean.size(); ++t) {
+      EXPECT_TRUE(tensor::allclose(trim0[t], mean[t], 1e-12, 1e-12));
+    }
+  }
+  const auto sets = random_gradient_sets(1, 4);
+  EXPECT_THROW(fl::trimmed_mean(sets, 0.5), ConfigError);
+  EXPECT_THROW(fl::trimmed_mean(sets, -0.1), ConfigError);
+  EXPECT_THROW(fl::coordinate_median({}), AggregationError);
+}
+
 }  // namespace
 }  // namespace oasis
